@@ -1,0 +1,53 @@
+"""Ablation A2 -- client-puzzle difficulty tuning (Section V.A).
+
+The paper adopts Juels-Brainard puzzles but does not pick a difficulty;
+this ablation sweeps it, exposing the design trade-off: higher
+difficulty throttles the attacker harder but costs every legitimate
+user real solving time.  The sweet spot is where the attacker's
+effective rate collapses while the legitimate solve time stays far
+below the handshake's own crypto cost.
+"""
+
+from repro.analysis.attack_eval import dos_campaign
+from repro.wmn.costmodel import CostModel
+
+
+def test_a2_difficulty_sweep(reporter):
+    report = reporter("A2: puzzle difficulty ablation "
+                      "(flood 30/s, attacker 50 kH/s)")
+    cost = CostModel()
+    rows = []
+    for bits in (6, 10, 14, 18):
+        result = dos_campaign(flood_rate=30.0, puzzles=True,
+                              difficulty=bits, duration=45.0,
+                              seed=111, user_count=3)
+        legit_solve = cost.puzzle_solve(bits)
+        attacker_solve = (1 << bits) / 50_000.0
+        rows.append((bits,
+                     f"{legit_solve * 1000:.1f}",
+                     f"{attacker_solve * 1000:.0f}",
+                     result.attacker_sent,
+                     result.attacker_puzzle_limited,
+                     f"{result.router_cpu_busy / result.duration:.0%}",
+                     f"{result.legit_success_rate:.0%}"))
+    report.table(("bits", "legit solve ms", "attacker solve ms",
+                  "atk sent", "atk throttled", "router CPU",
+                  "legit ok"), rows)
+
+    weak = dos_campaign(flood_rate=30.0, puzzles=True, difficulty=6,
+                        duration=45.0, seed=112, user_count=3)
+    strong = dos_campaign(flood_rate=30.0, puzzles=True, difficulty=14,
+                          duration=45.0, seed=112, user_count=3)
+    # Shape: too-easy puzzles leave the attacker unthrottled; adequate
+    # ones collapse its rate while legit users still all connect.
+    assert weak.attacker_puzzle_limited == 0
+    assert strong.attacker_puzzle_limited > 0
+    assert strong.legit_success_rate == 1.0
+    assert strong.router_cpu_busy < weak.router_cpu_busy
+
+
+def test_a2_strong_difficulty_campaign(benchmark):
+    benchmark.pedantic(
+        lambda: dos_campaign(flood_rate=20.0, puzzles=True, difficulty=16,
+                             duration=30.0, seed=113, user_count=2),
+        rounds=1, iterations=1)

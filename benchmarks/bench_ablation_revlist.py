@@ -1,0 +1,78 @@
+"""Ablation A3 -- URL growth management and beacon overhead.
+
+Paper: "PEACE can proactively control the size of URL" and carries the
+URL in every beacon.  This ablation quantifies what URL growth costs
+on the two axes that matter: beacon bytes (every user hears every
+beacon) and verification pairings (every handshake scans the URL) --
+and shows how the epoch-rotation renewal (membership maintenance)
+resets both.
+"""
+
+import random
+
+from repro.core.deployment import Deployment
+from repro.wmn.costmodel import CostModel
+
+
+def _fresh(seed=121, pool=24):
+    users = [(f"u{i}", ["Company X"]) for i in range(8)]
+    return Deployment.build(preset="TEST", seed=seed,
+                            groups={"Company X": pool},
+                            users=users, routers=["MR-1"])
+
+
+def test_a3_url_growth_cost(reporter):
+    deployment = _fresh()
+    router = deployment.routers["MR-1"]
+    cost = CostModel()
+    report = reporter("A3: URL growth -> beacon bytes & verify cost")
+    rows = []
+    victims = [name for name in deployment.users][:6]
+    revoked = 0
+    for step in range(4):
+        router.refresh_lists()
+        beacon = router.make_beacon()
+        url_len = len(router.url.tokens)
+        rows.append((url_len, len(beacon.encode()),
+                     3 + 2 * url_len,
+                     f"{cost.group_verify(url_len) * 1000:.0f}"))
+        if step < 3:
+            for _ in range(2):
+                name = victims[revoked]
+                index = deployment.users[name].credentials[
+                    "Company X"].index
+                deployment.operator.revoke_user_key(index)
+                revoked += 1
+    report.table(("|URL|", "beacon bytes", "verify pairings",
+                  "verify ms (cost model)"), rows)
+
+    # Epoch rotation resets the URL and the beacon size.
+    grown_beacon_size = rows[-1][1]
+    deployment.rotate_epoch(exclude=victims[:revoked])
+    router.refresh_lists()
+    reset_beacon = router.make_beacon()
+    report.row(f"after epoch rotation: |URL|=0, beacon "
+               f"{len(reset_beacon.encode())} B "
+               f"(was {grown_beacon_size} B)")
+
+    # Shape: beacon grows linearly with URL; rotation restores it.
+    sizes = [row[1] for row in rows]
+    assert sizes == sorted(sizes) and sizes[-1] > sizes[0]
+    assert len(reset_beacon.encode()) < grown_beacon_size
+    assert len(router.url.tokens) == 0
+    # The excluded users hold no credentials post-rotation.
+    from repro.errors import ParameterError
+    import pytest
+    with pytest.raises(ParameterError):
+        deployment.connect(victims[0], "MR-1")
+
+
+def test_a3_beacon_encode_wall_time(benchmark):
+    deployment = _fresh(seed=122)
+    for name in list(deployment.users)[:4]:
+        index = deployment.users[name].credentials["Company X"].index
+        deployment.operator.revoke_user_key(index)
+    router = deployment.routers["MR-1"]
+    router.refresh_lists()
+    beacon = router.make_beacon()
+    benchmark(beacon.encode)

@@ -1,0 +1,84 @@
+"""E5 -- DoS resilience via client puzzles (Section V.A, DoS attacks).
+
+Paper claims: verification's pairing cost 'can be easily exploited by
+the adversary'; with client puzzles 'the adversary must have abundant
+resources ... while [legitimate users] are still able to obtain
+network accesses regardless the existence of the attack'.
+
+The bench floods one router at increasing rates, with the defense off
+and on, and reports legitimate-user outcomes and router CPU load.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.attack_eval import dos_campaign
+from repro.crypto.puzzles import Puzzle, solve_puzzle
+
+
+def test_e5_flood_sweep(reporter):
+    report = reporter("E5: DoS flood, puzzles off vs on")
+    rows = []
+    duration = 45.0
+    for rate in (10.0, 30.0):
+        for puzzles in (False, True):
+            result = dos_campaign(flood_rate=rate, puzzles=puzzles,
+                                  difficulty=14, duration=duration,
+                                  seed=51, user_count=3)
+            delay = ("-" if math.isnan(result.mean_auth_delay)
+                     else f"{result.mean_auth_delay:.2f}")
+            rows.append((
+                f"{rate:.0f}/s", "on" if puzzles else "off",
+                f"{result.legit_success_rate:.0%}", delay,
+                result.requests_dropped_queue,
+                f"{result.router_cpu_busy / duration:.0%}",
+                result.attacker_sent, result.attacker_puzzle_limited))
+    report.table(("flood", "puzzles", "legit ok", "auth delay s",
+                  "queue drops", "router CPU", "atk sent",
+                  "atk throttled"), rows)
+
+    # Shape claims at the heavy flood level:
+    heavy_off = dos_campaign(flood_rate=30.0, puzzles=False,
+                             duration=duration, seed=52, user_count=3)
+    heavy_on = dos_campaign(flood_rate=30.0, puzzles=True, difficulty=14,
+                            duration=duration, seed=52, user_count=3)
+    # Puzzles slash router CPU consumed by the attack ...
+    assert heavy_on.router_cpu_busy < heavy_off.router_cpu_busy * 0.7
+    # ... throttle the attacker ...
+    assert heavy_on.attacker_puzzle_limited > 0
+    # ... and keep legitimate users served.
+    assert heavy_on.legit_success_rate == 1.0
+
+
+def test_e5_puzzle_asymmetry(reporter):
+    """Solving costs ~2^k hashes, verification costs one (Juels-
+    Brainard's defining asymmetry)."""
+    import time
+    report = reporter("E5b: puzzle solve/verify asymmetry")
+    rows = []
+    for bits in (8, 12, 16):
+        puzzle = Puzzle.fresh(bits)
+        start = time.perf_counter()
+        solution = solve_puzzle(puzzle, b"bench")
+        solve_time = time.perf_counter() - start
+        from repro.crypto.puzzles import verify_solution
+        start = time.perf_counter()
+        assert verify_solution(puzzle, b"bench", solution)
+        verify_time = time.perf_counter() - start
+        rows.append((bits, f"{solve_time * 1000:.2f}",
+                     f"{verify_time * 1e6:.1f}",
+                     f"{solve_time / max(verify_time, 1e-9):.0f}x"))
+    report.table(("difficulty bits", "solve ms", "verify us",
+                  "asymmetry"), rows)
+
+
+def test_e5_puzzle_solve_wall_time(benchmark):
+    puzzle = Puzzle.fresh(12)
+    counter = [0]
+
+    def solve():
+        counter[0] += 1
+        return solve_puzzle(puzzle, b"bench-%d" % counter[0])
+
+    benchmark.pedantic(solve, rounds=5, iterations=1)

@@ -1,0 +1,101 @@
+"""E4 -- Handshake rounds, message sizes, and authentication delay.
+
+Paper claims (V.C communication): both AKA protocols complete in three
+messages -- 'the minimal communication rounds necessary to achieve
+mutual authentication' -- and the per-message overhead on the user is
+one group signature.  The bench counts rounds and bytes on real
+handshakes and measures auth delay in the simulated city.
+"""
+
+import random
+
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+
+
+def test_e4_rounds_and_bytes(reporter, test_deployment):
+    deployment = test_deployment
+    router = deployment.routers["MR-1"]
+    user = deployment.users["alice"]
+    report = reporter("E4: handshake rounds and message sizes")
+
+    beacon = router.make_beacon()                        # M.1
+    request, pending = user.connect_to_router(beacon)    # M.2
+    confirm, _rs = router.process_request(request)       # M.3
+    user.complete_router_handshake(pending, confirm)
+
+    url = beacon.url
+    engine_i = deployment.users["alice"].peer_engine()
+    engine_r = deployment.users["bob"].peer_engine()
+    hello, pending_i = engine_i.initiate(beacon.g)           # M~.1
+    response, pending_r = engine_r.respond(hello, url)       # M~.2
+    peer_confirm, _si = engine_i.complete(pending_i, response, url)  # M~.3
+    engine_r.finalize(pending_r, peer_confirm)
+
+    from repro.core.groupsig import GroupSignature
+    sig_bytes = GroupSignature.encoded_size(deployment.group)
+    rows = [
+        ("user-router", "M.1 beacon", len(beacon.encode()), "router"),
+        ("user-router", "M.2 request", len(request.encode()), "user"),
+        ("user-router", "M.3 confirm", len(confirm.encode()), "router"),
+        ("user-user", "M~.1 hello", len(hello.encode()), "user"),
+        ("user-user", "M~.2 response", len(response.encode()), "user"),
+        ("user-user", "M~.3 confirm", len(peer_confirm.encode()), "user"),
+    ]
+    report.table(("protocol", "message", "bytes", "sender"), rows)
+    report.row(f"group signature within M.2/M~.1/M~.2: {sig_bytes} B "
+               f"(TEST preset)")
+    report.row("rounds: 3 per protocol (paper: minimal for mutual auth)")
+
+    # Shape claims: exactly 3 messages each; the user's uplink cost in
+    # M.2 is dominated by the group signature.
+    assert len(rows) == 6
+    assert sig_bytes > len(request.encode()) / 2
+
+
+def test_e4_simulated_auth_delay(reporter):
+    scenario = Scenario(ScenarioConfig(
+        preset="TEST", seed=44,
+        topology=TopologyConfig(area_side=800.0, router_grid=2,
+                                user_count=12, seed=44,
+                                access_range=600.0),
+        group_sizes=(("Company X", 16), ("University Z", 16)),
+        beacon_interval=5.0))
+    scenario.run(60.0)
+    stats = scenario.handshake_stats().summary()
+    report = reporter("E4b: simulated authentication delay")
+    report.table(("metric", "seconds"),
+                 [(k, f"{v:.4f}") for k, v in stats.items()])
+    cost = scenario.config.cost_model
+    report.row(f"cost model: sign {cost.group_sign() * 1000:.0f} ms, "
+               f"verify(0) {cost.group_verify(0) * 1000:.0f} ms")
+    assert stats["count"] == 12
+    # Delay floor: user-side sign + beacon check; ceiling: a couple of
+    # beacon intervals under queueing.
+    assert stats["mean"] > cost.group_sign()
+    assert stats["p95"] < 15.0
+
+
+def test_e4_full_handshake_wall_time(benchmark, test_deployment):
+    deployment = test_deployment
+    router = deployment.routers["MR-1"]
+    user = deployment.users["alice"]
+
+    def handshake():
+        beacon = router.make_beacon()
+        request, pending = user.connect_to_router(beacon)
+        confirm, _ = router.process_request(request)
+        return user.complete_router_handshake(pending, confirm)
+
+    session = benchmark.pedantic(handshake, rounds=5, iterations=1)
+    assert session is not None
+
+
+def test_e4_peer_handshake_wall_time(benchmark, test_deployment):
+    deployment = test_deployment
+
+    def peer_handshake():
+        return deployment.peer_connect("alice", "bob", "MR-1")
+
+    sessions = benchmark.pedantic(peer_handshake, rounds=5, iterations=1)
+    assert sessions[0].session_id == sessions[1].session_id

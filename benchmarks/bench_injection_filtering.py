@@ -1,0 +1,66 @@
+"""E6 -- Bogus data injection filtering (Section V.A).
+
+Paper claim: 'such bogus data traffic will be all immediately
+filtered' -- for outsiders (no keys), revoked users (keys in the URL),
+and replayed traffic.  The bench runs the combined campaign and
+reports acceptance per attacker class.
+"""
+
+from repro.analysis.attack_eval import injection_campaign
+
+
+def test_e6_injection_filtering_table(reporter):
+    result = injection_campaign(seed=61, user_count=4, duration=120.0)
+    report = reporter("E6: bogus injection filtering")
+    report.table(
+        ("traffic class", "attempted", "accepted", "filtered"),
+        [
+            ("legitimate users", result.legit_attempted,
+             result.legit_accepted,
+             result.legit_attempted - result.legit_accepted),
+            ("outsider forged M.2", result.outsider_injected,
+             result.outsider_accepted,
+             result.outsider_injected - result.outsider_accepted),
+            ("replayed M.2", result.replays_sent,
+             result.replays_accepted,
+             result.replays_sent - result.replays_accepted),
+            ("revoked-user M.2", result.revoked_attempts,
+             result.revoked_accepted,
+             result.revoked_attempts - result.revoked_accepted),
+            ("sessionless bogus data", result.bogus_data_frames,
+             result.bogus_data_accepted,
+             result.bogus_data_frames - result.bogus_data_accepted),
+        ])
+
+    # The paper's claim, verbatim: every bogus class fully filtered,
+    # every legitimate attempt served.
+    assert result.outsider_accepted == 0
+    assert result.replays_accepted == 0
+    assert result.revoked_accepted == 0
+    assert result.bogus_data_accepted == 0
+    assert result.legit_accepted == result.legit_attempted > 0
+
+
+def test_e6_rejection_wall_time(benchmark, test_deployment):
+    """Cost of rejecting one well-formed forgery (the router's burden
+    that motivates E5's puzzles)."""
+    import random
+
+    from repro.errors import InvalidSignature
+    from repro.wmn.adversary import forge_access_request
+
+    deployment = test_deployment
+    router = deployment.routers["MR-1"]
+    rng = random.Random(62)
+
+    def reject_one():
+        beacon = router.make_beacon()
+        forged = forge_access_request(deployment.group, beacon,
+                                      deployment.clock.now(), rng)
+        try:
+            router.process_request(forged)
+        except InvalidSignature:
+            return True
+        raise AssertionError("forgery accepted")
+
+    assert benchmark.pedantic(reject_one, rounds=5, iterations=1)

@@ -1,0 +1,76 @@
+"""E2 -- Computational overhead: abstract operation counts (V.C).
+
+Paper claims: sign = 8 exponentiations + 2 pairings; verify = 6
+exponentiations + (3 + 2|URL|) pairings; the fast-revocation variant
+= 6 exponentiations + 5 pairings.  The bench measures all three with
+the instrumented group and times sign/verify on SS512.
+"""
+
+import random
+
+from repro.analysis.opreport import (
+    expected_fast_verify_cost,
+    expected_sign_cost,
+    expected_verify_cost,
+    measure_fast_verify_cost,
+    measure_sign_cost,
+    measure_verify_cost,
+)
+from repro.core import groupsig
+from repro.core.groupsig import RevocationToken
+
+
+def test_e2_operation_count_table(reporter, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    report = reporter("E2: operation counts (paper V.C computation)")
+    rng = random.Random(10)
+    decoys = [RevocationToken(k.a) for k in keys[1:11]]
+
+    rows = []
+    sign = measure_sign_cost(gpk, keys[0], rng=rng)
+    exp_sign = expected_sign_cost()
+    rows.append(("sign", f"{exp_sign.exponentiations} exp + "
+                 f"{exp_sign.pairings} pair",
+                 f"{sign.exponentiations} exp + {sign.pairings} pair",
+                 f"{sign.wall_seconds * 1000:.1f} ms"))
+    for url_size in (0, 1, 5, 10):
+        measured = measure_verify_cost(gpk, keys[0],
+                                       url=decoys[:url_size], rng=rng)
+        expected = expected_verify_cost(url_size)
+        rows.append((f"verify |URL|={url_size}",
+                     f"{expected.exponentiations} exp + "
+                     f"{expected.pairings} pair",
+                     f"{measured.exponentiations} exp + "
+                     f"{measured.pairings} pair",
+                     f"{measured.wall_seconds * 1000:.1f} ms"))
+        assert measured.pairings == expected.pairings
+        assert measured.exponentiations == expected.exponentiations
+    fast = measure_fast_verify_cost(gpk, keys[0], decoys, rng=rng)
+    exp_fast = expected_fast_verify_cost()
+    rows.append(("verify (fast revocation, any |URL|)",
+                 f"{exp_fast.exponentiations} exp + "
+                 f"{exp_fast.pairings} pair",
+                 f"{fast.exponentiations} exp + {fast.pairings} pair",
+                 f"{fast.wall_seconds * 1000:.1f} ms"))
+    assert (fast.exponentiations, fast.pairings) == (6, 5)
+    report.table(("operation", "paper", "measured", "wall (SS512)"), rows)
+
+    assert (sign.exponentiations, sign.pairings) == (8, 2)
+
+
+def test_e2_sign_wall_time(benchmark, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    rng = random.Random(11)
+    result = benchmark.pedantic(
+        lambda: groupsig.sign(gpk, keys[0], b"bench", rng=rng),
+        rounds=5, iterations=1)
+    groupsig.verify(gpk, b"bench", result)
+
+
+def test_e2_verify_wall_time(benchmark, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    signature = groupsig.sign(gpk, keys[0], b"bench",
+                              rng=random.Random(12))
+    benchmark.pedantic(
+        lambda: groupsig.verify(gpk, b"bench", signature),
+        rounds=5, iterations=1)

@@ -1,0 +1,98 @@
+"""E9 -- Primitive costs underlying the paper's V.C arithmetic.
+
+The paper prices everything in 'exponentiations' and 'bilinear map
+computations'; this bench measures both on every shipped parameter set,
+plus the conventional primitives (ECDSA-160, RSA-1024, AES, SHA-256
+puzzles) PEACE composes with.
+"""
+
+import random
+import time
+
+from repro.pairing import PairingGroup
+from repro.sig.curves import SECP160R1
+from repro.sig.ecdsa import ecdsa_generate
+from repro.sig.rsa import rsa_generate
+
+
+def _time_it(fn, repeats=5):
+    best = min(_timed(fn) for _ in range(repeats))
+    return best
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_e9_primitive_cost_table(reporter):
+    report = reporter("E9: primitive costs per parameter set")
+    rows = []
+    rng = random.Random(91)
+    for preset in ("TEST", "SS256", "SS512"):
+        group = PairingGroup(preset)
+        a = group.random_scalar(rng)
+        p = group.g1 ** a
+        pairing_ms = _time_it(lambda: group.pair(p, group.g2)) * 1000
+        exp_ms = _time_it(lambda: group.g1 ** a) * 1000
+        hash_ms = _time_it(
+            lambda: group.hash_to_g1(b"bench", preset.encode())) * 1000
+        rows.append((preset, f"{group.params.p.bit_length()}",
+                     f"{pairing_ms:.2f}", f"{exp_ms:.2f}",
+                     f"{hash_ms:.2f}"))
+    report.table(("preset", "|p| bits", "pairing ms", "G1 exp ms",
+                  "hash-to-G1 ms"), rows)
+
+    keypair = ecdsa_generate(SECP160R1, rng=rng)
+    signature = keypair.sign(b"bench")
+    ecdsa_sign_ms = _time_it(lambda: keypair.sign(b"bench")) * 1000
+    ecdsa_verify_ms = _time_it(
+        lambda: keypair.public.verify(b"bench", signature)) * 1000
+    rsa = rsa_generate(1024, rng=rng)
+    rsa_sig = rsa.sign(b"bench")
+    rsa_sign_ms = _time_it(lambda: rsa.sign(b"bench")) * 1000
+    rsa_verify_ms = _time_it(
+        lambda: rsa.public.verify(b"bench", rsa_sig)) * 1000
+    report.table(("primitive", "ms"), [
+        ("ECDSA-160 sign", f"{ecdsa_sign_ms:.2f}"),
+        ("ECDSA-160 verify", f"{ecdsa_verify_ms:.2f}"),
+        ("RSA-1024 sign", f"{rsa_sign_ms:.2f}"),
+        ("RSA-1024 verify", f"{rsa_verify_ms:.2f}"),
+    ])
+
+    # Shape claim motivating the hybrid design and the DoS analysis:
+    # the pairing is the most expensive primitive.  (In this affine
+    # pure-Python implementation a G1 exponentiation is also inversion-
+    # heavy, so the ratio is smaller than on optimized libraries.)
+    group = PairingGroup("SS512")
+    a = group.random_scalar(rng)
+    pairing = _time_it(lambda: group.pair(group.g1, group.g2))
+    exp = _time_it(lambda: group.g1 ** a)
+    assert pairing > exp
+
+
+def test_e9_pairing_ss512(benchmark, ss512_group):
+    benchmark.pedantic(
+        lambda: ss512_group.pair(ss512_group.g1, ss512_group.g2),
+        rounds=5, iterations=2)
+
+
+def test_e9_g1_exp_ss512(benchmark, ss512_group):
+    scalar = ss512_group.random_scalar(random.Random(92))
+    benchmark.pedantic(lambda: ss512_group.g1 ** scalar,
+                       rounds=5, iterations=5)
+
+
+def test_e9_aes_ctr_throughput(benchmark):
+    from repro.crypto.aes import AES
+    cipher = AES(b"k" * 16)
+    data = b"x" * 4096
+    benchmark.pedantic(lambda: cipher.ctr_xor(b"n" * 16, data),
+                       rounds=3, iterations=1)
+
+
+def test_e9_hmac_aead_seal(benchmark):
+    from repro.crypto.aead import AeadKey
+    key = AeadKey(b"\x01" * 32)
+    benchmark(lambda: key.seal(b"p" * 256))

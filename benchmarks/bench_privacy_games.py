@@ -1,0 +1,86 @@
+"""E8 -- Privacy and accountability games (Sections IV.D / V.B).
+
+Paper claims, as measurable success rates:
+* the adversary / GMs / TTP cannot link two sessions to one user
+  (advantage ~ 0 in the distinguishing game);
+* NO, holding grt, attributes any session to a user group (rate 1);
+* the law authority, with NO + GM, recovers the full identity;
+* the fast-revocation variant's documented trade: within one period a
+  verifier links a signer's signatures (rate 1).
+"""
+
+import random
+
+from repro.analysis.privacy_games import (
+    linking_with_token_rate,
+    period_linkability_rate,
+    run_unlinkability_game,
+    strategy_compare_encodings,
+    strategy_insider_keys,
+    strategy_t2_ratio,
+    view_disclosure_report,
+)
+from repro.core.deployment import Deployment
+
+
+def test_e8_unlinkability_game_table(reporter, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    players = keys[:6]
+    report = reporter("E8: unlinkability / accountability games")
+    rows = []
+
+    naive = run_unlinkability_game(gpk, players,
+                                   strategy_compare_encodings,
+                                   trials=20, rng=random.Random(81))
+    rows.append(("adversary: compare encodings", f"{naive.success_rate:.0%}",
+                 f"{naive.advantage:.2f}", "~0 (coin flip)"))
+    algebraic = run_unlinkability_game(gpk, players, strategy_t2_ratio,
+                                       trials=20, rng=random.Random(82))
+    rows.append(("adversary: T2 ratio test", f"{algebraic.success_rate:.0%}",
+                 f"{algebraic.advantage:.2f}", "~0 (coin flip)"))
+    insider = run_unlinkability_game(
+        gpk, players[:2], strategy_insider_keys, trials=16,
+        rng=random.Random(83), aux=players[2:])
+    rows.append(("insider: other members' keys",
+                 f"{insider.success_rate:.0%}",
+                 f"{insider.advantage:.2f}", "~0 (coin flip)"))
+    token_rate = linking_with_token_rate(gpk, players, trials=12,
+                                         rng=random.Random(84))
+    rows.append(("NO: full grt", f"{token_rate:.0%}", "1.00",
+                 "1 (accountability)"))
+    period_rate = period_linkability_rate(gpk, players, trials=12,
+                                          rng=random.Random(85))
+    rows.append(("anyone, fast-revocation period mode",
+                 f"{period_rate:.0%}", "1.00",
+                 "1 (documented trade-off)"))
+    report.table(("observer / strategy", "success", "advantage",
+                  "paper expectation"), rows)
+
+    assert naive.advantage <= 0.5
+    assert algebraic.advantage <= 0.5
+    assert token_rate == 1.0
+    assert period_rate == 1.0
+
+
+def test_e8_disclosure_tiers(reporter):
+    deployment = Deployment.build(
+        preset="TEST", seed=88,
+        groups={"Company X": 4, "University Z": 4},
+        users=[("alice", ["Company X", "University Z"])],
+        routers=["MR-1"])
+    report_data = view_disclosure_report(deployment, "alice", "MR-1",
+                                         context="Company X")
+    report = reporter("E8b: per-party disclosure tiers")
+    report.table(("party", "learns"),
+                 sorted(report_data.items()))
+    assert "alice" not in report_data["network_operator"]
+    assert "alice" in report_data["law_authority"]
+
+
+def test_e8_game_wall_time(benchmark, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    benchmark.pedantic(
+        lambda: run_unlinkability_game(gpk, keys[:3],
+                                       strategy_compare_encodings,
+                                       trials=2, rng=random.Random(86)),
+        rounds=2, iterations=1)

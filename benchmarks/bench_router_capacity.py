@@ -1,0 +1,95 @@
+"""Ablation A4 -- mesh-router authentication capacity.
+
+The paper's computational analysis (V.C) implies a router's handshake
+throughput ceiling: one virtual CPU serving group-signature
+verifications at ``6 exp + (3 + 2|URL|) pairings`` each.  This bench
+sweeps the offered handshake load against that ceiling and reports the
+classic M/D/1-style saturation: completions track offered load until
+the CPU saturates, then the queue sheds the excess.
+"""
+
+import random
+
+from repro.core.protocols.dos import DosPolicy
+from repro.wmn.costmodel import CostModel
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+
+
+def _arrival_scenario(seed: int, user_count: int,
+                      reconnect_interval: float) -> Scenario:
+    """Users that reconnect on a timer create a steady handshake load."""
+    return Scenario(ScenarioConfig(
+        preset="TEST", seed=seed,
+        topology=TopologyConfig(area_side=300.0, router_grid=1,
+                                user_count=user_count, seed=seed,
+                                access_range=400.0),
+        group_sizes=(("Company X", max(8, user_count)),),
+        beacon_interval=2.0,
+        reconnect_interval=reconnect_interval))
+
+
+def test_a4_capacity_sweep(reporter):
+    cost = CostModel()
+    service_time = cost.group_verify(0)
+    capacity = 1.0 / service_time
+    report = reporter("A4: router handshake capacity "
+                      f"(service {service_time * 1000:.0f} ms -> "
+                      f"ceiling {capacity:.1f}/s)")
+    duration = 120.0
+    rows = []
+    results = []
+    for users, interval in ((4, 30.0), (8, 15.0), (16, 6.0), (24, 3.0)):
+        scenario = _arrival_scenario(200 + users, users, interval)
+        for user in scenario.sim_users.values():
+            user.connect_timeout = 8.0
+        scenario.run(duration)
+        metrics = scenario.router_metrics()
+        offered = metrics["requests_enqueued"] / duration
+        completed = metrics["handshakes_completed"] / duration
+        cpu = metrics["cpu_busy_seconds"] / duration
+        rows.append((users, f"{offered:.2f}", f"{completed:.2f}",
+                     f"{cpu:.0%}",
+                     int(metrics["requests_dropped_queue"])))
+        results.append((offered, completed, cpu))
+    report.table(("users", "offered req/s", "completed/s",
+                  "router CPU", "queue drops"), rows)
+
+    # Shape claims: throughput rises with load but the CPU fraction
+    # approaches (and never exceeds) saturation.
+    completions = [completed for _o, completed, _c in results]
+    assert completions[-1] > completions[0]
+    assert all(cpu <= 1.01 for _o, _c, cpu in results)
+    # Completed rate never exceeds the service ceiling.
+    assert all(completed <= capacity * 1.05
+               for _o, completed, _c in results)
+
+
+def test_a4_calibrated_cost_model(reporter):
+    """CostModel.calibrate() reflects this host's real primitives."""
+    calibrated = CostModel.calibrate(preset="TEST", repeats=2)
+    default = CostModel()
+    report = reporter("A4b: calibrated vs default cost model (TEST host)")
+    report.table(
+        ("parameter", "default (SS512-class)", "calibrated (TEST)"),
+        [("pairing ms", f"{default.pairing * 1000:.1f}",
+          f"{calibrated.pairing * 1000:.2f}"),
+         ("G1 exp ms", f"{default.exponentiation * 1000:.1f}",
+          f"{calibrated.exponentiation * 1000:.2f}"),
+         ("group verify(0) ms", f"{default.group_verify(0) * 1000:.0f}",
+          f"{calibrated.group_verify(0) * 1000:.1f}"),
+         ("ceiling (handshakes/s)",
+          f"{1 / default.group_verify(0):.1f}",
+          f"{1 / calibrated.group_verify(0):.1f}")])
+    assert calibrated.pairing > 0
+    assert calibrated.group_verify(4) > calibrated.group_verify(0)
+
+
+def test_a4_sustained_load_wall_time(benchmark):
+    def run():
+        scenario = _arrival_scenario(999, 8, 10.0)
+        scenario.run(60.0)
+        return scenario.router_metrics()["handshakes_completed"]
+
+    completed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert completed > 0

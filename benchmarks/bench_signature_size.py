@@ -1,0 +1,57 @@
+"""E1 -- Communication overhead (Section V.C).
+
+Paper claim: the group signature is 2 G1 + 5 Z_p elements; with the
+MNT-170 parameters that is 1,192 bits = 149 bytes, "almost the same"
+as a 128-byte RSA-1024 signature.  This bench regenerates the size
+table (paper arithmetic + our measured encodings) and times the
+encoders.
+"""
+
+import random
+
+from repro.analysis.sizes import paper_signature_accounting, signature_size_table
+from repro.core import groupsig
+from repro.sig.rsa import rsa_generate
+
+
+def test_e1_signature_size_table(reporter, ss512_group, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    report = reporter("E1: signature sizes (paper V.C communication)")
+    rows = [(r.scheme, r.signature_bits, r.signature_bytes, r.note)
+            for r in signature_size_table(ss512_group)]
+    report.table(("scheme", "bits", "bytes", "note"), rows)
+
+    paper = paper_signature_accounting()
+    assert paper.signature_bits == 1192 and paper.signature_bytes == 149
+
+    signature = groupsig.sign(gpk, keys[0], b"size-bench",
+                              rng=random.Random(1))
+    measured = len(signature.encode())
+    formula = groupsig.GroupSignature.encoded_size(ss512_group)
+    report.row(f"measured SS512 signature: {measured} B "
+               f"(formula {formula} B)")
+    assert measured == formula
+
+    rsa = rsa_generate(1024, rng=random.Random(2))
+    rsa_len = len(rsa.sign(b"size-bench"))
+    report.row(f"measured RSA-1024 signature: {rsa_len} B (paper: 128 B)")
+    assert rsa_len == 128
+    # Shape claim: group signature within ~1.3x of RSA-1024 in the
+    # paper's arithmetic.
+    assert paper.signature_bytes / rsa_len < 1.3
+
+
+def test_e1_group_signature_encode(benchmark, ss512_group, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    signature = groupsig.sign(gpk, keys[0], b"encode-bench",
+                              rng=random.Random(3))
+    blob = benchmark(signature.encode)
+    assert len(blob) == groupsig.GroupSignature.encoded_size(ss512_group)
+
+
+def test_e1_group_signature_decode(benchmark, ss512_group, ss512_scheme):
+    gpk, _master, keys = ss512_scheme
+    blob = groupsig.sign(gpk, keys[0], b"decode-bench",
+                         rng=random.Random(4)).encode()
+    decoded = benchmark(groupsig.GroupSignature.decode, ss512_group, blob)
+    assert decoded.encode() == blob

@@ -1,0 +1,43 @@
+"""F1 -- The three-layer metropolitan architecture of Fig. 1.
+
+The paper's Fig. 1 is structural: wired APs on layer 1, a mesh-router
+backbone on layer 2, mobile users on layer 3.  The bench generates the
+default metropolitan layout, reports its structural statistics, and
+checks the properties the paper's system assumptions require (Section
+III.A: 'a well connected WMN that covers the whole area of a city').
+"""
+
+import math
+
+from repro.wmn.topology import TopologyConfig, build_topology, topology_report
+
+
+def test_f1_architecture_report(reporter):
+    report = reporter("F1: three-layer metropolitan topology (Fig. 1)")
+    rows = []
+    for grid, users in ((2, 20), (4, 40), (6, 80)):
+        config = TopologyConfig(area_side=500.0 * grid, router_grid=grid,
+                                user_count=users, seed=10 + grid)
+        stats = topology_report(build_topology(config))
+        rows.append((f"{grid}x{grid}", int(stats["routers"]),
+                     int(stats["gateways"]), int(stats["users"]),
+                     f"{stats['area_km2']:.0f}",
+                     "yes" if stats["backbone_connected"] else "no",
+                     f"{stats['mean_router_degree']:.1f}",
+                     f"{stats['mean_hops_to_gateway']:.2f}",
+                     f"{stats['user_coverage_fraction']:.0%}"))
+    report.table(("grid", "routers", "APs", "users", "km^2",
+                  "connected", "mean degree", "mean hops to AP",
+                  "user coverage"), rows)
+
+    # Section III.A assumptions hold for the default city:
+    stats = topology_report(build_topology(TopologyConfig(seed=0)))
+    assert stats["backbone_connected"] == 1.0
+    assert stats["user_coverage_fraction"] >= 0.9
+    assert not math.isinf(stats["max_hops_to_gateway"])
+
+
+def test_f1_topology_build_wall_time(benchmark):
+    config = TopologyConfig(router_grid=6, user_count=200, seed=3)
+    topology = benchmark(build_topology, config)
+    assert len(topology.router_positions) == 36

@@ -1,0 +1,102 @@
+"""Benchmark fixtures and the experiment-report helper.
+
+Each benchmark regenerates one table/figure-equivalent claim from the
+paper's Section V (see DESIGN.md's experiment index).  Timings use
+pytest-benchmark; the paper-style rows are printed live (bypassing
+capture) and appended to ``benchmarks/reports/<experiment>.txt`` so
+``bench_output.txt`` and the repo both carry them.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+import pytest
+
+from repro.core import groupsig
+from repro.core.deployment import Deployment
+from repro.pairing import PairingGroup
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+class Reporter:
+    """Accumulates experiment rows; flushes to stdout + a report file."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.lines = [f"== {experiment} =="]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def table(self, headers, rows) -> None:
+        widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+                  for i, h in enumerate(headers)] if rows else \
+                 [len(str(h)) for h in headers]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        self.row(fmt.format(*headers))
+        self.row(fmt.format(*("-" * w for w in widths)))
+        for r in rows:
+            self.row(fmt.format(*[str(c) for c in r]))
+
+    def flush(self) -> None:
+        text = "\n".join(self.lines) + "\n"
+        os.makedirs(REPORT_DIR, exist_ok=True)
+        path = os.path.join(
+            REPORT_DIR, self.experiment.split(":")[0].strip() + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text)
+        sys.__stdout__.write("\n" + text)
+        sys.__stdout__.flush()
+
+
+@pytest.fixture
+def reporter(benchmark):
+    """Per-test reporter factory; flushed automatically on teardown.
+
+    Depends on (and touches) the ``benchmark`` fixture so report-style
+    experiments are collected and executed under ``--benchmark-only``
+    alongside the timing benchmarks; the registered timing is a
+    one-round no-op, the experiment's value is its printed table.
+    """
+    created = []
+
+    def make(experiment: str) -> Reporter:
+        if not created:
+            benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rep = Reporter(experiment)
+        created.append(rep)
+        return rep
+
+    yield make
+    for rep in created:
+        rep.flush()
+
+
+@pytest.fixture(scope="session")
+def ss512_group():
+    """The default-security pairing group (paper-comparable level)."""
+    return PairingGroup("SS512")
+
+
+@pytest.fixture(scope="session")
+def ss512_scheme(ss512_group):
+    rng = random.Random(2026)
+    gpk, master = groupsig.keygen_master(ss512_group, rng)
+    keys = [groupsig.issue_member_key(ss512_group, master, 900 + i // 8,
+                                      (i // 8, i % 8), rng)
+            for i in range(64)]
+    return gpk, master, keys
+
+
+@pytest.fixture(scope="session")
+def test_deployment():
+    """TEST-preset deployment for protocol-level benchmarks."""
+    return Deployment.build(
+        preset="TEST", seed=99,
+        groups={"Company X": 8, "University Z": 8},
+        users=[("alice", ["Company X"]), ("bob", ["University Z"])],
+        routers=["MR-1"])

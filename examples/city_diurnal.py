@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A day-cycle workload on the metropolitan mesh.
+
+Drives the simulator with a non-homogeneous Poisson session workload
+following a city's diurnal rhythm (night trough, commute ramps, evening
+peak) and reports how the authentication load at the routers follows
+the curve -- the operational picture behind the paper's metro-scale
+motivation.
+
+Simulated: four 90-minute windows at different times of day (running a
+full 24 h of event-driven crypto would work, just slowly).
+
+Run:  python examples/city_diurnal.py
+"""
+
+import random
+
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+from repro.wmn.workload import DiurnalProfile, WorkloadDriver
+
+
+def window(label: str, start_hour: float, profile: DiurnalProfile) -> None:
+    scenario = Scenario(ScenarioConfig(
+        preset="TEST", seed=808,
+        topology=TopologyConfig(area_side=600.0, router_grid=1,
+                                user_count=10, seed=808,
+                                access_range=600.0),
+        group_sizes=(("Company X", 12), ("University Z", 12)),
+        beacon_interval=4.0))
+    # Anchor the day so the window lands at the desired time of day.
+    driver = WorkloadDriver(
+        scenario, profile=profile, peak_rate=0.08,
+        session_duration=120.0,
+        day_anchor=scenario.loop.now - start_hour * 3600.0,
+        rng=random.Random(int(start_hour)))
+    driver.schedule(duration=5400.0)
+    scenario.run(5400.0)
+    metrics = scenario.router_metrics()
+    intensity = profile.intensity_at(start_hour * 3600.0)
+    print(f"  {label:<18} intensity {intensity:>4.2f}  "
+          f"sessions {driver.sessions_started:>3}  "
+          f"handshakes {metrics['handshakes_completed']:>3.0f}  "
+          f"router CPU {metrics['cpu_busy_seconds']:>5.1f}s")
+
+
+def main() -> None:
+    print("== diurnal session workload (90-minute windows) ==")
+    profile = DiurnalProfile()
+    window("03:00 night", 3.0, profile)
+    window("08:00 commute", 8.0, profile)
+    window("13:00 afternoon", 13.0, profile)
+    window("18:00 evening peak", 18.0, profile)
+    print("\nauthentication load tracks the city's rhythm; every one of "
+          "those sessions was anonymous yet auditable.")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Membership renewal: the 'group public key update' lifecycle.
+
+The paper's membership maintenance (Section III.A) allows subscriptions
+to be terminated or renewed periodically; Section V.A's revocation
+analysis relies on it -- after a key-update, revoked users "do not have
+any group private key currently in use".  The script:
+
+1. runs a session in epoch 0;
+2. rotates the system keys (NO reissues every group's pool; users
+   re-enroll; carol, whose subscription lapsed, is excluded);
+3. shows new sessions work, carol is locked out, the URL is empty
+   again -- and the OLD session is still auditable and traceable
+   against the archived epoch.
+
+Run:  python examples/membership_renewal.py
+"""
+
+from repro import Deployment
+from repro.core.audit import audit_by_session
+from repro.errors import ParameterError
+
+
+def main() -> None:
+    print("== membership renewal (group public key update) ==")
+    deployment = Deployment.build(
+        preset="TEST", seed=321,
+        groups={"Company X": 8, "University Z": 8},
+        users=[("alice", ["Company X"]),
+               ("bob", ["University Z"]),
+               ("carol", ["Company X"])],
+        routers=["MR-1"])
+
+    print("\n-- epoch 0 --")
+    old_session, _ = deployment.connect("carol", "MR-1")
+    print(f"carol's session: {old_session.session_id.hex()[:16]}")
+    # NO flags carol's key during the epoch (dispute pending).
+    index = deployment.users["carol"].credentials["Company X"].index
+    deployment.operator.revoke_user_key(index)
+    print(f"URL now lists {len(deployment.operator.issue_url().tokens)} "
+          f"revoked key(s)")
+
+    print("\n-- rotating to epoch 1 (carol's subscription not renewed) --")
+    deployment.rotate_epoch(exclude=["carol"])
+    print(f"operator epoch: {deployment.operator.epoch}")
+    print(f"URL after rotation: "
+          f"{len(deployment.operator.issue_url().tokens)} entries "
+          "(old epoch's keys are dead wholesale)")
+
+    deployment.connect("alice", "MR-1")
+    deployment.connect("bob", "MR-1")
+    print("alice and bob re-enrolled and connect fine")
+    try:
+        deployment.connect("carol", "MR-1")
+    except ParameterError:
+        print("carol holds no epoch-1 credential: locked out")
+
+    print("\n-- the old session remains accountable --")
+    audit = audit_by_session(deployment.operator, deployment.network_log,
+                             old_session.session_id)
+    print(f"NO audit (archived epoch {audit.epoch}): {audit.describe()}")
+    trace = deployment.law_authority.trace_session(
+        deployment.operator, deployment.network_log, deployment.gms,
+        old_session.session_id)
+    print(f"law authority: {trace.describe()}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

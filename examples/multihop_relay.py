@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Multi-hop uplink over authenticated peer sessions (Section IV.C).
+
+A user outside the router's data range authenticates directly (boosted
+power, paper footnote 3), then sends uplink data through a chain of two
+relaying peers.  Every hop first runs the anonymous user-user handshake
+(M~.1 - M~.3); data travels hop-by-hop under the pairwise session keys.
+
+Run:  python examples/multihop_relay.py
+"""
+
+from repro.wmn.nodes import pack_uplink
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+
+
+def main() -> None:
+    print("== multi-hop relayed uplink ==")
+    scenario = Scenario(ScenarioConfig(
+        preset="TEST", seed=17,
+        topology=TopologyConfig(area_side=600.0, router_grid=1,
+                                user_count=3, seed=17,
+                                access_range=600.0, user_range=600.0),
+        group_sizes=(("Company X", 8),),
+        beacon_interval=5.0,
+        relay_capable=True))
+
+    print("letting everyone hear beacons and authenticate ...")
+    scenario.run(30.0)
+    users = list(scenario.sim_users.values())
+    source, relay1, relay2 = users
+    router = next(iter(scenario.sim_routers.values()))
+    print(f"  connected users: {scenario.connected_fraction():.0%}")
+
+    print("\nestablishing the peer chain "
+          f"{source.node_id} -> {relay1.node_id} -> {relay2.node_id} ...")
+    source.initiate_peer(relay1.node_id)
+    scenario.run(5.0)
+    relay1.initiate_peer(relay2.node_id)
+    scenario.run(5.0)
+    print(f"  {source.node_id} peer sessions: "
+          f"{sorted(source.peer_sessions)}")
+    print(f"  {relay1.node_id} peer sessions: "
+          f"{sorted(relay1.peer_sessions)}")
+
+    print("\nsending 5 uplink packets through the chain ...")
+    before = router.metrics["data_delivered"]
+    for i in range(5):
+        inner = source.session.send(
+            pack_uplink(b"relayed packet %d" % i)).encode()
+        source.send_relayed([relay1.node_id, relay2.node_id],
+                            router.node_id, inner)
+        scenario.run(2.0)
+    after = router.metrics["data_delivered"]
+
+    print(f"  router delivered:  {after - before}/5")
+    print(f"  {relay1.node_id} relayed: "
+          f"{relay1.relay_metrics['relayed']}, "
+          f"{relay2.node_id} relayed: {relay2.relay_metrics['relayed']}")
+    print("\nnote: the relays authenticated the source only as 'some "
+          "unrevoked subscriber' -- no identities were exchanged.")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""PEACE: a Privacy-Enhanced yet Accountable seCurity framEwork for
+metropolitan wireless mesh networks.
+
+A full reproduction of Ren & Lou (ICDCS 2008), built from scratch in
+pure Python: a Type-1 bilinear pairing substrate, the paper's variation
+of the Boneh-Shacham short group signature with verifier-local
+revocation, the five system entities (network operator, TTP, group
+managers, users, mesh routers), the three-way authentication / key
+agreement protocols, the audit and law-authority tracing machinery,
+and a discrete-event WMN simulator with adversary models that turns the
+paper's analytic evaluation into measurable experiments.
+
+Quickstart::
+
+    from repro import Deployment
+
+    deployment = Deployment.build(
+        preset="TEST", seed=7,
+        groups={"Company X": 8},
+        users=[("alice", ["Company X"])],
+        routers=["MR-1"])
+    user_session, router_session = deployment.connect("alice", "MR-1")
+    packet = user_session.send(b"hello metropolitan mesh")
+    assert router_session.receive(packet) == b"hello metropolitan mesh"
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro import errors
+from repro.core.audit import LawAuthority, NetworkLog, audit_by_session
+from repro.core.deployment import Deployment
+from repro.core.group_manager import GroupManager
+from repro.core.groupsig import (
+    GroupPrivateKey,
+    GroupPublicKey,
+    GroupSignature,
+    RevocationToken,
+    sign,
+    verify,
+)
+from repro.core.identity import RoleAttribute, UserIdentity
+from repro.core.operator_entity import NetworkOperator
+from repro.core.router import MeshRouter
+from repro.core.ttp import TrustedThirdParty
+from repro.core.user import NetworkUser
+from repro.core.wallet import open_wallet, seal_wallet
+from repro.pairing import PairingGroup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "GroupManager",
+    "GroupPrivateKey",
+    "GroupPublicKey",
+    "GroupSignature",
+    "LawAuthority",
+    "MeshRouter",
+    "NetworkLog",
+    "NetworkOperator",
+    "NetworkUser",
+    "PairingGroup",
+    "RevocationToken",
+    "RoleAttribute",
+    "TrustedThirdParty",
+    "UserIdentity",
+    "audit_by_session",
+    "errors",
+    "open_wallet",
+    "seal_wallet",
+    "sign",
+    "verify",
+    "__version__",
+]

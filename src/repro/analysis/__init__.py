@@ -1,0 +1,49 @@
+"""Analysis harness: the machinery behind EXPERIMENTS.md.
+
+Byte-accurate size accounting (E1), operation-count verification (E2,
+E3), privacy / unlinkability games (E8), and scripted attack campaigns
+over the simulator (E5-E7).
+"""
+
+from repro.analysis.sizes import (
+    PAPER_MNT170,
+    SchemeSizes,
+    paper_signature_accounting,
+    signature_size_table,
+)
+from repro.analysis.opreport import (
+    expected_sign_cost,
+    expected_verify_cost,
+    measure_sign_cost,
+    measure_verify_cost,
+)
+from repro.analysis.attack_eval import (
+    dos_campaign,
+    injection_campaign,
+    phishing_campaign,
+)
+from repro.analysis.billing import BillingReport, build_billing_report
+from repro.analysis.privacy_games import (
+    linking_with_token_rate,
+    run_unlinkability_game,
+    view_disclosure_report,
+)
+
+__all__ = [
+    "BillingReport",
+    "PAPER_MNT170",
+    "SchemeSizes",
+    "build_billing_report",
+    "dos_campaign",
+    "injection_campaign",
+    "phishing_campaign",
+    "expected_sign_cost",
+    "expected_verify_cost",
+    "linking_with_token_rate",
+    "measure_sign_cost",
+    "measure_verify_cost",
+    "paper_signature_accounting",
+    "run_unlinkability_game",
+    "signature_size_table",
+    "view_disclosure_report",
+]

@@ -1,0 +1,111 @@
+"""Privacy-enhanced accountability: audit and law-authority tracing
+(Section IV.D).
+
+Two escalation levels:
+
+* **NO audit** -- given a logged authentication message, NO scans grt
+  with Eq.3 and learns *only the user group* of the signer
+  (:meth:`NetworkOperator.audit_session`).  This file adds the glue
+  that locates the log entry by session identifier.
+* **Law-authority tracing** -- the legal escalation: NO contributes
+  ``(A_{i,j}, grp_i)``, the group manager contributes the ``index ->
+  uid`` binding, and only their *joint* effort reveals the user.  The
+  non-repudiation trail (GM's receipt to NO, member's receipt to GM) is
+  verified along the way, giving the paper's non-frameability argument
+  its operational teeth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.group_manager import GroupManager
+from repro.core.identity import UserIdentity
+from repro.core.operator_entity import AuditResult, NetworkOperator
+from repro.core.protocols.user_router import AuthLogEntry
+from repro.errors import AuditError
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Outcome of the full law-authority tracing protocol."""
+
+    audit: AuditResult
+    identity: UserIdentity
+    receipt_backed: bool
+
+    def describe(self) -> str:
+        backing = ("with a member-signed receipt"
+                   if self.receipt_backed else "WITHOUT a receipt")
+        return (f"session traced to {self.identity.name} "
+                f"(member of {self.audit.group_name!r}), {backing}")
+
+
+class NetworkLog:
+    """Aggregated authentication log across routers (the paper's
+    "network log file" that audits consult)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, AuthLogEntry] = {}
+
+    def ingest(self, entries: Iterable[AuthLogEntry]) -> None:
+        for entry in entries:
+            self._entries[entry.session_id] = entry
+
+    def find(self, session_id: bytes) -> AuthLogEntry:
+        entry = self._entries.get(session_id)
+        if entry is None:
+            raise AuditError(
+                f"no log entry for session {session_id.hex()[:8]}")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        """Iterate over entries (used by the billing aggregator)."""
+        return iter(self._entries.values())
+
+
+def audit_by_session(operator: NetworkOperator, log: NetworkLog,
+                     session_id: bytes) -> AuditResult:
+    """NO's audit protocol, steps 1-3 of Section IV.D."""
+    entry = log.find(session_id)
+    return operator.audit_session(entry.signed_payload,
+                                  entry.group_signature)
+
+
+class LawAuthority:
+    """The legal escalation endpoint.
+
+    Holds references to nothing secret; it *requests* contributions
+    from NO and the relevant GM, mirroring the paper's flow: NO reports
+    ``(A_{i,j}, grp_i)``, which is forwarded to GM_i, who looks up the
+    assignment and replies with uid_j.
+    """
+
+    def __init__(self, name: str = "law-authority") -> None:
+        self.name = name
+        self.case_file: List[TraceResult] = []
+
+    def trace_session(self, operator: NetworkOperator, log: NetworkLog,
+                      gms: Dict[str, GroupManager],
+                      session_id: bytes) -> TraceResult:
+        """Run the complete tracing protocol for one session.
+
+        Raises :class:`AuditError` if the session is unknown, the group
+        has no registered manager, or the GM never assigned the index.
+        """
+        audit = audit_by_session(operator, log, session_id)
+        gm = gms.get(audit.group_name)
+        if gm is None:
+            raise AuditError(
+                f"no group manager registered for {audit.group_name!r}")
+        index = operator.audit_result_index(audit)
+        identity = gm.identify(index, epoch=audit.epoch)
+        result = TraceResult(audit=audit, identity=identity,
+                             receipt_backed=gm.has_receipt(
+                                 index, epoch=audit.epoch))
+        self.case_file.append(result)
+        return result

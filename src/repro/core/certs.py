@@ -1,0 +1,173 @@
+"""Certificates and revocation lists (paper Section IV.A / IV.B).
+
+* :class:`RouterCertificate` -- ``Cert_k = {MR_k, RPK_k, ExpT,
+  Sig_NSK}``, the mesh router credential signed by the network operator.
+* :class:`CertificateRevocationList` (CRL) -- revoked router
+  certificates, signed and versioned by NO, carried in beacons.
+* :class:`UserRevocationList` (URL) -- revocation tokens of revoked
+  group private keys (a subset of grt), signed and versioned by NO,
+  carried in beacons.
+
+Both lists carry an ``issued_at`` timestamp and an update period so
+relying parties can detect staleness -- the phishing-window experiment
+(E7) measures exactly how long a freshly revoked router can keep
+phishing before its inability to present a fresh CRL exposes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.core.groupsig import RevocationToken
+from repro.core.wire import Reader, Writer
+from repro.errors import CertificateError
+from repro.pairing.group import PairingGroup
+from repro.sig.curves import WeierstrassCurve
+from repro.sig.ecdsa import EcdsaPublicKey
+
+
+@dataclass(frozen=True)
+class RouterCertificate:
+    """``Cert_k``: binds a router id to its ECDSA public key until ExpT."""
+
+    router_id: str
+    public_key: EcdsaPublicKey
+    expires_at: float
+    signature: bytes  # by NO's NSK over signed_payload()
+
+    def signed_payload(self) -> bytes:
+        return (Writer().string(self.router_id)
+                .var(self.public_key.encode())
+                .f64(self.expires_at)
+                .done())
+
+    def encode(self) -> bytes:
+        return (Writer().string(self.router_id)
+                .var(self.public_key.encode())
+                .f64(self.expires_at)
+                .var(self.signature)
+                .done())
+
+    @classmethod
+    def decode(cls, curve: WeierstrassCurve, data: bytes
+               ) -> "RouterCertificate":
+        reader = Reader(data)
+        router_id = reader.string()
+        public_key = EcdsaPublicKey.decode(curve, reader.var())
+        expires_at = reader.f64()
+        signature = reader.var()
+        reader.expect_end()
+        return cls(router_id, public_key, expires_at, signature)
+
+    def validate(self, operator_key: EcdsaPublicKey, now: float) -> None:
+        """Check NO's signature and the expiry; raise on failure."""
+        if now > self.expires_at:
+            raise CertificateError(
+                f"certificate for {self.router_id} expired")
+        if not operator_key.verify(self.signed_payload(), self.signature):
+            raise CertificateError(
+                f"certificate for {self.router_id} has a bad NO signature")
+
+
+@dataclass(frozen=True)
+class CertificateRevocationList:
+    """CRL: revoked router ids, versioned and signed by NO."""
+
+    version: int
+    issued_at: float
+    update_period: float
+    revoked_router_ids: FrozenSet[str]
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        writer = (Writer().raw(b"CRL").u64(self.version)
+                  .f64(self.issued_at).f64(self.update_period)
+                  .u32(len(self.revoked_router_ids)))
+        for router_id in sorted(self.revoked_router_ids):
+            writer.string(router_id)
+        return writer.done()
+
+    def encode(self) -> bytes:
+        return Writer().raw(self.signed_payload()).var(self.signature).done()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CertificateRevocationList":
+        reader = Reader(data)
+        magic = reader.raw(3)
+        if magic != b"CRL":
+            raise CertificateError("not a CRL blob")
+        version = reader.u64()
+        issued_at = reader.f64()
+        update_period = reader.f64()
+        count = reader.u32()
+        revoked = frozenset(reader.string() for _ in range(count))
+        signature = reader.var()
+        reader.expect_end()
+        return cls(version, issued_at, update_period, revoked, signature)
+
+    def validate(self, operator_key: EcdsaPublicKey, now: float,
+                 max_staleness: float = None) -> None:
+        """Check NO's signature and freshness.
+
+        ``max_staleness`` defaults to one update period: a list older
+        than that means the presenter failed to fetch the periodic
+        update -- the tell that unmasks revoked phishing routers.
+        """
+        if not operator_key.verify(self.signed_payload(), self.signature):
+            raise CertificateError("CRL has a bad NO signature")
+        limit = self.update_period if max_staleness is None else max_staleness
+        if now - self.issued_at > limit:
+            raise CertificateError(
+                f"CRL stale: issued {now - self.issued_at:.1f}s ago, "
+                f"limit {limit:.1f}s")
+
+    def is_revoked(self, router_id: str) -> bool:
+        return router_id in self.revoked_router_ids
+
+
+@dataclass(frozen=True)
+class UserRevocationList:
+    """URL: revocation tokens of revoked group private keys."""
+
+    version: int
+    issued_at: float
+    update_period: float
+    tokens: Tuple[RevocationToken, ...]
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        writer = (Writer().raw(b"URL").u64(self.version)
+                  .f64(self.issued_at).f64(self.update_period)
+                  .u32(len(self.tokens)))
+        for token in self.tokens:
+            writer.var(token.encode())
+        return writer.done()
+
+    def encode(self) -> bytes:
+        return Writer().raw(self.signed_payload()).var(self.signature).done()
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes
+               ) -> "UserRevocationList":
+        reader = Reader(data)
+        magic = reader.raw(3)
+        if magic != b"URL":
+            raise CertificateError("not a URL blob")
+        version = reader.u64()
+        issued_at = reader.f64()
+        update_period = reader.f64()
+        count = reader.u32()
+        tokens = tuple(RevocationToken.decode(group, reader.var())
+                       for _ in range(count))
+        signature = reader.var()
+        reader.expect_end()
+        return cls(version, issued_at, update_period, tokens, signature)
+
+    def validate(self, operator_key: EcdsaPublicKey, now: float,
+                 max_staleness: float = None) -> None:
+        if not operator_key.verify(self.signed_payload(), self.signature):
+            raise CertificateError("URL has a bad NO signature")
+        limit = self.update_period if max_staleness is None else max_staleness
+        if now - self.issued_at > limit:
+            raise CertificateError("URL stale")

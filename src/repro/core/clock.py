@@ -1,0 +1,46 @@
+"""Time source abstraction.
+
+Protocol freshness checks (timestamps ts1/ts2, CRL update periods,
+certificate expiry) consult a :class:`Clock` rather than the wall clock
+so the discrete-event simulator can drive protocol entities on virtual
+time and tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: anything with a ``now() -> float`` (seconds)."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time; the default outside the simulator."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A settable clock for tests and the simulator."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if delta < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += delta
+        return self._now
+
+    def set(self, value: float) -> None:
+        """Jump to an absolute time (monotonicity is the caller's duty)."""
+        self._now = float(value)

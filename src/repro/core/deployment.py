@@ -1,0 +1,191 @@
+"""One-call PEACE deployment builder.
+
+Wires up a complete system -- network operator, TTP, group managers,
+enrolled users, provisioned mesh routers -- the way the paper's setup
+section describes, so examples, tests, and benchmarks don't repeat the
+ceremony.  Everything is deterministic given ``seed``.
+
+Example:
+
+    deployment = Deployment.build(
+        preset="TEST", seed=7,
+        groups={"Company X": 8, "University Z": 8},
+        users=[("alice", ["Company X"]), ("bob", ["University Z"])],
+        routers=["MR-1", "MR-2"])
+    beacon = deployment.routers["MR-1"].make_beacon()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.audit import LawAuthority, NetworkLog
+from repro.core.clock import Clock, ManualClock
+from repro.core.group_manager import GroupManager
+from repro.core.identity import RoleAttribute, UserIdentity
+from repro.core.operator_entity import NetworkOperator
+from repro.core.protocols.dos import DosPolicy
+from repro.core.router import MeshRouter
+from repro.core.ttp import TrustedThirdParty
+from repro.core.user import NetworkUser
+from repro.pairing.group import PairingGroup
+
+
+_DEFAULT_ROLES = {"Company X": "engineer", "University Z": "student",
+                  "Apartment Y": "tenant", "Golf Club V": "member"}
+
+
+def _role_for(group_name: str) -> str:
+    return _DEFAULT_ROLES.get(group_name, "member")
+
+
+@dataclass
+class Deployment:
+    """A fully wired PEACE system."""
+
+    group: PairingGroup
+    clock: Clock
+    rng: random.Random
+    operator: NetworkOperator
+    ttp: TrustedThirdParty
+    gms: Dict[str, GroupManager]
+    users: Dict[str, NetworkUser]
+    routers: Dict[str, MeshRouter]
+    law_authority: LawAuthority = field(default_factory=LawAuthority)
+    network_log: NetworkLog = field(default_factory=NetworkLog)
+
+    @classmethod
+    def build(cls, preset: str = "TEST", seed: int = 0,
+              groups: Optional[Dict[str, int]] = None,
+              users: Optional[Sequence[Tuple[str, Sequence[str]]]] = None,
+              routers: Optional[Sequence[str]] = None,
+              clock: Optional[Clock] = None,
+              dos_policy_factory=None) -> "Deployment":
+        """Construct and fully enroll a deployment.
+
+        Args:
+            preset: pairing parameter preset name.
+            seed: master seed; everything downstream is derived from it.
+            groups: user-group name -> initial key-pool size.
+            users: (user name, [group names]) pairs; each user is given
+                an identity with matching role attributes and enrolled
+                in every listed group.
+            routers: router ids to provision.
+            clock: shared time source (ManualClock(0) by default).
+            dos_policy_factory: optional ``() -> DosPolicy`` applied to
+                every router.
+        """
+        groups = groups if groups is not None else {"Company X": 8}
+        users = users if users is not None else [
+            ("alice", ["Company X"]), ("bob", ["Company X"])]
+        routers = routers if routers is not None else ["MR-1"]
+        clock = clock or ManualClock(1_000_000.0)
+        rng = random.Random(seed)
+
+        pairing_group = PairingGroup(preset)
+        operator = NetworkOperator(pairing_group, clock=clock, rng=rng)
+        ttp = TrustedThirdParty(rng=rng)
+
+        gms: Dict[str, GroupManager] = {}
+        for name, pool_size in groups.items():
+            gm = GroupManager(name, rng=rng)
+            gm_bundle, ttp_bundle = operator.register_user_group(
+                name, pool_size)
+            receipt = gm.accept_bundle(gm_bundle, operator.public_key)
+            operator.record_gm_receipt(name, receipt, gm.public_key,
+                                       gm_bundle)
+            ttp.store_bundle(ttp_bundle, operator.public_key)
+            gms[name] = gm
+
+        built_users: Dict[str, NetworkUser] = {}
+        for user_name, memberships in users:
+            identity = UserIdentity.build(
+                name=user_name,
+                essential={"ssn": f"{rng.randrange(10**9):09d}",
+                           "name": user_name},
+                roles=[RoleAttribute(_role_for(g), g) for g in memberships])
+            user = NetworkUser(identity, operator.gpk,
+                               operator.public_key, clock=clock, rng=rng)
+            for group_name in memberships:
+                user.enroll_with(gms[group_name], ttp)
+            built_users[user_name] = user
+
+        built_routers: Dict[str, MeshRouter] = {}
+        for router_id in routers:
+            policy = dos_policy_factory() if dos_policy_factory else None
+            built_routers[router_id] = MeshRouter(
+                router_id, operator, clock=clock, rng=rng,
+                dos_policy=policy)
+
+        return cls(group=pairing_group, clock=clock, rng=rng,
+                   operator=operator, ttp=ttp, gms=gms, users=built_users,
+                   routers=built_routers)
+
+    # -- membership renewal ------------------------------------------------
+
+    def rotate_epoch(self, exclude: Sequence[str] = ()) -> None:
+        """Run the 'group public key update' renewal end to end.
+
+        NO rotates gamma/gpk and reissues every group's pool; GMs adopt
+        the new bundles (archiving old assignments for historical
+        tracing); the TTP stores the fresh blinded shares; every user
+        NOT in ``exclude`` re-enrolls in all their groups; routers
+        adopt the new gpk.  Users in ``exclude`` are left without any
+        usable credential -- the paper's revocation case (i): "they do
+        not have any group private key currently in use due to group
+        public key update".
+        """
+        excluded = set(exclude)
+        bundles = self.operator.rotate_system_keys()
+        for name, (gm_bundle, ttp_bundle) in bundles.items():
+            gm = self.gms[name]
+            receipt = gm.begin_epoch(gm_bundle, self.operator.public_key)
+            self.operator.record_gm_receipt(name, receipt, gm.public_key,
+                                            gm_bundle)
+            self.ttp.store_bundle(ttp_bundle, self.operator.public_key)
+        for user_name, user in self.users.items():
+            user.adopt_gpk(self.operator.gpk)
+            if user_name in excluded:
+                continue
+            for role in sorted(user.identity.roles,
+                               key=lambda r: r.entity):
+                if role.entity in self.gms:
+                    user.enroll_with(self.gms[role.entity], self.ttp)
+        for router in self.routers.values():
+            router.adopt_new_epoch()
+
+    # -- conveniences used across tests / examples / benches ------------------
+
+    def connect(self, user_name: str, router_id: str,
+                context: Optional[str] = None):
+        """Run the full user-router handshake; returns both sessions.
+
+        Returns ``(user_session, router_session)``; also feeds the
+        router's auth log into the deployment-wide network log.
+        """
+        user = self.users[user_name]
+        router = self.routers[router_id]
+        beacon = router.make_beacon()
+        request, pending = user.connect_to_router(beacon, context)
+        confirm, router_session = router.process_request(request)
+        user_session = user.complete_router_handshake(pending, confirm)
+        self.network_log.ingest(router.auth_log)
+        return user_session, router_session
+
+    def peer_connect(self, initiator_name: str, responder_name: str,
+                     router_id: str,
+                     initiator_context: Optional[str] = None,
+                     responder_context: Optional[str] = None):
+        """Run the full user-user handshake between two users."""
+        router = self.routers[router_id]
+        beacon = router.make_beacon()
+        url = beacon.url
+        initiator = self.users[initiator_name].peer_engine(initiator_context)
+        responder = self.users[responder_name].peer_engine(responder_context)
+        hello, pending_i = initiator.initiate(beacon.g)
+        response, pending_r = responder.respond(hello, url)
+        confirm, session_i = initiator.complete(pending_i, response, url)
+        session_r = responder.finalize(pending_r, confirm)
+        return session_i, session_r

@@ -1,0 +1,165 @@
+"""User group managers *GM_i* (Sections III.C, IV.A, IV.D).
+
+A user group is any society entity (company, university, club) that
+subscribes network service on behalf of its members.  The GM holds the
+``(grp_i, x_j)`` components received from NO -- but never the
+``A_{i,j}`` values -- and assigns them to members it has authenticated
+out of band.  The GM alone binds key indices to user identities, which
+is exactly the knowledge needed for the law-authority tracing step and
+no more: a GM cannot link signatures (it lacks the ``A``s) and has no
+more capability than an ordinary user.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.identity import UserIdentity
+from repro.core.operator_entity import GmKeyBundle, KeyIndex
+from repro.errors import AuditError, ParameterError
+from repro.sig.curves import SECP160R1, WeierstrassCurve
+from repro.sig.ecdsa import EcdsaKeyPair, EcdsaPublicKey, ecdsa_generate
+
+
+@dataclass(frozen=True)
+class Enrollment:
+    """What a member receives from the GM: ``([i,j], grp_i, x_j)``."""
+
+    group_name: str
+    index: KeyIndex
+    grp: int
+    x: int
+
+
+class GroupManager:
+    """One user group's manager."""
+
+    def __init__(self, name: str, curve: WeierstrassCurve = SECP160R1,
+                 rng: Optional[random.Random] = None) -> None:
+        self.name = name
+        self.signing_key: EcdsaKeyPair = ecdsa_generate(curve, rng=rng)
+        self._grp: Optional[int] = None
+        self._group_id: Optional[int] = None
+        self._pool: Dict[KeyIndex, int] = {}          # unassigned x_j
+        self._assigned: Dict[KeyIndex, bytes] = {}    # index -> uid
+        self._identities: Dict[bytes, UserIdentity] = {}
+        self._member_receipts: Dict[KeyIndex, bytes] = {}
+        self.epoch = 0
+        # Retired epochs' assignments and receipts, kept so
+        # law-authority tracing of old sessions still resolves (with
+        # its non-repudiation backing): epoch -> {index: ...}.
+        self._assignment_history: Dict[int, Dict[KeyIndex, bytes]] = {}
+        self._receipt_history: Dict[int, Dict[KeyIndex, bytes]] = {}
+
+    @property
+    def public_key(self) -> EcdsaPublicKey:
+        return self.signing_key.public
+
+    # -- setup step 5: receive keys from NO ---------------------------------
+
+    def accept_bundle(self, bundle: GmKeyBundle,
+                      operator_key: EcdsaPublicKey) -> bytes:
+        """Verify NO's signature, absorb the key pool, sign a receipt."""
+        operator_key.require_valid(bundle.signed_payload(), bundle.signature)
+        if bundle.group_name != self.name:
+            raise ParameterError("bundle addressed to a different group")
+        if self._grp is not None and self._grp != bundle.grp:
+            raise ParameterError("grp_i changed across bundles")
+        self._grp = bundle.grp
+        self._group_id = bundle.group_id
+        for index, x in bundle.entries:
+            self._pool[index] = x
+        return self.signing_key.sign(bundle.signed_payload())
+
+    def begin_epoch(self, bundle: GmKeyBundle,
+                    operator_key: EcdsaPublicKey) -> bytes:
+        """Adopt a rotated key pool (membership renewal).
+
+        Archives the retiring epoch's ``index -> uid`` assignments for
+        historical tracing, resets the pool, and absorbs the fresh
+        bundle (whose ``grp_i`` differs by design).  Members must then
+        re-enroll; anyone the GM declines to re-enroll is effectively
+        revoked by the rotation.
+        """
+        operator_key.require_valid(bundle.signed_payload(), bundle.signature)
+        if bundle.group_name != self.name:
+            raise ParameterError("bundle addressed to a different group")
+        self._assignment_history[self.epoch] = dict(self._assigned)
+        self._receipt_history[self.epoch] = dict(self._member_receipts)
+        self.epoch += 1
+        self._grp = bundle.grp
+        self._group_id = bundle.group_id
+        self._pool = dict(bundle.entries)
+        self._assigned = {}
+        self._member_receipts = {}
+        return self.signing_key.sign(bundle.signed_payload())
+
+    # -- member enrollment ---------------------------------------------------
+
+    def enroll(self, identity: UserIdentity) -> Enrollment:
+        """Assign a free key to an (out-of-band authenticated) member.
+
+        The paper requires that the member actually belong to this
+        society entity; we enforce it through the identity's role
+        attributes.
+        """
+        if self._grp is None:
+            raise ParameterError(f"GM {self.name!r} has no key pool yet")
+        if not identity.has_role_at(self.name):
+            raise ParameterError(
+                f"{identity.name} holds no role at {self.name!r}")
+        if not self._pool:
+            raise ParameterError(
+                f"GM {self.name!r} exhausted its key pool; "
+                "request more keys from NO")
+        index = min(self._pool)
+        x = self._pool.pop(index)
+        self._assigned[index] = identity.uid
+        self._identities[identity.uid] = identity
+        return Enrollment(group_name=self.name, index=index,
+                          grp=self._grp, x=x)
+
+    def record_member_receipt(self, index: KeyIndex, receipt: bytes,
+                              member_key: EcdsaPublicKey,
+                              enrollment_payload: bytes) -> None:
+        """Store the member's signed proof-of-receipt (non-repudiation)."""
+        member_key.require_valid(enrollment_payload, receipt)
+        self._member_receipts[index] = receipt
+
+    # -- law-authority tracing step (Section IV.D) ----------------------------
+
+    def identify(self, index: KeyIndex,
+                 epoch: Optional[int] = None) -> UserIdentity:
+        """Map a key index back to the member's identity.
+
+        Only invoked as part of the law-authority tracing protocol,
+        after NO has attributed a session to this group.  ``epoch``
+        selects a retired epoch's assignment table (defaults to the
+        current one).
+        """
+        if epoch is None or epoch == self.epoch:
+            table = self._assigned
+        else:
+            table = self._assignment_history.get(epoch, {})
+        uid = table.get(index)
+        if uid is None:
+            raise AuditError(f"index {index} was never assigned by "
+                             f"{self.name!r}")
+        return self._identities[uid]
+
+    def has_receipt(self, index: KeyIndex,
+                    epoch: Optional[int] = None) -> bool:
+        """Is the assignment backed by a member-signed receipt?"""
+        if epoch is None or epoch == self.epoch:
+            return index in self._member_receipts
+        return index in self._receipt_history.get(epoch, {})
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    @property
+    def member_count(self) -> int:
+        return len(self._assigned)

@@ -1,0 +1,72 @@
+"""The paper's multi-faceted user identity model (Section III.C, Fig. 2).
+
+A user's identity is the collection of their attribute information,
+split into *essential* attributes (which uniquely identify the person --
+name, SSN, ...) and *nonessential* attributes (social roles -- "engineer
+of company X", "student of university Z").  Disclosure of nonessential
+attributes alone leaves the user pseudonymous; PEACE's audit path
+reveals exactly one nonessential attribute (the user-group membership)
+and nothing else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class RoleAttribute:
+    """One nonessential attribute: a role within a society entity."""
+
+    role: str        # e.g. "engineer", "student", "tenant", "member"
+    entity: str      # e.g. "Company X", "University Z"
+
+    def describe(self) -> str:
+        return f"{self.role} of {self.entity}"
+
+
+@dataclass(frozen=True)
+class UserIdentity:
+    """Full identity: essential attributes + a set of role attributes.
+
+    ``uid`` below -- the handle entities exchange -- is a digest of the
+    essential attributes, standing in for "the user's essential attribute
+    information" that the paper denotes uid_j.
+    """
+
+    name: str
+    essential: Tuple[Tuple[str, str], ...]  # e.g. (("ssn", "..."), ...)
+    roles: FrozenSet[RoleAttribute]
+
+    @classmethod
+    def build(cls, name: str, essential: Dict[str, str],
+              roles: "list[RoleAttribute]") -> "UserIdentity":
+        return cls(name=name,
+                   essential=tuple(sorted(essential.items())),
+                   roles=frozenset(roles))
+
+    @property
+    def uid(self) -> bytes:
+        """Stable digest of the essential attribute information."""
+        h = hashlib.sha256()
+        h.update(b"repro/peace/uid")
+        h.update(self.name.encode())
+        for key, value in self.essential:
+            h.update(key.encode())
+            h.update(b"=")
+            h.update(value.encode())
+            h.update(b";")
+        return h.digest()[:16]
+
+    def has_role_at(self, entity: str) -> bool:
+        """Is the user affiliated with the given society entity?"""
+        return any(role.entity == entity for role in self.roles)
+
+    def nonessential_view(self) -> FrozenSet[RoleAttribute]:
+        """What an audit may reveal at most: roles, never essentials."""
+        return self.roles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UserIdentity({self.name!r}, uid={self.uid.hex()[:8]})"

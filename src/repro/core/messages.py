@@ -1,0 +1,303 @@
+"""Wire formats of the PEACE protocol messages (Sections IV.B / IV.C).
+
+================  =====================================================
+Paper name        Class
+================  =====================================================
+(M.1)             :class:`Beacon` -- router broadcast: ``g, g^r_R, ts1,
+                  Sig_RSK, Cert_k, CRL, URL`` (+ optional DoS puzzle)
+(M.2)             :class:`AccessRequest` -- ``g^r_j, g^r_R, ts2,
+                  SIG_gsk`` (+ optional puzzle solution)
+(M.3)             :class:`AccessConfirm` -- ``g^r_j, g^r_R,
+                  E_K(MR_k, g^r_j, g^r_R)``
+(M~.1)            :class:`PeerHello` -- ``g, g^r_j, ts1, SIG_gsk``
+(M~.2)            :class:`PeerResponse` -- ``g^r_j, g^r_l, ts2, SIG_gsk``
+(M~.3)            :class:`PeerConfirm` -- ``g^r_j, g^r_l,
+                  E_K(g^r_j, g^r_l, ts1, ts2)``
+(data)            :class:`DataPacket` -- MAC-authenticated session data
+================  =====================================================
+
+Every class is a frozen dataclass with canonical ``encode`` /
+``decode``; benchmark E4 reports ``len(encode())`` per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.certs import (
+    CertificateRevocationList,
+    RouterCertificate,
+    UserRevocationList,
+)
+from repro.core.groupsig import GroupSignature
+from repro.core.wire import Reader, Writer
+from repro.crypto.puzzles import Puzzle, PuzzleSolution
+from repro.errors import EncodingError
+from repro.pairing.group import G1Element, PairingGroup
+from repro.sig.curves import WeierstrassCurve
+
+
+def _encode_opt(writer: Writer, blob: Optional[bytes]) -> None:
+    if blob is None:
+        writer.u8(0)
+    else:
+        writer.u8(1)
+        writer.var(blob)
+
+
+def _decode_opt(reader: Reader) -> Optional[bytes]:
+    return reader.var() if reader.u8() else None
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """(M.1): the router's periodic service announcement."""
+
+    router_id: str
+    g: G1Element            # fresh DH base chosen by the router
+    g_r_router: G1Element   # g^{r_R}
+    ts1: float
+    signature: bytes        # ECDSA by RSK_k over signed_payload()
+    certificate: RouterCertificate
+    crl: CertificateRevocationList
+    url: UserRevocationList
+    puzzle: Optional[Puzzle] = None
+
+    def signed_payload(self) -> bytes:
+        """What RSK_k signs: ``g, g^r_R, ts1`` (+ puzzle when present)."""
+        writer = (Writer().raw(b"M.1").string(self.router_id)
+                  .var(self.g.encode()).var(self.g_r_router.encode())
+                  .f64(self.ts1))
+        _encode_opt(writer, self.puzzle.encode() if self.puzzle else None)
+        return writer.done()
+
+    def encode(self) -> bytes:
+        return (Writer().raw(self.signed_payload())
+                .var(self.signature)
+                .var(self.certificate.encode())
+                .var(self.crl.encode())
+                .var(self.url.encode())
+                .done())
+
+    @classmethod
+    def decode(cls, group: PairingGroup, curve: WeierstrassCurve,
+               data: bytes) -> "Beacon":
+        reader = Reader(data)
+        if reader.raw(3) != b"M.1":
+            raise EncodingError("not a beacon")
+        router_id = reader.string()
+        g = group.decode_g1(reader.var())
+        g_r = group.decode_g1(reader.var())
+        ts1 = reader.f64()
+        puzzle_blob = _decode_opt(reader)
+        signature = reader.var()
+        certificate = RouterCertificate.decode(curve, reader.var())
+        crl = CertificateRevocationList.decode(reader.var())
+        url = UserRevocationList.decode(group, reader.var())
+        reader.expect_end()
+        puzzle = Puzzle.decode(puzzle_blob) if puzzle_blob else None
+        return cls(router_id, g, g_r, ts1, signature, certificate,
+                   crl, url, puzzle)
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """(M.2): the user's anonymous access request."""
+
+    g_r_user: G1Element     # g^{r_j}
+    g_r_router: G1Element   # echo of g^{r_R}
+    ts2: float
+    group_signature: GroupSignature
+    puzzle_solution: Optional[PuzzleSolution] = None
+
+    def signed_payload(self) -> bytes:
+        """What gsk[i,j] signs: ``{g^r_j, g^r_R, ts2}``."""
+        return (Writer().raw(b"M.2")
+                .var(self.g_r_user.encode())
+                .var(self.g_r_router.encode())
+                .f64(self.ts2)
+                .done())
+
+    def puzzle_binding(self) -> bytes:
+        """Bytes the puzzle solution is bound to (prevents replay)."""
+        return self.signed_payload()
+
+    def encode(self) -> bytes:
+        writer = (Writer().raw(self.signed_payload())
+                  .var(self.group_signature.encode()))
+        _encode_opt(writer, self.puzzle_solution.encode()
+                    if self.puzzle_solution else None)
+        return writer.done()
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "AccessRequest":
+        reader = Reader(data)
+        if reader.raw(3) != b"M.2":
+            raise EncodingError("not an access request")
+        g_r_user = group.decode_g1(reader.var())
+        g_r_router = group.decode_g1(reader.var())
+        ts2 = reader.f64()
+        signature = GroupSignature.decode(group, reader.var())
+        solution_blob = _decode_opt(reader)
+        reader.expect_end()
+        solution = (PuzzleSolution.decode(solution_blob)
+                    if solution_blob else None)
+        return cls(g_r_user, g_r_router, ts2, signature, solution)
+
+
+@dataclass(frozen=True)
+class AccessConfirm:
+    """(M.3): the router's key-confirmation message."""
+
+    g_r_user: G1Element
+    g_r_router: G1Element
+    sealed: bytes           # E_K(MR_k, g^r_j, g^r_R)
+
+    def encode(self) -> bytes:
+        return (Writer().raw(b"M.3")
+                .var(self.g_r_user.encode())
+                .var(self.g_r_router.encode())
+                .var(self.sealed)
+                .done())
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "AccessConfirm":
+        reader = Reader(data)
+        if reader.raw(3) != b"M.3":
+            raise EncodingError("not an access confirm")
+        g_r_user = group.decode_g1(reader.var())
+        g_r_router = group.decode_g1(reader.var())
+        sealed = reader.var()
+        reader.expect_end()
+        return cls(g_r_user, g_r_router, sealed)
+
+
+@dataclass(frozen=True)
+class PeerHello:
+    """(M~.1): first message of the user-user handshake."""
+
+    g: G1Element
+    g_r_initiator: G1Element
+    ts1: float
+    group_signature: GroupSignature
+
+    def signed_payload(self) -> bytes:
+        return (Writer().raw(b"N.1")
+                .var(self.g.encode())
+                .var(self.g_r_initiator.encode())
+                .f64(self.ts1)
+                .done())
+
+    def encode(self) -> bytes:
+        return (Writer().raw(self.signed_payload())
+                .var(self.group_signature.encode())
+                .done())
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "PeerHello":
+        reader = Reader(data)
+        if reader.raw(3) != b"N.1":
+            raise EncodingError("not a peer hello")
+        g = group.decode_g1(reader.var())
+        g_r = group.decode_g1(reader.var())
+        ts1 = reader.f64()
+        signature = GroupSignature.decode(group, reader.var())
+        reader.expect_end()
+        return cls(g, g_r, ts1, signature)
+
+
+@dataclass(frozen=True)
+class PeerResponse:
+    """(M~.2): responder's authenticated reply."""
+
+    g_r_initiator: G1Element
+    g_r_responder: G1Element
+    ts2: float
+    group_signature: GroupSignature
+
+    def signed_payload(self) -> bytes:
+        return (Writer().raw(b"N.2")
+                .var(self.g_r_initiator.encode())
+                .var(self.g_r_responder.encode())
+                .f64(self.ts2)
+                .done())
+
+    def encode(self) -> bytes:
+        return (Writer().raw(self.signed_payload())
+                .var(self.group_signature.encode())
+                .done())
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "PeerResponse":
+        reader = Reader(data)
+        if reader.raw(3) != b"N.2":
+            raise EncodingError("not a peer response")
+        g_r_i = group.decode_g1(reader.var())
+        g_r_r = group.decode_g1(reader.var())
+        ts2 = reader.f64()
+        signature = GroupSignature.decode(group, reader.var())
+        reader.expect_end()
+        return cls(g_r_i, g_r_r, ts2, signature)
+
+
+@dataclass(frozen=True)
+class PeerConfirm:
+    """(M~.3): initiator's key confirmation."""
+
+    g_r_initiator: G1Element
+    g_r_responder: G1Element
+    sealed: bytes           # E_K(g^r_j, g^r_l, ts1, ts2)
+
+    def encode(self) -> bytes:
+        return (Writer().raw(b"N.3")
+                .var(self.g_r_initiator.encode())
+                .var(self.g_r_responder.encode())
+                .var(self.sealed)
+                .done())
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "PeerConfirm":
+        reader = Reader(data)
+        if reader.raw(3) != b"N.3":
+            raise EncodingError("not a peer confirm")
+        g_r_i = group.decode_g1(reader.var())
+        g_r_r = group.decode_g1(reader.var())
+        sealed = reader.var()
+        reader.expect_end()
+        return cls(g_r_i, g_r_r, sealed)
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """Session data authenticated by the hybrid MAC approach (V.C).
+
+    After the expensive group-signature handshake, all traffic within a
+    session is protected by the shared AEAD key -- this is the paper's
+    "asymmetric-symmetric hybrid approach".
+    """
+
+    session_id: bytes
+    sequence: int
+    sealed: bytes           # AEAD(payload), AAD = session_id || sequence
+
+    def aad(self) -> bytes:
+        return Writer().var(self.session_id).u64(self.sequence).done()
+
+    def encode(self) -> bytes:
+        return (Writer().raw(b"DAT")
+                .var(self.session_id)
+                .u64(self.sequence)
+                .var(self.sealed)
+                .done())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DataPacket":
+        reader = Reader(data)
+        if reader.raw(3) != b"DAT":
+            raise EncodingError("not a data packet")
+        session_id = reader.var()
+        sequence = reader.u64()
+        sealed = reader.var()
+        reader.expect_end()
+        return cls(session_id, sequence, sealed)

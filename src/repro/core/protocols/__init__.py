@@ -1,0 +1,30 @@
+"""Authentication and key-agreement protocol engines.
+
+Pure protocol state machines, independent of both the entity layer and
+the simulator: a :class:`~repro.core.protocols.user_router.RouterAuthEngine`
+/ :class:`~repro.core.protocols.user_router.UserAuthEngine` pair runs the
+three-way user-router handshake (M.1-M.3), and
+:class:`~repro.core.protocols.user_user.PeerAuthEngine` the user-user
+handshake (M~.1-M~.3).  Entities (:mod:`repro.core.router`,
+:mod:`repro.core.user`) and simulator nodes both drive these engines.
+"""
+
+from repro.core.protocols.session import SecureSession, session_id_from
+from repro.core.protocols.user_router import (
+    PendingUserSession,
+    RouterAuthEngine,
+    UserAuthEngine,
+)
+from repro.core.protocols.user_user import PeerAuthEngine, PendingPeerSession
+from repro.core.protocols.dos import DosPolicy
+
+__all__ = [
+    "DosPolicy",
+    "PeerAuthEngine",
+    "PendingPeerSession",
+    "PendingUserSession",
+    "RouterAuthEngine",
+    "SecureSession",
+    "UserAuthEngine",
+    "session_id_from",
+]

@@ -1,0 +1,86 @@
+"""DoS defense policy: client puzzles under suspected attack (V.A).
+
+The paper adopts the Juels-Brainard approach: normally the router
+processes (M.2) directly; when a connection-depletion attack is
+suspected it attaches a puzzle to (M.1) and only spends pairing
+operations on requests carrying a valid solution.
+
+:class:`DosPolicy` encapsulates both the *detection* heuristic (request
+rate over a sliding window) and the *response* (puzzle difficulty,
+optionally scaled with attack intensity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.crypto.puzzles import Puzzle
+
+
+class DosPolicy:
+    """Sliding-window request-rate detector with puzzle issuance."""
+
+    def __init__(self, rate_threshold: float = 10.0,
+                 window: float = 10.0,
+                 base_difficulty: int = 8,
+                 max_difficulty: int = 20,
+                 adaptive: bool = True) -> None:
+        """
+        Args:
+            rate_threshold: requests/second above which the router
+                considers itself under attack.
+            window: sliding-window length in seconds.
+            base_difficulty: puzzle difficulty (bits) when the attack is
+                at the threshold.
+            max_difficulty: difficulty cap for adaptive scaling.
+            adaptive: scale difficulty with the overload factor (one
+                extra bit per doubling of the request rate).
+        """
+        self.rate_threshold = rate_threshold
+        self.window = window
+        self.base_difficulty = base_difficulty
+        self.max_difficulty = max_difficulty
+        self.adaptive = adaptive
+        self.forced: Optional[bool] = None   # manual override for tests
+        self._arrivals: Deque[float] = deque()
+
+    def note_request(self, now: float) -> None:
+        """Record a request arrival (called for every M.2, valid or not)."""
+        self._arrivals.append(now)
+        self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        while self._arrivals and now - self._arrivals[0] > self.window:
+            self._arrivals.popleft()
+
+    def observed_rate(self, now: float) -> float:
+        """Requests per second over the sliding window."""
+        self._trim(now)
+        return len(self._arrivals) / self.window
+
+    def under_attack(self, now: float) -> bool:
+        """Attack verdict (the manual override wins when set)."""
+        if self.forced is not None:
+            return self.forced
+        return self.observed_rate(now) >= self.rate_threshold
+
+    def current_difficulty(self, now: float) -> int:
+        """Puzzle difficulty for the present load."""
+        if not self.under_attack(now):
+            return 0
+        if not self.adaptive:
+            return self.base_difficulty
+        rate = max(self.observed_rate(now), self.rate_threshold)
+        extra = 0
+        factor = rate / self.rate_threshold
+        while factor >= 2 and self.base_difficulty + extra < self.max_difficulty:
+            factor /= 2
+            extra += 1
+        return min(self.base_difficulty + extra, self.max_difficulty)
+
+    def fresh_puzzle(self, now: Optional[float] = None) -> Puzzle:
+        """Issue a puzzle at the current difficulty."""
+        difficulty = (self.base_difficulty if now is None
+                      else self.current_difficulty(now))
+        return Puzzle.fresh(difficulty or self.base_difficulty)

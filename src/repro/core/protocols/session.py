@@ -1,0 +1,122 @@
+"""Established data sessions (the hybrid MAC phase of Section V.C).
+
+A successful handshake yields a :class:`SecureSession` on each side,
+identified by the pair of fresh DH public values per the paper ("this
+session is uniquely identified through (g^r_R, g^r_j)").  All subsequent
+traffic uses AEAD-protected :class:`~repro.core.messages.DataPacket`s
+with strictly increasing sequence numbers -- replays and reorders are
+rejected without any public-key operation.
+
+Long-lived sessions may ratchet their keys forward with :meth:`rekey`:
+both sides derive the next AEAD key from the current one plus the
+session transcript position, giving cheap forward secrecy within a
+session (compromising the current key does not expose packets sealed
+under earlier generations).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.messages import DataPacket
+from repro.crypto.aead import AeadKey
+from repro.crypto.kdf import derive_session_keys, hkdf
+from repro.errors import SessionError
+from repro.pairing.group import G1Element
+
+
+def session_id_from(g_r_initiator: G1Element,
+                    g_r_responder: G1Element) -> bytes:
+    """Derive the 16-byte session identifier from the fresh DH values."""
+    h = hashlib.sha256()
+    h.update(b"repro/peace/session-id")
+    h.update(g_r_initiator.encode())
+    h.update(g_r_responder.encode())
+    return h.digest()[:16]
+
+
+class SecureSession:
+    """One side of an authenticated, encrypted data session."""
+
+    def __init__(self, session_id: bytes, shared_element: G1Element,
+                 initiator: bool, peer_label: str = "") -> None:
+        self.session_id = session_id
+        self.initiator = initiator
+        self.peer_label = peer_label
+        keys = derive_session_keys(shared_element.encode(), session_id)
+        self._chain_key = keys["aead"]
+        self._aead = AeadKey(self._chain_key)
+        self._send_seq = 0
+        self._recv_seq = -1
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.key_generation = 0
+
+    # Both directions share one AEAD key but disjoint sequence spaces:
+    # the initiator sends even sequence numbers, the responder odd ones.
+
+    def _next_send_seq(self) -> int:
+        seq = self._send_seq * 2 + (0 if self.initiator else 1)
+        self._send_seq += 1
+        return seq
+
+    def send(self, payload: bytes) -> DataPacket:
+        """Seal ``payload`` into the next data packet."""
+        sequence = self._next_send_seq()
+        packet = DataPacket(self.session_id, sequence, b"")
+        sealed = self._aead.seal(payload, aad=packet.aad())
+        packet = DataPacket(self.session_id, sequence, sealed)
+        self.bytes_sent += len(packet.encode())
+        return packet
+
+    def rekey(self) -> int:
+        """Ratchet the session key forward; returns the new generation.
+
+        Both sides must call this at the same transcript point (the
+        PEACE convention: the initiator requests it in-band, then both
+        ratchet).  Packets sealed under the previous generation no
+        longer authenticate -- calling this out of step with the peer
+        severs the session, which is the safe failure mode.
+        """
+        self.key_generation += 1
+        self._chain_key = hkdf(
+            self._chain_key, 32, salt=self.session_id,
+            info=b"repro/peace/rekey-%d" % self.key_generation)
+        self._aead = AeadKey(self._chain_key)
+        return self.key_generation
+
+    def export_key_material(self, label: bytes, length: int = 32) -> bytes:
+        """Derive application keying material from this session.
+
+        Both sides derive identical bytes for the same ``label`` (and
+        key generation), without ever exposing the session's own keys
+        -- the hook upper layers such as the onion overlay build on.
+        """
+        return hkdf(self._chain_key, length, salt=self.session_id,
+                    info=b"repro/peace/export:" + label)
+
+    def seal_handshake(self, payload: bytes) -> bytes:
+        """Seal the key-confirmation blob of (M.3) / (M~.3)."""
+        return self._aead.seal(payload, aad=b"handshake" + self.session_id)
+
+    def open_handshake(self, sealed: bytes) -> bytes:
+        """Open the peer's key-confirmation blob; raises on forgery."""
+        return self._aead.open(sealed, aad=b"handshake" + self.session_id)
+
+    def receive(self, packet: DataPacket) -> bytes:
+        """Authenticate and open a packet from the peer.
+
+        Raises :class:`SessionError` on wrong session, replayed or
+        reordered sequence numbers, wrong direction, or MAC failure.
+        """
+        if packet.session_id != self.session_id:
+            raise SessionError("packet for a different session")
+        expected_parity = 1 if self.initiator else 0
+        if packet.sequence % 2 != expected_parity:
+            raise SessionError("packet from the wrong direction")
+        if packet.sequence <= self._recv_seq:
+            raise SessionError("replayed or reordered packet")
+        payload = self._aead.open(packet.sealed, aad=packet.aad())
+        self._recv_seq = packet.sequence
+        self.bytes_received += len(packet.encode())
+        return payload

@@ -1,0 +1,298 @@
+"""The user-router mutual authentication and key agreement (Section IV.B).
+
+Three messages:
+
+1. Router broadcasts a signed :class:`~repro.core.messages.Beacon`
+   carrying a fresh DH base ``g``, its share ``g^r_R``, its certificate,
+   and the current CRL / URL (M.1).
+2. The user validates all of it, group-signs ``{g^r_j, g^r_R, ts2}``
+   anonymously, and unicasts the :class:`AccessRequest` (M.2).
+3. The router checks freshness, verifies the group signature against
+   gpk and the URL (Eq.2 / Eq.3), computes ``K = (g^r_j)^r_R``, and
+   answers with the sealed :class:`AccessConfirm` (M.3).
+
+Mutual explicit authentication: the user authenticated the router via
+its NO-certified ECDSA signature; the router authenticated the user as
+*some unrevoked group member* via the group signature; both confirmed
+key possession through M.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core import groupsig
+from repro.core.certs import CertificateRevocationList, UserRevocationList
+from repro.core.clock import Clock, SystemClock
+from repro.core.groupsig import GroupPrivateKey, GroupPublicKey
+from repro.core.messages import AccessConfirm, AccessRequest, Beacon
+from repro.core.protocols.dos import DosPolicy
+from repro.core.protocols.session import SecureSession, session_id_from
+from repro.core.wire import Writer
+from repro.crypto import puzzles
+from repro.errors import (
+    AuthenticationError,
+    CertificateError,
+    ProtocolError,
+    PuzzleError,
+    ReplayError,
+)
+from repro.pairing.group import G1Element, PairingGroup
+from repro.sig.ecdsa import EcdsaKeyPair, EcdsaPublicKey
+
+#: Default acceptance window for timestamp freshness, seconds.
+DEFAULT_TS_WINDOW = 30.0
+
+
+@dataclass
+class AuthLogEntry:
+    """What the router logs per authentication, enabling later audit.
+
+    Contains exactly the material the paper's audit protocol consults:
+    the (M.2) authentication message (signed payload + group signature)
+    keyed by the session identifier.
+    """
+
+    router_id: str
+    session_id: bytes
+    signed_payload: bytes
+    group_signature: groupsig.GroupSignature
+    timestamp: float
+
+
+@dataclass
+class PendingUserSession:
+    """User-side handshake state between sending M.2 and receiving M.3."""
+
+    router_id: str
+    r_user: int
+    g_r_user: G1Element
+    g_r_router: G1Element
+    session: SecureSession
+
+
+class RouterAuthEngine:
+    """Router-side protocol driver: beacons in, sessions out."""
+
+    def __init__(self, router_id: str, keypair: EcdsaKeyPair,
+                 certificate, gpk: GroupPublicKey,
+                 crl_provider: Callable[[], CertificateRevocationList],
+                 url_provider: Callable[[], UserRevocationList],
+                 clock: Optional[Clock] = None,
+                 rng: Optional[random.Random] = None,
+                 ts_window: float = DEFAULT_TS_WINDOW,
+                 dos_policy: Optional[DosPolicy] = None,
+                 beacon_validity: float = 300.0) -> None:
+        self.router_id = router_id
+        self.keypair = keypair
+        self.certificate = certificate
+        self.gpk = gpk
+        self.group: PairingGroup = gpk.group
+        self.crl_provider = crl_provider
+        self.url_provider = url_provider
+        self.clock = clock or SystemClock()
+        self.rng = rng or random.SystemRandom()
+        self.ts_window = ts_window
+        self.dos_policy = dos_policy
+        self.beacon_validity = beacon_validity
+        # outstanding beacons: g^r_R encoding -> (r_R, g, issued_at, puzzle)
+        self._outstanding: Dict[bytes, Tuple[int, G1Element, float,
+                                             Optional[puzzles.Puzzle]]] = {}
+        self.sessions: Dict[bytes, SecureSession] = {}
+        self.log: list = []          # AuthLogEntry per successful auth
+        self.stats = {"beacons": 0, "requests": 0, "accepted": 0,
+                      "rejected_replay": 0, "rejected_signature": 0,
+                      "rejected_revoked": 0, "rejected_puzzle": 0}
+
+    # -- M.1 ----------------------------------------------------------------
+
+    def make_beacon(self) -> Beacon:
+        """Build and sign a fresh beacon (M.1); remembers r_R for later."""
+        now = self.clock.now()
+        self._expire_outstanding(now)
+        r_router = self.group.random_scalar(self.rng)
+        g = self.group.random_g1(self.rng)
+        g_r_router = g ** r_router
+        puzzle = None
+        if self.dos_policy is not None and self.dos_policy.under_attack(now):
+            puzzle = self.dos_policy.fresh_puzzle()
+        beacon = Beacon(
+            router_id=self.router_id, g=g, g_r_router=g_r_router, ts1=now,
+            signature=b"", certificate=self.certificate,
+            crl=self.crl_provider(), url=self.url_provider(), puzzle=puzzle)
+        signature = self.keypair.sign(beacon.signed_payload())
+        beacon = Beacon(beacon.router_id, beacon.g, beacon.g_r_router,
+                        beacon.ts1, signature, beacon.certificate,
+                        beacon.crl, beacon.url, beacon.puzzle)
+        self._outstanding[g_r_router.encode()] = (r_router, g, now, puzzle)
+        self.stats["beacons"] += 1
+        return beacon
+
+    def _expire_outstanding(self, now: float) -> None:
+        stale = [key for key, (_r, _g, issued, _p) in self._outstanding.items()
+                 if now - issued > self.beacon_validity]
+        for key in stale:
+            del self._outstanding[key]
+
+    # -- M.2 -> M.3 -----------------------------------------------------------
+
+    def process_request(self, request: AccessRequest
+                        ) -> Tuple[AccessConfirm, SecureSession]:
+        """Validate (M.2); on success return (M.3) and the new session.
+
+        Raises the specific :mod:`repro.errors` subclass describing the
+        rejection -- the attack benchmarks classify failures by type.
+        """
+        now = self.clock.now()
+        self.stats["requests"] += 1
+        record = self._outstanding.get(request.g_r_router.encode())
+        if record is None:
+            self.stats["rejected_replay"] += 1
+            raise ReplayError("unknown or expired g^r_R echo")
+        r_router, _g, _issued, puzzle = record
+        if abs(now - request.ts2) > self.ts_window:
+            self.stats["rejected_replay"] += 1
+            raise ReplayError("ts2 outside the acceptance window")
+
+        # DoS defense: while under suspected attack the router requires
+        # a solution with EVERY (M.2); a request answering a pre-attack
+        # puzzle-free beacon is rejected cheaply rather than verified.
+        if (puzzle is None and self.dos_policy is not None
+                and self.dos_policy.under_attack(now)):
+            self.stats["rejected_puzzle"] += 1
+            raise PuzzleError(
+                "puzzle required while under attack; re-request a beacon")
+        # Verify the puzzle BEFORE any pairing operation.
+        if puzzle is not None:
+            if request.puzzle_solution is None or not puzzles.verify_solution(
+                    puzzle, request.puzzle_binding(),
+                    request.puzzle_solution):
+                self.stats["rejected_puzzle"] += 1
+                raise PuzzleError("missing or wrong puzzle solution")
+
+        if (request.g_r_user.is_identity()
+                or not self.group.curve.in_subgroup(
+                    request.g_r_user.point)):
+            self.stats["rejected_signature"] += 1
+            raise AuthenticationError(
+                "g^r_j degenerate or outside the subgroup")
+
+        url = self.url_provider()
+        try:
+            groupsig.verify(self.gpk, request.signed_payload(),
+                            request.group_signature, url=url.tokens)
+        except groupsig.RevokedKeyError:
+            self.stats["rejected_revoked"] += 1
+            raise
+        except groupsig.InvalidSignature:
+            self.stats["rejected_signature"] += 1
+            raise
+
+        shared = request.g_r_user ** r_router      # K = (g^r_j)^r_R
+        session_id = session_id_from(request.g_r_router, request.g_r_user)
+        session = SecureSession(session_id, shared, initiator=False,
+                                peer_label="anonymous-user")
+        confirm_payload = (Writer().string(self.router_id)
+                           .var(request.g_r_user.encode())
+                           .var(request.g_r_router.encode())
+                           .done())
+        confirm = AccessConfirm(
+            g_r_user=request.g_r_user, g_r_router=request.g_r_router,
+            sealed=session.seal_handshake(confirm_payload))
+        self.sessions[session_id] = session
+        self.log.append(AuthLogEntry(
+            router_id=self.router_id, session_id=session_id,
+            signed_payload=request.signed_payload(),
+            group_signature=request.group_signature, timestamp=now))
+        self.stats["accepted"] += 1
+        return confirm, session
+
+
+class UserAuthEngine:
+    """User-side protocol driver."""
+
+    def __init__(self, gpk: GroupPublicKey, operator_key: EcdsaPublicKey,
+                 credential: GroupPrivateKey,
+                 clock: Optional[Clock] = None,
+                 rng: Optional[random.Random] = None,
+                 ts_window: float = DEFAULT_TS_WINDOW,
+                 max_puzzle_difficulty: int = 24) -> None:
+        self.gpk = gpk
+        self.group: PairingGroup = gpk.group
+        self.operator_key = operator_key
+        self.credential = credential
+        self.clock = clock or SystemClock()
+        self.rng = rng or random.SystemRandom()
+        self.ts_window = ts_window
+        self.max_puzzle_difficulty = max_puzzle_difficulty
+
+    # -- validate M.1, produce M.2 -------------------------------------------
+
+    def process_beacon(self, beacon: Beacon
+                       ) -> Tuple[AccessRequest, PendingUserSession]:
+        """Step 2 of Section IV.B: full beacon validation, then M.2."""
+        now = self.clock.now()
+        if abs(now - beacon.ts1) > self.ts_window:
+            raise ReplayError("beacon ts1 outside the acceptance window")
+        beacon.certificate.validate(self.operator_key, now)
+        if beacon.certificate.router_id != beacon.router_id:
+            raise CertificateError("certificate/beacon router id mismatch")
+        beacon.crl.validate(self.operator_key, now)
+        if beacon.crl.is_revoked(beacon.router_id):
+            raise CertificateError(
+                f"router {beacon.router_id} is on the CRL")
+        beacon.url.validate(self.operator_key, now)
+        if not beacon.certificate.public_key.verify(
+                beacon.signed_payload(), beacon.signature):
+            raise AuthenticationError("beacon signature invalid")
+        if beacon.g.is_identity() or beacon.g_r_router.is_identity():
+            raise ProtocolError("degenerate DH values in beacon")
+        curve = self.group.curve
+        if not (curve.in_subgroup(beacon.g.point)
+                and curve.in_subgroup(beacon.g_r_router.point)):
+            raise ProtocolError("beacon DH values outside the subgroup")
+
+        r_user = self.group.random_scalar(self.rng)
+        g_r_user = beacon.g ** r_user
+        ts2 = now
+        request = AccessRequest(g_r_user=g_r_user,
+                                g_r_router=beacon.g_r_router, ts2=ts2,
+                                group_signature=None)  # placeholder
+        signature = groupsig.sign(self.gpk, self.credential,
+                                  request.signed_payload(), rng=self.rng)
+        solution = None
+        if beacon.puzzle is not None:
+            if beacon.puzzle.difficulty_bits > self.max_puzzle_difficulty:
+                raise PuzzleError("puzzle difficulty beyond client policy")
+            solution = puzzles.solve_puzzle(beacon.puzzle,
+                                            request.puzzle_binding())
+        request = AccessRequest(g_r_user, beacon.g_r_router, ts2,
+                                signature, solution)
+
+        shared = beacon.g_r_router ** r_user       # K = (g^r_R)^r_j
+        session_id = session_id_from(beacon.g_r_router, g_r_user)
+        session = SecureSession(session_id, shared, initiator=True,
+                                peer_label=beacon.router_id)
+        pending = PendingUserSession(
+            router_id=beacon.router_id, r_user=r_user, g_r_user=g_r_user,
+            g_r_router=beacon.g_r_router, session=session)
+        return request, pending
+
+    # -- validate M.3 ------------------------------------------------------
+
+    def complete(self, pending: PendingUserSession,
+                 confirm: AccessConfirm) -> SecureSession:
+        """Step 3.4 receipt: open E_K(MR_k, g^r_j, g^r_R), check contents."""
+        if (confirm.g_r_user != pending.g_r_user
+                or confirm.g_r_router != pending.g_r_router):
+            raise ProtocolError("confirm echoes the wrong DH values")
+        payload = pending.session.open_handshake(confirm.sealed)
+        expected = (Writer().string(pending.router_id)
+                    .var(pending.g_r_user.encode())
+                    .var(pending.g_r_router.encode())
+                    .done())
+        if payload != expected:
+            raise AuthenticationError("confirm payload mismatch")
+        return pending.session

@@ -1,0 +1,172 @@
+"""The user-user mutual authentication and key agreement (Section IV.C).
+
+Neighboring users authenticate each other bilaterally and anonymously
+before relaying traffic.  Both sides group-sign; neither learns more
+than "my peer is an unrevoked subscriber".  The DH base ``g`` comes from
+the current service router's beacon; the URL for revocation checks does
+too.
+
+A single :class:`PeerAuthEngine` plays both roles: ``initiate`` starts a
+handshake (M~.1), ``respond`` answers one (M~.2), ``complete`` finishes
+the initiator side (M~.3), ``finalize`` checks M~.3 at the responder.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core import groupsig
+from repro.core.certs import UserRevocationList
+from repro.core.clock import Clock, SystemClock
+from repro.core.groupsig import GroupPrivateKey, GroupPublicKey
+from repro.core.messages import PeerConfirm, PeerHello, PeerResponse
+from repro.core.protocols.session import SecureSession, session_id_from
+from repro.core.wire import Writer
+from repro.errors import AuthenticationError, ProtocolError, ReplayError
+from repro.pairing.group import G1Element, PairingGroup
+
+
+@dataclass
+class PendingPeerSession:
+    """Handshake state kept by either side between messages."""
+
+    role: str                 # "initiator" | "responder"
+    r_local: int
+    g_r_local: G1Element
+    g_r_remote: Optional[G1Element]
+    ts1: float
+    ts2: Optional[float] = None
+    session: Optional[SecureSession] = None
+
+
+class PeerAuthEngine:
+    """Drives the three-way user-user handshake for one user."""
+
+    def __init__(self, gpk: GroupPublicKey, credential: GroupPrivateKey,
+                 clock: Optional[Clock] = None,
+                 rng: Optional[random.Random] = None,
+                 ts_window: float = 30.0) -> None:
+        self.gpk = gpk
+        self.group: PairingGroup = gpk.group
+        self.credential = credential
+        self.clock = clock or SystemClock()
+        self.rng = rng or random.SystemRandom()
+        self.ts_window = ts_window
+
+    # -- M~.1 -----------------------------------------------------------
+
+    def initiate(self, g: G1Element
+                 ) -> Tuple[PeerHello, PendingPeerSession]:
+        """Build the local broadcast (M~.1) using the beacon's base g."""
+        now = self.clock.now()
+        r_local = self.group.random_scalar(self.rng)
+        g_r_local = g ** r_local
+        hello = PeerHello(g=g, g_r_initiator=g_r_local, ts1=now,
+                          group_signature=None)
+        signature = groupsig.sign(self.gpk, self.credential,
+                                  hello.signed_payload(), rng=self.rng)
+        hello = PeerHello(g, g_r_local, now, signature)
+        pending = PendingPeerSession(role="initiator", r_local=r_local,
+                                     g_r_local=g_r_local, g_r_remote=None,
+                                     ts1=now)
+        return hello, pending
+
+    # -- M~.1 -> M~.2 ------------------------------------------------------
+
+    def respond(self, hello: PeerHello, url: UserRevocationList
+                ) -> Tuple[PeerResponse, PendingPeerSession]:
+        """Validate a received (M~.1) and answer with (M~.2)."""
+        now = self.clock.now()
+        if abs(now - hello.ts1) > self.ts_window:
+            raise ReplayError("peer hello ts1 outside acceptance window")
+        if hello.g.is_identity() or hello.g_r_initiator.is_identity():
+            raise ProtocolError("degenerate DH values in peer hello")
+        curve = self.group.curve
+        if not (curve.in_subgroup(hello.g.point)
+                and curve.in_subgroup(hello.g_r_initiator.point)):
+            raise ProtocolError("peer hello DH values outside the subgroup")
+        groupsig.verify(self.gpk, hello.signed_payload(),
+                        hello.group_signature, url=url.tokens)
+
+        r_local = self.group.random_scalar(self.rng)
+        g_r_local = hello.g ** r_local
+        response = PeerResponse(g_r_initiator=hello.g_r_initiator,
+                                g_r_responder=g_r_local, ts2=now,
+                                group_signature=None)
+        signature = groupsig.sign(self.gpk, self.credential,
+                                  response.signed_payload(), rng=self.rng)
+        response = PeerResponse(hello.g_r_initiator, g_r_local, now,
+                                signature)
+
+        shared = hello.g_r_initiator ** r_local
+        session_id = session_id_from(hello.g_r_initiator, g_r_local)
+        session = SecureSession(session_id, shared, initiator=False,
+                                peer_label="anonymous-peer")
+        pending = PendingPeerSession(role="responder", r_local=r_local,
+                                     g_r_local=g_r_local,
+                                     g_r_remote=hello.g_r_initiator,
+                                     ts1=hello.ts1, ts2=now,
+                                     session=session)
+        return response, pending
+
+    # -- M~.2 -> M~.3 ------------------------------------------------------
+
+    def complete(self, pending: PendingPeerSession, response: PeerResponse,
+                 url: UserRevocationList
+                 ) -> Tuple[PeerConfirm, SecureSession]:
+        """Initiator: validate (M~.2), emit (M~.3), session is live."""
+        if pending.role != "initiator":
+            raise ProtocolError("complete() is an initiator-side step")
+        if response.g_r_initiator != pending.g_r_local:
+            raise ProtocolError("response echoes a different g^r_j")
+        if not (0 <= response.ts2 - pending.ts1 <= self.ts_window):
+            raise ReplayError("ts2 - ts1 outside the acceptable window")
+        if (response.g_r_responder.is_identity()
+                or not self.group.curve.in_subgroup(
+                    response.g_r_responder.point)):
+            raise ProtocolError(
+                "responder DH value degenerate or outside the subgroup")
+        groupsig.verify(self.gpk, response.signed_payload(),
+                        response.group_signature, url=url.tokens)
+
+        shared = response.g_r_responder ** pending.r_local
+        session_id = session_id_from(pending.g_r_local,
+                                     response.g_r_responder)
+        session = SecureSession(session_id, shared, initiator=True,
+                                peer_label="anonymous-peer")
+        payload = self._confirm_payload(pending.g_r_local,
+                                        response.g_r_responder,
+                                        pending.ts1, response.ts2)
+        confirm = PeerConfirm(g_r_initiator=pending.g_r_local,
+                              g_r_responder=response.g_r_responder,
+                              sealed=session.seal_handshake(payload))
+        return confirm, session
+
+    # -- M~.3 (responder side) ----------------------------------------------
+
+    def finalize(self, pending: PendingPeerSession,
+                 confirm: PeerConfirm) -> SecureSession:
+        """Responder: open (M~.3); proves the initiator holds K too."""
+        if pending.role != "responder" or pending.session is None:
+            raise ProtocolError("finalize() is a responder-side step")
+        if (confirm.g_r_initiator != pending.g_r_remote
+                or confirm.g_r_responder != pending.g_r_local):
+            raise ProtocolError("confirm echoes the wrong DH values")
+        payload = pending.session.open_handshake(confirm.sealed)
+        expected = self._confirm_payload(pending.g_r_remote,
+                                         pending.g_r_local,
+                                         pending.ts1, pending.ts2)
+        if payload != expected:
+            raise AuthenticationError("peer confirm payload mismatch")
+        return pending.session
+
+    @staticmethod
+    def _confirm_payload(g_r_initiator: G1Element,
+                         g_r_responder: G1Element,
+                         ts1: float, ts2: float) -> bytes:
+        return (Writer().var(g_r_initiator.encode())
+                .var(g_r_responder.encode())
+                .f64(ts1).f64(ts2)
+                .done())

@@ -1,0 +1,114 @@
+"""Mesh routers *MR_k* (Sections III.A, IV.B).
+
+A mesh router broadcasts beacons, runs the router side of the
+user-router handshake, maintains its session table and authentication
+log (the audit trail), and periodically refreshes the CRL / URL from NO
+over their pre-established secure channel.
+
+The refresh model matters for experiment E7: a *revoked* router keeps
+serving its last-fetched CRL, which goes stale after one update period
+-- precisely the paper's bound on the phishing window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.core.certs import (
+    CertificateRevocationList,
+    RouterCertificate,
+    UserRevocationList,
+)
+from repro.core.clock import Clock, SystemClock
+from repro.core.messages import AccessConfirm, AccessRequest, Beacon
+from repro.core.operator_entity import NetworkOperator
+from repro.core.protocols.dos import DosPolicy
+from repro.core.protocols.session import SecureSession
+from repro.core.protocols.user_router import RouterAuthEngine
+from repro.errors import SimulationError
+
+
+class MeshRouter:
+    """One mesh router, provisioned by ``operator``."""
+
+    def __init__(self, router_id: str, operator: NetworkOperator,
+                 clock: Optional[Clock] = None,
+                 rng: Optional[random.Random] = None,
+                 cert_validity: float = 30 * 86400.0,
+                 dos_policy: Optional[DosPolicy] = None) -> None:
+        self.router_id = router_id
+        self.operator = operator
+        self.clock = clock or SystemClock()
+        self.rng = rng or random.Random()
+        keypair, certificate = operator.provision_router(
+            router_id, validity=cert_validity)
+        self.keypair = keypair
+        self.certificate: RouterCertificate = certificate
+        self._crl: CertificateRevocationList = operator.issue_crl()
+        self._url: UserRevocationList = operator.issue_url()
+        self._cut_off = False   # set when NO severs the secure channel
+        self.engine = RouterAuthEngine(
+            router_id=router_id, keypair=keypair, certificate=certificate,
+            gpk=operator.gpk, crl_provider=lambda: self._crl,
+            url_provider=lambda: self._url, clock=self.clock, rng=self.rng,
+            dos_policy=dos_policy)
+
+    # -- list refresh over the NO secure channel ------------------------------
+
+    def refresh_lists(self) -> None:
+        """Periodic CRL/URL update; fails silently once NO cut us off
+        (a revoked router can no longer obtain fresh lists)."""
+        if self._cut_off:
+            return
+        self._crl = self.operator.issue_crl()
+        self._url = self.operator.issue_url()
+
+    def sever_operator_channel(self) -> None:
+        """Called when NO revokes this router: no more fresh lists."""
+        self._cut_off = True
+
+    def adopt_new_epoch(self) -> None:
+        """Pick up a rotated gpk plus fresh lists over the NO channel."""
+        if self._cut_off:
+            return
+        self.engine.gpk = self.operator.gpk
+        self.refresh_lists()
+
+    @property
+    def crl(self) -> CertificateRevocationList:
+        return self._crl
+
+    @property
+    def url(self) -> UserRevocationList:
+        return self._url
+
+    # -- protocol passthroughs ------------------------------------------------
+
+    def make_beacon(self) -> Beacon:
+        """Broadcast (M.1)."""
+        return self.engine.make_beacon()
+
+    def process_request(self, request: AccessRequest
+                        ) -> Tuple[AccessConfirm, SecureSession]:
+        """Handle (M.2) -> (M.3); raises on any validation failure."""
+        if self.engine.dos_policy is not None:
+            self.engine.dos_policy.note_request(self.clock.now())
+        return self.engine.process_request(request)
+
+    def session(self, session_id: bytes) -> SecureSession:
+        try:
+            return self.engine.sessions[session_id]
+        except KeyError as exc:
+            raise SimulationError(
+                f"router {self.router_id} has no session "
+                f"{session_id.hex()[:8]}") from exc
+
+    @property
+    def auth_log(self):
+        """The network log consulted by NO's audit protocol."""
+        return self.engine.log
+
+    @property
+    def stats(self):
+        return self.engine.stats

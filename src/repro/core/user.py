@@ -1,0 +1,153 @@
+"""Network users (Sections III.A, IV.A-IV.C).
+
+A :class:`NetworkUser` holds a real-world identity, enrolls with one or
+more group managers, assembles group private keys from the GM component
+and the TTP share, and runs the user-router and user-user protocol
+engines with whichever credential (role) fits the current context --
+the paper's multi-faceted privacy model in action: a user at the office
+signs with their employer-group key, at home with their tenant-group
+key, and the two are cryptographically unlinkable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core import groupsig
+from repro.core.clock import Clock, SystemClock
+from repro.core.group_manager import Enrollment, GroupManager
+from repro.core.groupsig import GroupPrivateKey, GroupPublicKey
+from repro.core.identity import UserIdentity
+from repro.core.messages import AccessConfirm, AccessRequest, Beacon
+from repro.core.protocols.session import SecureSession
+from repro.core.protocols.user_router import (
+    PendingUserSession,
+    UserAuthEngine,
+)
+from repro.core.protocols.user_user import PeerAuthEngine
+from repro.core.ttp import TrustedThirdParty
+from repro.core.wire import Writer
+from repro.errors import AuthenticationError, ParameterError
+from repro.pairing.group import PairingGroup
+from repro.sig.curves import SECP160R1, WeierstrassCurve
+from repro.sig.ecdsa import EcdsaKeyPair, ecdsa_generate
+
+
+class NetworkUser:
+    """One mobile network user and their credential wallet."""
+
+    def __init__(self, identity: UserIdentity, gpk: GroupPublicKey,
+                 operator_public_key,
+                 clock: Optional[Clock] = None,
+                 rng: Optional[random.Random] = None,
+                 curve: WeierstrassCurve = SECP160R1) -> None:
+        self.identity = identity
+        self.gpk = gpk
+        self.group: PairingGroup = gpk.group
+        self.operator_public_key = operator_public_key
+        self.clock = clock or SystemClock()
+        self.rng = rng or random.SystemRandom()
+        # Receipt-signing key (non-repudiation during setup).
+        self.signing_key: EcdsaKeyPair = ecdsa_generate(curve, rng=self.rng)
+        self.credentials: Dict[str, GroupPrivateKey] = {}
+
+    def adopt_gpk(self, gpk: GroupPublicKey) -> None:
+        """Adopt a rotated group public key (membership renewal).
+
+        Existing credentials are dead under the new gpk and are
+        dropped; the user must re-enroll with each group manager.
+        """
+        self.gpk = gpk
+        self.credentials.clear()
+
+    # -- enrollment (setup, user side) ----------------------------------------
+
+    def enroll_with(self, gm: GroupManager,
+                    ttp: TrustedThirdParty) -> GroupPrivateKey:
+        """Join user group ``gm``: collect both halves, assemble gsk.
+
+        Follows the paper's three steps: GM sends ``([i,j], grp_i,
+        x_j)``, TTP sends ``A XOR x_j``, the user XORs and checks the
+        resulting SDH tuple against the group public key before
+        accepting (``e(A, w * g2^(grp+x)) == e(g1, g2)``).  Signs a
+        receipt back to the GM.
+        """
+        enrollment = gm.enroll(self.identity)
+        share = ttp.deliver_share(enrollment.index, self.identity.uid)
+        a = groupsig.unblind_share(self.group, share, enrollment.x)
+        credential = GroupPrivateKey(a=a, grp=enrollment.grp,
+                                     x=enrollment.x,
+                                     index=enrollment.index)
+        self._validate_credential(credential)
+        receipt_payload = self._enrollment_payload(enrollment, share)
+        receipt = self.signing_key.sign(receipt_payload)
+        gm.record_member_receipt(enrollment.index, receipt,
+                                 self.signing_key.public, receipt_payload)
+        self.credentials[gm.name] = credential
+        return credential
+
+    def _validate_credential(self, credential: GroupPrivateKey) -> None:
+        """Reject a corrupt credential before ever signing with it."""
+        check = self.group.pair(
+            credential.a,
+            self.gpk.w * (self.gpk.g2 ** credential.exponent_sum))
+        if check != self.group.pair(self.gpk.g1, self.gpk.g2):
+            raise AuthenticationError(
+                "assembled group private key fails the SDH check")
+
+    @staticmethod
+    def _enrollment_payload(enrollment: Enrollment, share: bytes) -> bytes:
+        return (Writer().string(enrollment.group_name)
+                .u32(enrollment.index[0]).u32(enrollment.index[1])
+                .var(share).done())
+
+    # -- credential selection ------------------------------------------------
+
+    def credential_for(self, context: Optional[str] = None
+                       ) -> GroupPrivateKey:
+        """Pick the credential matching the current role/context.
+
+        ``context`` names a user group; ``None`` picks an arbitrary one
+        (the paper lets users choose "an appropriate group private key
+        of his").
+        """
+        if not self.credentials:
+            raise ParameterError(
+                f"user {self.identity.name} holds no credentials")
+        if context is None:
+            return next(iter(self.credentials.values()))
+        try:
+            return self.credentials[context]
+        except KeyError as exc:
+            raise ParameterError(
+                f"user {self.identity.name} holds no credential "
+                f"for {context!r}") from exc
+
+    # -- protocol frontends -----------------------------------------------
+
+    def auth_engine(self, context: Optional[str] = None) -> UserAuthEngine:
+        """User-router engine signing under the chosen role."""
+        return UserAuthEngine(self.gpk, self.operator_public_key,
+                              self.credential_for(context),
+                              clock=self.clock, rng=self.rng)
+
+    def peer_engine(self, context: Optional[str] = None) -> PeerAuthEngine:
+        """User-user engine signing under the chosen role."""
+        return PeerAuthEngine(self.gpk, self.credential_for(context),
+                              clock=self.clock, rng=self.rng)
+
+    def connect_to_router(self, beacon: Beacon,
+                          context: Optional[str] = None
+                          ) -> Tuple[AccessRequest, PendingUserSession]:
+        """Convenience: process a beacon into an access request."""
+        return self.auth_engine(context).process_beacon(beacon)
+
+    def complete_router_handshake(self, pending: PendingUserSession,
+                                  confirm: AccessConfirm) -> SecureSession:
+        """Convenience: finish the user-router handshake."""
+        # The engine's complete() is stateless w.r.t. credentials.
+        engine = UserAuthEngine(self.gpk, self.operator_public_key,
+                                next(iter(self.credentials.values())),
+                                clock=self.clock, rng=self.rng)
+        return engine.complete(pending, confirm)

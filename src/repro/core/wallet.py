@@ -1,0 +1,107 @@
+"""Encrypted credential wallets.
+
+A network user's group private keys live on their mobile client; this
+module gives them a durable form: a password-encrypted, integrity-
+protected blob holding every credential (``A_{i,j}``, ``grp_i``,
+``x_j``, index, group name).  Losing a gsk means losing network access
+until re-enrollment, and leaking one lets the thief both impersonate
+the user and (with the A value) link the user's past sessions -- so the
+wallet is sealed with the package's AEAD under a password-derived key.
+
+The KDF is an iterated-HKDF stretch (PBKDF2-style work factor) rather
+than a memory-hard function -- adequate for a reproduction, documented
+as the thing to replace for production use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import Dict, Optional
+
+from repro.core.groupsig import GroupPrivateKey
+from repro.core.wire import Reader, Writer
+from repro.crypto.aead import AeadKey
+from repro.errors import EncodingError, SessionError
+from repro.pairing.group import PairingGroup
+
+_MAGIC = b"PEACEWLT"
+_SALT_BYTES = 16
+DEFAULT_ITERATIONS = 10_000
+
+
+def _stretch(password: bytes, salt: bytes, iterations: int) -> bytes:
+    """Password -> 32-byte wallet key via PBKDF2-HMAC-SHA256."""
+    return hashlib.pbkdf2_hmac("sha256", password, salt, iterations,
+                               dklen=32)
+
+
+def _encode_credentials(group: PairingGroup,
+                        credentials: Dict[str, GroupPrivateKey]) -> bytes:
+    writer = Writer().u32(len(credentials))
+    for name in sorted(credentials):
+        credential = credentials[name]
+        writer.string(name)
+        writer.u32(credential.index[0]).u32(credential.index[1])
+        writer.var(group.encode_scalar(credential.grp))
+        writer.var(group.encode_scalar(credential.x))
+        writer.var(credential.a.encode())
+    return writer.done()
+
+
+def _decode_credentials(group: PairingGroup,
+                        data: bytes) -> Dict[str, GroupPrivateKey]:
+    reader = Reader(data)
+    count = reader.u32()
+    credentials: Dict[str, GroupPrivateKey] = {}
+    for _ in range(count):
+        name = reader.string()
+        index = (reader.u32(), reader.u32())
+        grp = group.decode_scalar(reader.var())
+        x = group.decode_scalar(reader.var())
+        a = group.decode_g1(reader.var())
+        credentials[name] = GroupPrivateKey(a=a, grp=grp, x=x,
+                                            index=index)
+    reader.expect_end()
+    return credentials
+
+
+def seal_wallet(group: PairingGroup,
+                credentials: Dict[str, GroupPrivateKey],
+                password: bytes,
+                iterations: int = DEFAULT_ITERATIONS,
+                salt: Optional[bytes] = None) -> bytes:
+    """Serialize and encrypt a credential set under ``password``."""
+    if not password:
+        raise SessionError("refusing an empty wallet password")
+    salt = salt if salt is not None else secrets.token_bytes(_SALT_BYTES)
+    if len(salt) != _SALT_BYTES:
+        raise SessionError("wallet salt must be 16 bytes")
+    key = AeadKey(_stretch(password, salt, iterations))
+    header = (Writer().raw(_MAGIC).u32(iterations).raw(salt)
+              .string(group.params.name).done())
+    sealed = key.seal(_encode_credentials(group, credentials), aad=header)
+    return header + sealed
+
+
+def open_wallet(group: PairingGroup, blob: bytes,
+                password: bytes) -> Dict[str, GroupPrivateKey]:
+    """Decrypt and deserialize a wallet blob.
+
+    Raises :class:`SessionError` on a wrong password or tampering and
+    :class:`EncodingError` on structural corruption / preset mismatch.
+    """
+    reader = Reader(blob)
+    if reader.raw(len(_MAGIC)) != _MAGIC:
+        raise EncodingError("not a PEACE wallet blob")
+    iterations = reader.u32()
+    salt = reader.raw(_SALT_BYTES)
+    preset = reader.string()
+    if preset != group.params.name:
+        raise EncodingError(
+            f"wallet was sealed for preset {preset!r}, "
+            f"group is {group.params.name!r}")
+    header = blob[:len(blob) - reader.remaining()]
+    key = AeadKey(_stretch(password, salt, iterations))
+    plain = key.open(reader.raw(reader.remaining()), aad=header)
+    return _decode_credentials(group, plain)

@@ -1,0 +1,95 @@
+"""Byte-accurate wire serialization helpers.
+
+Every protocol message supports ``encode() -> bytes`` and a matching
+``decode``; the benchmarks report ``len(encode())`` as the message's
+over-the-air size, so framing must be canonical.  ``Writer``/``Reader``
+implement a tiny fixed+varlen layout: fixed-width fields are written
+raw, variable fields with a 4-byte big-endian length prefix.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import EncodingError
+
+
+class Writer:
+    """Accumulate a canonical byte encoding."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def raw(self, data: bytes) -> "Writer":
+        """Append fixed-width bytes verbatim."""
+        self._parts.append(bytes(data))
+        return self
+
+    def u8(self, value: int) -> "Writer":
+        return self.raw(value.to_bytes(1, "big"))
+
+    def u32(self, value: int) -> "Writer":
+        return self.raw(value.to_bytes(4, "big"))
+
+    def u64(self, value: int) -> "Writer":
+        return self.raw(value.to_bytes(8, "big"))
+
+    def f64(self, value: float) -> "Writer":
+        """Timestamps travel as milliseconds in a u64."""
+        return self.u64(int(round(value * 1000)) & ((1 << 64) - 1))
+
+    def var(self, data: bytes) -> "Writer":
+        """Append a length-prefixed variable field."""
+        self.u32(len(data))
+        return self.raw(data)
+
+    def string(self, text: str) -> "Writer":
+        return self.var(text.encode("utf-8"))
+
+    def done(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Consume a canonical byte encoding; raises on truncation."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def raw(self, width: int) -> bytes:
+        end = self._offset + width
+        if end > len(self._data):
+            raise EncodingError("truncated message")
+        chunk = self._data[self._offset:end]
+        self._offset = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.raw(1)[0]
+
+    def u32(self) -> int:
+        return int.from_bytes(self.raw(4), "big")
+
+    def u64(self) -> int:
+        return int.from_bytes(self.raw(8), "big")
+
+    def f64(self) -> float:
+        return self.u64() / 1000.0
+
+    def var(self) -> bytes:
+        return self.raw(self.u32())
+
+    def string(self) -> str:
+        try:
+            return self.var().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise EncodingError("string field is not valid UTF-8") from exc
+
+    def expect_end(self) -> None:
+        if self._offset != len(self._data):
+            raise EncodingError(
+                f"{len(self._data) - self._offset} trailing bytes")
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset

@@ -1,0 +1,23 @@
+"""Symmetric cryptography substrate.
+
+Pure-Python AES (with CTR mode), an encrypt-then-MAC AEAD built from
+AES-CTR + HMAC-SHA256, an HKDF key-derivation function, and the
+Juels-Brainard client puzzles used by PEACE's DoS defense.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.aead import AeadKey, seal, open_sealed
+from repro.crypto.kdf import hkdf, derive_session_keys
+from repro.crypto.puzzles import Puzzle, PuzzleSolution, solve_puzzle
+
+__all__ = [
+    "AES",
+    "AeadKey",
+    "Puzzle",
+    "PuzzleSolution",
+    "derive_session_keys",
+    "hkdf",
+    "open_sealed",
+    "seal",
+    "solve_puzzle",
+]

@@ -1,0 +1,74 @@
+"""Authenticated encryption: AES-128-CTR + HMAC-SHA256, encrypt-then-MAC.
+
+This is the ``E_K(.)`` of the paper's messages (M.3), (M-tilde.3) and of
+all session data traffic.  The 32-byte AEAD key is split into a cipher
+key and a MAC key by HKDF; the MAC covers nonce, associated data, and
+ciphertext, with unambiguous length framing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro import instrument
+from repro.crypto.aes import AES
+from repro.crypto.kdf import hkdf
+from repro.errors import SessionError
+
+NONCE_BYTES = 16
+TAG_BYTES = 16  # truncated HMAC-SHA256
+
+
+class AeadKey:
+    """A bound AEAD key offering ``seal`` / ``open``."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 32:
+            raise SessionError("AEAD key must be 32 bytes")
+        okm = hkdf(key, 16 + 32, info=b"repro/peace/aead-split")
+        self._aes = AES(okm[:16])
+        self._mac_key = okm[16:]
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        instrument.note("mac")
+        mac = hmac.new(self._mac_key, digestmod=hashlib.sha256)
+        mac.update(len(aad).to_bytes(8, "big"))
+        mac.update(aad)
+        mac.update(nonce)
+        mac.update(ciphertext)
+        return mac.digest()[:TAG_BYTES]
+
+    def seal(self, plaintext: bytes, aad: bytes = b"",
+             nonce: bytes = None) -> bytes:
+        """Encrypt and authenticate; returns nonce || ciphertext || tag."""
+        instrument.note("sym_encrypt")
+        nonce = nonce if nonce is not None else secrets.token_bytes(NONCE_BYTES)
+        if len(nonce) != NONCE_BYTES:
+            raise SessionError("AEAD nonce must be 16 bytes")
+        ciphertext = self._aes.ctr_xor(nonce, plaintext)
+        return nonce + ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def open(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt; raises :class:`SessionError` on any forgery."""
+        instrument.note("sym_decrypt")
+        if len(sealed) < NONCE_BYTES + TAG_BYTES:
+            raise SessionError("sealed blob too short")
+        nonce = sealed[:NONCE_BYTES]
+        ciphertext = sealed[NONCE_BYTES:-TAG_BYTES]
+        tag = sealed[-TAG_BYTES:]
+        expected = self._tag(nonce, aad, ciphertext)
+        if not hmac.compare_digest(tag, expected):
+            raise SessionError("AEAD tag mismatch")
+        return self._aes.ctr_xor(nonce, ciphertext)
+
+
+def seal(key: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """One-shot convenience wrapper around :class:`AeadKey`."""
+    return AeadKey(key).seal(plaintext, aad)
+
+
+def open_sealed(key: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """One-shot convenience wrapper around :class:`AeadKey`."""
+    return AeadKey(key).open(sealed, aad)

@@ -1,0 +1,163 @@
+"""Pure-Python AES (FIPS 197) block cipher with CTR mode.
+
+Only encryption of single blocks is required -- CTR mode turns the block
+cipher into a stream cipher, and decryption is the same keystream XOR.
+Key sizes 128/192/256 are supported; the S-box is generated at import
+time from the AES finite-field definition rather than pasted as a magic
+table, which doubles as a self-check of the field arithmetic.
+
+This implementation favours clarity over speed and is NOT constant-time;
+it exists because the offline environment has no cryptography package.
+Performance is adequate for the simulator's session traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import instrument
+from repro.errors import ParameterError
+
+_NB = 4  # state columns (fixed by FIPS 197)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial 0x11B."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """General GF(2^8) multiplication (schoolbook)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> List[int]:
+    """Derive the S-box: multiplicative inverse + affine transform."""
+    # Build inverses via exponentiation tables on generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    sbox = [0] * 256
+    for byte in range(256):
+        inv = 0 if byte == 0 else exp[255 - log[byte]]
+        transformed = 0
+        for bit in range(8):
+            parity = (
+                (inv >> bit) ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8)) ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8)) ^ (0x63 >> bit)
+            ) & 1
+            transformed |= parity << bit
+        sbox[byte] = transformed
+    return sbox
+
+
+_SBOX = _build_sbox()
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+class AES:
+    """AES block cipher bound to a key; exposes ECB single-block and CTR."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ParameterError("AES key must be 16, 24, or 32 bytes")
+        self._nk = len(key) // 4
+        self._nr = self._nk + 6
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule ----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        words: List[List[int]] = [list(key[4 * i:4 * i + 4])
+                                  for i in range(self._nk)]
+        for i in range(self._nk, _NB * (self._nr + 1)):
+            temp = list(words[i - 1])
+            if i % self._nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // self._nk - 1]
+            elif self._nk > 6 and i % self._nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - self._nk][j] ^ temp[j] for j in range(4)])
+        return words
+
+    # -- block encryption ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block (AES forward cipher)."""
+        if len(block) != 16:
+            raise ParameterError("AES block must be 16 bytes")
+        instrument.note("aes_block")
+        state = [list(block[i::4]) for i in range(4)]  # column-major
+        self._add_round_key(state, 0)
+        for round_index in range(1, self._nr):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, round_index)
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._nr)
+        return bytes(state[row][col] for col in range(4) for row in range(4))
+
+    def _add_round_key(self, state, round_index: int) -> None:
+        words = self._round_keys[4 * round_index:4 * round_index + 4]
+        for col in range(4):
+            for row in range(4):
+                state[row][col] ^= words[col][row]
+
+    @staticmethod
+    def _sub_bytes(state) -> None:
+        for row in state:
+            for col in range(4):
+                row[col] = _SBOX[row[col]]
+
+    @staticmethod
+    def _shift_rows(state) -> None:
+        for row in range(1, 4):
+            state[row] = state[row][row:] + state[row][:row]
+
+    @staticmethod
+    def _mix_columns(state) -> None:
+        for col in range(4):
+            a = [state[row][col] for row in range(4)]
+            state[0][col] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+            state[1][col] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+            state[2][col] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+            state[3][col] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+
+    # -- CTR mode --------------------------------------------------------
+
+    def ctr_keystream(self, nonce: bytes, length: int) -> bytes:
+        """Generate ``length`` keystream bytes for a 16-byte initial counter."""
+        if len(nonce) != 16:
+            raise ParameterError("CTR nonce/counter block must be 16 bytes")
+        counter = int.from_bytes(nonce, "big")
+        out = bytearray()
+        while len(out) < length:
+            out += self.encrypt_block(counter.to_bytes(16, "big"))
+            counter = (counter + 1) % (1 << 128)
+        return bytes(out[:length])
+
+    def ctr_xor(self, nonce: bytes, data: bytes) -> bytes:
+        """CTR encryption/decryption (self-inverse)."""
+        stream = self.ctr_keystream(nonce, len(data))
+        return bytes(x ^ y for x, y in zip(data, stream))

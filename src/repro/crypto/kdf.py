@@ -1,0 +1,49 @@
+"""HKDF (RFC 5869) and PEACE session-key derivation.
+
+The user-router and user-user protocols agree on a Diffie-Hellman group
+element ``K = g^(r_R * r_j)``; this module turns that element into the
+directional encryption and MAC keys of a data session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict
+
+_HASH_LEN = 32
+
+
+def hkdf(ikm: bytes, length: int, salt: bytes = b"",
+         info: bytes = b"") -> bytes:
+    """HKDF-SHA256 extract-and-expand."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    prk = hmac.new(salt or b"\x00" * _HASH_LEN, ikm, hashlib.sha256).digest()
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac.new(prk, block + info + bytes([counter]),
+                         hashlib.sha256).digest()
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def derive_session_keys(shared_point: bytes, session_id: bytes) -> Dict[str, bytes]:
+    """Derive the four session keys from the DH shared element.
+
+    Returns enc/mac keys for each direction; the session identifier
+    (the pair of fresh DH public values, per the paper) salts the
+    derivation so re-used randomness can never collide across sessions.
+    """
+    okm = hkdf(shared_point, 4 * 16 + 2 * 32, salt=session_id,
+               info=b"repro/peace/session")
+    return {
+        "enc_i2r": okm[0:16],
+        "enc_r2i": okm[16:32],
+        "mac_i2r": okm[32:64],
+        "mac_r2i": okm[64:96],
+        "aead": okm[96:96 + 32],
+    }

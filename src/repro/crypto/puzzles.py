@@ -1,0 +1,97 @@
+"""Juels-Brainard client puzzles (the paper's DoS countermeasure, V.A).
+
+When a mesh router suspects a connection-depletion attack it attaches a
+puzzle to its beacon (M.1); users must attach a solution to their access
+request (M.2) before the router spends pairing operations on signature
+verification.  Solving requires a brute-force search over a
+``difficulty_bits``-bit space on average; verification is one hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import PuzzleError
+
+_DOMAIN = b"repro/peace/puzzle"
+
+
+@dataclass(frozen=True)
+class Puzzle:
+    """A puzzle challenge as broadcast by a mesh router."""
+
+    server_nonce: bytes
+    difficulty_bits: int
+
+    def encode(self) -> bytes:
+        return bytes([self.difficulty_bits]) + self.server_nonce
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Puzzle":
+        if len(data) < 2:
+            raise PuzzleError("puzzle encoding too short")
+        return cls(server_nonce=data[1:], difficulty_bits=data[0])
+
+    @classmethod
+    def fresh(cls, difficulty_bits: int) -> "Puzzle":
+        if not 0 <= difficulty_bits <= 40:
+            raise PuzzleError("unreasonable puzzle difficulty")
+        return cls(secrets.token_bytes(16), difficulty_bits)
+
+
+@dataclass(frozen=True)
+class PuzzleSolution:
+    """A claimed solution, bound to the requester's first message."""
+
+    counter: int
+
+    def encode(self) -> bytes:
+        return self.counter.to_bytes(8, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PuzzleSolution":
+        if len(data) != 8:
+            raise PuzzleError("puzzle solution must be 8 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+
+def _digest(puzzle: Puzzle, binding: bytes, counter: int) -> int:
+    h = hashlib.sha256()
+    h.update(_DOMAIN)
+    h.update(puzzle.server_nonce)
+    h.update(binding)
+    h.update(counter.to_bytes(8, "big"))
+    return int.from_bytes(h.digest(), "big")
+
+
+def _meets_difficulty(value: int, bits: int) -> bool:
+    return value >> (256 - bits) == 0 if bits else True
+
+
+def solve_puzzle(puzzle: Puzzle, binding: bytes,
+                 max_attempts: int = 1 << 34) -> PuzzleSolution:
+    """Brute-force a solution; ``binding`` ties it to the client request.
+
+    Expected work is ``2^difficulty_bits`` hash evaluations.  Raises
+    :class:`PuzzleError` if ``max_attempts`` is exhausted (only plausible
+    when the caller caps attempts for simulation purposes).
+    """
+    for counter in range(max_attempts):
+        if _meets_difficulty(_digest(puzzle, binding, counter),
+                             puzzle.difficulty_bits):
+            return PuzzleSolution(counter)
+    raise PuzzleError("puzzle attempts exhausted")
+
+
+def verify_solution(puzzle: Puzzle, binding: bytes,
+                    solution: PuzzleSolution) -> bool:
+    """Single-hash verification of a claimed solution."""
+    return _meets_difficulty(_digest(puzzle, binding, solution.counter),
+                             puzzle.difficulty_bits)
+
+
+def expected_attempts(difficulty_bits: int) -> int:
+    """Average brute-force attempts for a given difficulty."""
+    return 1 << difficulty_bits

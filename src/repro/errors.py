@@ -1,0 +1,70 @@
+"""Exception hierarchy for the PEACE reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.  Protocol
+failures are deliberately split into fine-grained classes because the
+benchmarks and attack-evaluation harnesses count *why* a handshake was
+rejected (bad signature vs. revoked key vs. stale timestamp, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ParameterError(ReproError):
+    """A cryptographic parameter set is malformed or inconsistent."""
+
+
+class EncodingError(ReproError):
+    """Serialization or deserialization of a wire object failed."""
+
+
+class NotOnCurveError(ReproError):
+    """A claimed elliptic-curve point does not satisfy the curve equation."""
+
+
+class SignatureError(ReproError):
+    """Base class for signature-verification failures."""
+
+
+class InvalidSignature(SignatureError):
+    """A (group or standard) signature failed verification."""
+
+
+class RevokedKeyError(SignatureError):
+    """A group signature was produced by a revoked group private key."""
+
+
+class CertificateError(ReproError):
+    """A certificate is invalid, expired, or revoked."""
+
+
+class ProtocolError(ReproError):
+    """Base class for authentication / key-agreement protocol failures."""
+
+
+class ReplayError(ProtocolError):
+    """A message failed its timestamp / nonce freshness check."""
+
+
+class AuthenticationError(ProtocolError):
+    """The peer failed to authenticate."""
+
+
+class PuzzleError(ProtocolError):
+    """A client-puzzle solution is missing or wrong."""
+
+
+class SessionError(ProtocolError):
+    """A data-plane session operation failed (bad MAC, unknown session)."""
+
+
+class AuditError(ReproError):
+    """An audit or tracing operation could not complete."""
+
+
+class SimulationError(ReproError):
+    """The WMN simulator was driven into an inconsistent state."""

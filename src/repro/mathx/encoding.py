@@ -1,0 +1,38 @@
+"""Canonical integer <-> byte-string codecs (I2OSP / OS2IP of RFC 8017).
+
+Every wire format in the package serializes big integers through these
+two functions so sizes are deterministic and byte accounting in the
+benchmarks matches what actually travels over the simulated radio.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+
+def byte_length(n: int) -> int:
+    """Return the minimal number of bytes needed to encode ``n >= 0``."""
+    if n < 0:
+        raise EncodingError("cannot size a negative integer")
+    return max(1, (n.bit_length() + 7) // 8)
+
+
+def int_to_bytes(n: int, length: int) -> bytes:
+    """Encode ``n`` big-endian into exactly ``length`` bytes (I2OSP)."""
+    if n < 0:
+        raise EncodingError("cannot encode a negative integer")
+    try:
+        return n.to_bytes(length, "big")
+    except OverflowError as exc:
+        raise EncodingError(
+            f"integer needs {byte_length(n)} bytes, given {length}") from exc
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian byte string into an integer (OS2IP)."""
+    return int.from_bytes(data, "big")
+
+
+# RFC 8017 names, for readers cross-checking against the spec.
+i2osp = int_to_bytes
+os2ip = bytes_to_int

@@ -1,0 +1,85 @@
+"""Modular arithmetic helpers.
+
+Python's builtin ``pow`` covers modular exponentiation and (since 3.8)
+modular inversion; this module adds the handful of operations the pairing
+and signature code needs on top: square roots modulo ``p = 3 (mod 4)``,
+Legendre / Jacobi symbols, and a two-modulus CRT used by RSA signing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+def inv_mod(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises :class:`ParameterError` when the inverse does not exist, with a
+    message naming both operands (``ValueError`` from builtin ``pow`` is
+    translated so callers only deal with the package hierarchy).
+    """
+    try:
+        return pow(a, -1, m)
+    except ValueError as exc:
+        raise ParameterError(f"{a} is not invertible modulo {m}") from exc
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Return the Legendre symbol (a|p) in {-1, 0, 1} for an odd prime p."""
+    a %= p
+    if a == 0:
+        return 0
+    result = pow(a, (p - 1) // 2, p)
+    return -1 if result == p - 1 else 1
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """Return the Jacobi symbol (a|n) for odd ``n > 0``.
+
+    Generalizes the Legendre symbol to composite moduli; used by the
+    primality tests and by parameter sanity checks.
+    """
+    if n <= 0 or n % 2 == 0:
+        raise ParameterError("Jacobi symbol requires a positive odd modulus")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def sqrt_mod_p34(a: int, p: int) -> int:
+    """Return a square root of ``a`` modulo a prime ``p = 3 (mod 4)``.
+
+    For such primes the root is ``a^((p+1)/4) mod p``; the supersingular
+    pairing curves in this package always choose ``p = 3 (mod 4)`` so the
+    general Tonelli-Shanks algorithm is unnecessary.
+
+    Raises :class:`ParameterError` when ``a`` is not a quadratic residue.
+    """
+    if p % 4 != 3:
+        raise ParameterError("sqrt_mod_p34 requires p = 3 (mod 4)")
+    a %= p
+    root = pow(a, (p + 1) // 4, p)
+    if root * root % p != a:
+        raise ParameterError("value is not a quadratic residue")
+    return root
+
+
+def crt_pair(r_p: int, p: int, r_q: int, q: int) -> int:
+    """Combine residues ``r_p mod p`` and ``r_q mod q`` via the CRT.
+
+    ``p`` and ``q`` must be coprime.  Returns the unique value in
+    ``[0, p*q)`` congruent to both residues; this is the classic RSA-CRT
+    speedup used by :mod:`repro.sig.rsa`.
+    """
+    q_inv = inv_mod(q, p)
+    h = (q_inv * (r_p - r_q)) % p
+    return (r_q + h * q) % (p * q)

@@ -1,0 +1,104 @@
+"""Probabilistic primality testing and prime generation.
+
+Miller-Rabin with a deterministic small-prime pre-filter.  The witness
+count defaults to 40 rounds, which gives an error probability below
+2^-80 for random candidates -- more than adequate for the key sizes in
+this package.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+_SMALL_PRIMES: List[int] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+def small_factors(n: int, bound: int = 10_000) -> List[int]:
+    """Return the prime factors of ``n`` below ``bound`` (with multiplicity).
+
+    Used by parameter validation to confirm cofactor structure; not a
+    general-purpose factoring routine.
+    """
+    factors: List[int] = []
+    candidate = 2
+    while candidate < bound and candidate * candidate <= n:
+        while n % candidate == 0:
+            factors.append(candidate)
+            n //= candidate
+        candidate += 1 if candidate == 2 else 2
+    if 1 < n < bound:
+        factors.append(n)   # residual cofactor is itself a small prime
+    return factors
+
+
+def is_probable_prime(n: int, rounds: int = 40,
+                      rng: Optional[random.Random] = None) -> bool:
+    """Miller-Rabin primality test.
+
+    ``rng`` may be supplied for reproducible witness selection in tests;
+    by default a module-level PRNG seeded from entropy is used.  The test
+    never errs on primes (it is one-sided): a ``False`` answer is always
+    correct.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    rng = rng or random
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: Optional[random.Random] = None,
+                 congruence: Optional[Iterable[int]] = None) -> int:
+    """Return a random prime of exactly ``bits`` bits.
+
+    ``congruence`` may be ``(residue, modulus)`` to constrain the result,
+    e.g. ``(3, 4)`` for the pairing field primes.  The top and bottom bits
+    are forced so the result has the requested length and is odd.
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits for a prime")
+    rng = rng or random
+    residue_modulus = tuple(congruence) if congruence is not None else None
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if residue_modulus is not None:
+            residue, modulus = residue_modulus
+            candidate += (residue - candidate) % modulus
+            if candidate.bit_length() != bits or candidate % 2 == 0:
+                continue
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate

@@ -1,0 +1,290 @@
+"""Elliptic-curve arithmetic for ``y^2 = x^3 + x`` over F_p.
+
+Affine coordinates throughout: modular inversion in Python is a single
+``pow(x, -1, p)`` call, which keeps additions simple and -- crucially for
+the Tate pairing -- exposes the line slopes the Miller loop needs.
+
+Points are immutable; the point at infinity is the singleton produced by
+:meth:`Point.infinity`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import EncodingError, NotOnCurveError, ParameterError
+from repro.mathx import bytes_to_int, int_to_bytes, sqrt_mod_p34
+from repro.pairing.params import PairingParams
+
+
+class Point:
+    """An affine point on ``y^2 = x^3 + x`` over F_p, or infinity."""
+
+    __slots__ = ("x", "y", "p", "inf")
+
+    def __init__(self, x: int, y: int, p: int, inf: bool = False) -> None:
+        self.p = p
+        self.inf = inf
+        if inf:
+            self.x = 0
+            self.y = 0
+        else:
+            self.x = x % p
+            self.y = y % p
+
+    @classmethod
+    def infinity(cls, p: int) -> "Point":
+        """Return the identity element of the curve group."""
+        return cls(0, 0, p, inf=True)
+
+    def is_infinity(self) -> bool:
+        return self.inf
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.inf or other.inf:
+            return self.inf == other.inf and self.p == other.p
+        return (self.x, self.y, self.p) == (other.x, other.y, other.p)
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y, self.p, self.inf))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.inf:
+            return "Point(infinity)"
+        return f"Point({self.x:#x}, {self.y:#x})"
+
+
+class Curve:
+    """Group operations on the order-``r`` subgroup of ``E(F_p)``.
+
+    All methods validate nothing per-call for speed; use
+    :meth:`require_on_curve` / :meth:`in_subgroup` at trust boundaries
+    (deserialization does this automatically).
+    """
+
+    def __init__(self, params: PairingParams) -> None:
+        self.params = params
+        self.p = params.p
+        self.r = params.r
+        self.h = params.h
+
+    # -- predicates ----------------------------------------------------
+
+    def is_on_curve(self, point: Point) -> bool:
+        """Check the curve equation ``y^2 = x^3 + x``."""
+        if point.is_infinity():
+            return True
+        x, y, p = point.x, point.y, self.p
+        return (y * y - (x * x * x + x)) % p == 0
+
+    def require_on_curve(self, point: Point) -> Point:
+        """Return ``point`` or raise :class:`NotOnCurveError`."""
+        if not self.is_on_curve(point):
+            raise NotOnCurveError("point fails the curve equation")
+        return point
+
+    def in_subgroup(self, point: Point) -> bool:
+        """Check membership in the prime-order-``r`` subgroup.
+
+        Must bypass :meth:`mul` (which reduces scalars mod ``r`` and
+        would trivially return infinity for every point).
+        """
+        return (self.is_on_curve(point)
+                and self._mul_raw(point, self.r).is_infinity())
+
+    # -- group law -----------------------------------------------------
+
+    def neg(self, point: Point) -> Point:
+        if point.is_infinity():
+            return point
+        return Point(point.x, -point.y, self.p)
+
+    def add(self, lhs: Point, rhs: Point) -> Point:
+        """Return ``lhs + rhs`` (affine chord-and-tangent)."""
+        if lhs.is_infinity():
+            return rhs
+        if rhs.is_infinity():
+            return lhs
+        p = self.p
+        x1, y1, x2, y2 = lhs.x, lhs.y, rhs.x, rhs.y
+        if x1 == x2:
+            if (y1 + y2) % p == 0:
+                return Point.infinity(p)
+            slope = (3 * x1 * x1 + 1) * pow(2 * y1, -1, p) % p
+        else:
+            slope = (y2 - y1) * pow(x2 - x1, -1, p) % p
+        x3 = (slope * slope - x1 - x2) % p
+        y3 = (slope * (x1 - x3) - y1) % p
+        return Point(x3, y3, p)
+
+    def double(self, point: Point) -> Point:
+        return self.add(point, point)
+
+    def mul(self, point: Point, scalar: int) -> Point:
+        """Return ``scalar * point`` for a subgroup point.
+
+        The scalar is reduced modulo the subgroup order ``r``; cofactor
+        clearing (where the point is *not* yet in the subgroup) uses
+        :meth:`_mul_raw` directly.
+        """
+        return self._mul_raw(point, scalar % self.r)
+
+    def _mul_raw(self, point: Point, scalar: int) -> Point:
+        """Jacobian-coordinate double-and-add (one inversion total).
+
+        The curve is ``y^2 = x^3 + a*x`` with ``a = 1``; the affine
+        chord-and-tangent in :meth:`add` stays as the slow reference
+        implementation (the Miller loop needs its slopes anyway).
+        """
+        if scalar < 0:
+            return self._mul_raw(self.neg(point), -scalar)
+        if point.is_infinity() or scalar == 0:
+            return Point.infinity(self.p)
+        p = self.p
+        jx, jy, jz = point.x, point.y, 1
+        rx, ry, rz = 0, 1, 0   # Jacobian infinity
+        while scalar:
+            if scalar & 1:
+                rx, ry, rz = self._jadd(rx, ry, rz, jx, jy, jz)
+            jx, jy, jz = self._jdouble(jx, jy, jz)
+            scalar >>= 1
+        if rz == 0:
+            return Point.infinity(p)
+        z_inv = pow(rz, -1, p)
+        z_inv_sq = z_inv * z_inv % p
+        return Point(rx * z_inv_sq % p, ry * z_inv_sq * z_inv % p, p)
+
+    def _jdouble(self, x, y, z):
+        p = self.p
+        if z == 0 or y == 0:
+            return (0, 1, 0)
+        ysq = y * y % p
+        s = 4 * x * ysq % p
+        zsq = z * z % p
+        m = (3 * x * x + zsq * zsq) % p          # a = 1
+        nx = (m * m - 2 * s) % p
+        ny = (m * (s - nx) - 8 * ysq * ysq) % p
+        nz = 2 * y * z % p
+        return (nx, ny, nz)
+
+    def _jadd(self, x1, y1, z1, x2, y2, z2):
+        p = self.p
+        if z1 == 0:
+            return (x2, y2, z2)
+        if z2 == 0:
+            return (x1, y1, z1)
+        z1sq = z1 * z1 % p
+        z2sq = z2 * z2 % p
+        u1 = x1 * z2sq % p
+        u2 = x2 * z1sq % p
+        s1 = y1 * z2sq * z2 % p
+        s2 = y2 * z1sq * z1 % p
+        if u1 == u2:
+            if s1 != s2:
+                return (0, 1, 0)
+            return self._jdouble(x1, y1, z1)
+        h = (u2 - u1) % p
+        r = (s2 - s1) % p
+        hsq = h * h % p
+        hcu = hsq * h % p
+        nx = (r * r - hcu - 2 * u1 * hsq) % p
+        ny = (r * (u1 * hsq - nx) - s1 * hcu) % p
+        nz = h * z1 * z2 % p
+        return (nx, ny, nz)
+
+    def multi_mul(self, pairs: "list[Tuple[Point, int]]") -> Point:
+        """Return ``sum(k_i * P_i)`` (naive; counted as one multi-exp)."""
+        acc = Point.infinity(self.p)
+        for point, scalar in pairs:
+            acc = self.add(acc, self._mul_raw(point, scalar % self.r))
+        return acc
+
+    def clear_cofactor(self, point: Point) -> Point:
+        """Map an arbitrary curve point into the order-``r`` subgroup."""
+        return self._mul_raw(point, self.h)
+
+    # -- encoding --------------------------------------------------------
+
+    def lift_x(self, x: int, y_parity: int) -> Point:
+        """Return the curve point with abscissa ``x`` and ``y`` parity.
+
+        Raises :class:`NotOnCurveError` when ``x^3 + x`` is a non-residue.
+        """
+        p = self.p
+        x %= p
+        rhs = (x * x * x + x) % p
+        try:
+            y = sqrt_mod_p34(rhs, p)
+        except ParameterError as exc:
+            raise NotOnCurveError(f"no point with x = {x:#x}") from exc
+        if y % 2 != y_parity:
+            y = p - y
+        return Point(x, y, p)
+
+    def encode(self, point: Point) -> bytes:
+        """Serialize compressed: tag byte (0 / 2 / 3) + big-endian x."""
+        size = self.params.field_bytes
+        if point.is_infinity():
+            return b"\x00" + b"\x00" * size
+        tag = 2 + (point.y & 1)
+        return bytes([tag]) + int_to_bytes(point.x, size)
+
+    def decode(self, data: bytes) -> Point:
+        """Deserialize and validate a compressed point.
+
+        The decoded point is checked against the curve equation; subgroup
+        membership is the caller's concern (checked once at protocol
+        boundaries, where it matters, because it costs a scalar mul).
+        """
+        size = self.params.field_bytes
+        if len(data) != size + 1:
+            raise EncodingError(
+                f"point encoding must be {size + 1} bytes, got {len(data)}")
+        tag = data[0]
+        if tag == 0:
+            if any(data[1:]):
+                raise EncodingError("non-zero payload on infinity encoding")
+            return Point.infinity(self.p)
+        if tag not in (2, 3):
+            raise EncodingError(f"bad point tag {tag}")
+        try:
+            return self.lift_x(bytes_to_int(data[1:]), tag - 2)
+        except NotOnCurveError as exc:
+            raise EncodingError("encoded x lifts to no curve point") from exc
+
+    # -- hashing ---------------------------------------------------------
+
+    def point_from_digest_stream(self, stream) -> Point:
+        """Map an infinite byte stream to a subgroup point (try-and-increment).
+
+        ``stream`` is a callable ``counter -> bytes`` producing
+        field-sized digests; the first abscissa that lifts and survives
+        cofactor clearing wins.  Exposed for :mod:`repro.pairing.hashing`.
+        """
+        counter = 0
+        size = self.params.field_bytes
+        while True:
+            digest = stream(counter)
+            x = bytes_to_int(digest[:size]) % self.p
+            counter += 1
+            try:
+                point = self.lift_x(x, y_parity=digest[-1] & 1)
+            except NotOnCurveError:
+                continue
+            cleared = self.clear_cofactor(point)
+            if not cleared.is_infinity():
+                return cleared
+
+    def random_point(self, rng) -> Point:
+        """Return a uniformly-ish random subgroup point (for tests)."""
+        while True:
+            x = rng.randrange(self.p)
+            try:
+                point = self.lift_x(x, y_parity=rng.randrange(2))
+            except NotOnCurveError:
+                continue
+            cleared = self.clear_cofactor(point)
+            if not cleared.is_infinity():
+                return cleared

@@ -1,0 +1,24 @@
+"""Standard (non-group) signature substrate.
+
+PEACE uses ECDSA-160 for network-operator and mesh-router signatures
+(certificates, CRL/URL, beacons, non-repudiation receipts) and compares
+its group-signature length against RSA-1024; both primitives are
+implemented here from scratch.
+"""
+
+from repro.sig.curves import SECP160R1, SECP256R1, WeierstrassCurve, get_curve
+from repro.sig.ecdsa import EcdsaKeyPair, EcdsaPublicKey, ecdsa_generate
+from repro.sig.rsa import RsaKeyPair, RsaPublicKey, rsa_generate
+
+__all__ = [
+    "EcdsaKeyPair",
+    "EcdsaPublicKey",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "SECP160R1",
+    "SECP256R1",
+    "WeierstrassCurve",
+    "ecdsa_generate",
+    "get_curve",
+    "rsa_generate",
+]

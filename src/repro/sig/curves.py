@@ -1,0 +1,188 @@
+"""Short-Weierstrass curves and point arithmetic for ECDSA.
+
+Implements ``y^2 = x^3 + a*x + b`` over F_p with Jacobian-coordinate
+scalar multiplication.  Two SEC-2 curves are shipped: secp160r1 (the
+"ECDSA-160" of the paper) and secp256r1 for a modern comparison point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import NotOnCurveError, ParameterError
+
+#: Affine point as (x, y); ``None`` is the point at infinity.
+AffinePoint = Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class WeierstrassCurve:
+    """Domain parameters of a prime-field short-Weierstrass curve."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int   # order of the base point
+    h: int   # cofactor
+
+    # -- validation ------------------------------------------------------
+
+    def is_on_curve(self, point: AffinePoint) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def require_on_curve(self, point: AffinePoint) -> AffinePoint:
+        if not self.is_on_curve(point):
+            raise NotOnCurveError(f"point not on {self.name}")
+        return point
+
+    @property
+    def generator(self) -> AffinePoint:
+        return (self.gx, self.gy)
+
+    @property
+    def coordinate_bytes(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+    @property
+    def scalar_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    # -- affine group law (reference implementation, used by tests) -------
+
+    def affine_add(self, lhs: AffinePoint, rhs: AffinePoint) -> AffinePoint:
+        if lhs is None:
+            return rhs
+        if rhs is None:
+            return lhs
+        p = self.p
+        x1, y1 = lhs
+        x2, y2 = rhs
+        if x1 == x2:
+            if (y1 + y2) % p == 0:
+                return None
+            slope = (3 * x1 * x1 + self.a) * pow(2 * y1, -1, p) % p
+        else:
+            slope = (y2 - y1) * pow(x2 - x1, -1, p) % p
+        x3 = (slope * slope - x1 - x2) % p
+        return (x3, (slope * (x1 - x3) - y1) % p)
+
+    def affine_neg(self, point: AffinePoint) -> AffinePoint:
+        if point is None:
+            return None
+        return (point[0], (-point[1]) % self.p)
+
+    # -- Jacobian scalar multiplication ------------------------------------
+
+    def scalar_mul(self, point: AffinePoint, k: int) -> AffinePoint:
+        """Return ``k * point`` using Jacobian double-and-add."""
+        if point is None or k % self.n == 0:
+            return None
+        k %= self.n
+        jx, jy, jz = point[0], point[1], 1
+        rx, ry, rz = 0, 1, 0  # Jacobian infinity
+        while k:
+            if k & 1:
+                rx, ry, rz = self._jadd(rx, ry, rz, jx, jy, jz)
+            jx, jy, jz = self._jdouble(jx, jy, jz)
+            k >>= 1
+        return self._to_affine(rx, ry, rz)
+
+    def scalar_mul_two(self, point_a: AffinePoint, k_a: int,
+                       point_b: AffinePoint, k_b: int) -> AffinePoint:
+        """Return ``k_a * A + k_b * B`` (Shamir's trick would speed this
+        up; ECDSA verification latency is not on the paper's critical
+        path so the simple composition suffices)."""
+        return self.affine_add_jacobianless(
+            self.scalar_mul(point_a, k_a), self.scalar_mul(point_b, k_b))
+
+    def affine_add_jacobianless(self, lhs: AffinePoint,
+                                rhs: AffinePoint) -> AffinePoint:
+        return self.affine_add(lhs, rhs)
+
+    def _jdouble(self, x, y, z):
+        p = self.p
+        if z == 0 or y == 0:
+            return (0, 1, 0)
+        ysq = y * y % p
+        s = 4 * x * ysq % p
+        zsq = z * z % p
+        m = (3 * x * x + self.a * zsq * zsq) % p
+        nx = (m * m - 2 * s) % p
+        ny = (m * (s - nx) - 8 * ysq * ysq) % p
+        nz = 2 * y * z % p
+        return (nx, ny, nz)
+
+    def _jadd(self, x1, y1, z1, x2, y2, z2):
+        p = self.p
+        if z1 == 0:
+            return (x2, y2, z2)
+        if z2 == 0:
+            return (x1, y1, z1)
+        z1sq = z1 * z1 % p
+        z2sq = z2 * z2 % p
+        u1 = x1 * z2sq % p
+        u2 = x2 * z1sq % p
+        s1 = y1 * z2sq * z2 % p
+        s2 = y2 * z1sq * z1 % p
+        if u1 == u2:
+            if s1 != s2:
+                return (0, 1, 0)
+            return self._jdouble(x1, y1, z1)
+        h = (u2 - u1) % p
+        r = (s2 - s1) % p
+        hsq = h * h % p
+        hcu = hsq * h % p
+        nx = (r * r - hcu - 2 * u1 * hsq) % p
+        ny = (r * (u1 * hsq - nx) - s1 * hcu) % p
+        nz = h * z1 * z2 % p
+        return (nx, ny, nz)
+
+    def _to_affine(self, x, y, z) -> AffinePoint:
+        if z == 0:
+            return None
+        p = self.p
+        z_inv = pow(z, -1, p)
+        z_inv_sq = z_inv * z_inv % p
+        return (x * z_inv_sq % p, y * z_inv_sq * z_inv % p)
+
+
+SECP160R1 = WeierstrassCurve(
+    name="secp160r1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFC,
+    b=0x1C97BEFC54BD7A8B65ACF89F81D4D4ADC565FA45,
+    gx=0x4A96B5688EF573284664698968C38BB913CBFC82,
+    gy=0x23A628553168947D59DCC912042351377AC5FB32,
+    n=0x0100000000000000000001F4C8F927AED3CA752257,
+    h=1,
+)
+
+SECP256R1 = WeierstrassCurve(
+    name="secp256r1",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    h=1,
+)
+
+_CURVES = {c.name: c for c in (SECP160R1, SECP256R1)}
+
+
+def get_curve(name: str) -> WeierstrassCurve:
+    """Look up a shipped curve by SEC-2 name."""
+    try:
+        return _CURVES[name]
+    except KeyError as exc:
+        raise ParameterError(
+            f"unknown curve {name!r}; choose one of {sorted(_CURVES)}"
+        ) from exc

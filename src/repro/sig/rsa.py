@@ -1,0 +1,100 @@
+"""RSA PKCS#1 v1.5 signatures.
+
+Only present as the paper's comparison baseline: Section V.C argues the
+PEACE group signature (1,192 bits) is "almost the same" length as an
+RSA-1024 signature (1,024 bits / 128 bytes).  The size benchmark signs
+real messages with both schemes and measures the encoded artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import EncodingError, InvalidSignature, ParameterError
+from repro.mathx import bytes_to_int, crt_pair, int_to_bytes, inv_mod, random_prime
+
+#: DER DigestInfo prefix for SHA-256 (RFC 8017, section 9.2 notes).
+_SHA256_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA verification key (n, e)."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        if len(signature) != self.modulus_bytes:
+            return False
+        s = bytes_to_int(signature)
+        if s >= self.n:
+            return False
+        em = int_to_bytes(pow(s, self.e, self.n), self.modulus_bytes)
+        return em == _emsa_pkcs1_v15(message, self.modulus_bytes)
+
+    def require_valid(self, message: bytes, signature: bytes) -> None:
+        if not self.verify(message, signature):
+            raise InvalidSignature("RSA verification failed")
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """RSA signing key with CRT parameters."""
+
+    public: RsaPublicKey
+    d: int
+    p: int
+    q: int
+
+    def sign(self, message: bytes) -> bytes:
+        em = _emsa_pkcs1_v15(message, self.public.modulus_bytes)
+        m = bytes_to_int(em)
+        # CRT signing: ~4x faster than a full-width exponentiation.
+        sp = pow(m % self.p, self.d % (self.p - 1), self.p)
+        sq = pow(m % self.q, self.d % (self.q - 1), self.q)
+        s = crt_pair(sp, self.p, sq, self.q)
+        return int_to_bytes(s, self.public.modulus_bytes)
+
+
+def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding with SHA-256."""
+    t = _SHA256_PREFIX + hashlib.sha256(message).digest()
+    if em_len < len(t) + 11:
+        raise EncodingError("RSA modulus too small for SHA-256 PKCS#1 v1.5")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def rsa_generate(bits: int = 1024, e: int = 65537,
+                 rng=None) -> RsaKeyPair:
+    """Generate an RSA key pair of the requested modulus size.
+
+    ``rng`` may be a :class:`random.Random` for reproducible test keys;
+    production-style entropy otherwise.
+    """
+    if bits < 512:
+        raise ParameterError("refusing RSA modulus below 512 bits")
+    rng = rng or random.Random(secrets.randbits(256))
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng=rng)
+        q = random_prime(bits - half, rng=rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = inv_mod(e, phi)
+        except ParameterError:
+            continue
+        return RsaKeyPair(RsaPublicKey(n, e), d, p, q)

@@ -1,0 +1,31 @@
+"""Metropolitan WMN simulator substrate.
+
+The paper's evaluation is analytic; this package turns each of its
+network-behaviour arguments into a measurable experiment.  It provides a
+discrete-event loop, a radio medium with range / loss / eavesdropping,
+the three-layer metropolitan topology of Fig. 1, mobility, simulator
+nodes wrapping the PEACE entities, multi-hop relaying over
+authenticated peer sessions, and a family of adversary nodes.
+"""
+
+from repro.wmn.simclock import EventLoop, SimClock
+from repro.wmn.radio import Frame, RadioMedium
+from repro.wmn.topology import MetroTopology, TopologyConfig, build_topology
+from repro.wmn.costmodel import CostModel
+from repro.wmn.nodes import SimMeshRouter, SimUser
+from repro.wmn.scenario import Scenario, ScenarioConfig
+
+__all__ = [
+    "CostModel",
+    "EventLoop",
+    "Frame",
+    "MetroTopology",
+    "RadioMedium",
+    "Scenario",
+    "ScenarioConfig",
+    "SimClock",
+    "SimMeshRouter",
+    "SimUser",
+    "TopologyConfig",
+    "build_topology",
+]

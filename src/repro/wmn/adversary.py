@@ -1,0 +1,285 @@
+"""Adversary node models (threat model of Section III.B).
+
+Each attacker class operationalizes one attack the paper's analysis
+(Section V.A) claims PEACE defeats, so the claim becomes a measurable
+outcome:
+
+* :class:`Eavesdropper` -- passive global observer; feeds the privacy
+  games (can sessions be linked from the air?).
+* :class:`ReplayAttacker` -- captures (M.2) frames and replays them.
+* :class:`OutsiderInjector` -- no credentials; answers beacons with
+  well-formed but forged group signatures, and injects bogus data.
+* :class:`RoguePhisher` -- a fake mesh router with a self-signed
+  certificate trying to phish user connections.
+* :class:`RevokedRouterPhisher` -- a genuinely provisioned router that
+  NO has revoked; keeps beaconing with its increasingly stale CRL.
+* :class:`DosFlooder` -- floods (M.2) with signatures that are
+  expensive to reject, at a configurable rate and hash budget.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Optional, Set, Tuple
+
+from repro.core import groupsig
+from repro.core.certs import (
+    CertificateRevocationList,
+    RouterCertificate,
+    UserRevocationList,
+)
+from repro.core.messages import AccessRequest, Beacon
+from repro.core.router import MeshRouter
+from repro.crypto import puzzles
+from repro.errors import ReproError
+from repro.pairing.group import PairingGroup
+from repro.sig.curves import SECP160R1
+from repro.sig.ecdsa import ecdsa_generate
+from repro.wmn.nodes import SimNode
+from repro.wmn.radio import Frame, Position, RadioMedium
+from repro.wmn.simclock import EventLoop
+
+
+class Eavesdropper(SimNode):
+    """Hears everything in range; never transmits."""
+
+    def __init__(self, node_id: str, position: Position, loop: EventLoop,
+                 radio: RadioMedium, tx_range: float = 1e9) -> None:
+        super().__init__(node_id, position, loop, radio, tx_range=tx_range)
+        self.captured: List[Tuple[float, Frame]] = []
+
+    def deliver(self, frame: Frame) -> None:
+        self.captured.append((self.loop.now, frame))
+
+    # -- analysis helpers used by the privacy experiments -----------------
+
+    def frames_of_kind(self, kind: str) -> List[Frame]:
+        return [frame for _t, frame in self.captured if frame.kind == kind]
+
+    def observed_session_identifiers(self, group: PairingGroup
+                                     ) -> List[bytes]:
+        """Extract the (g^r_j, g^r_R) identifier of every M.2 heard."""
+        identifiers = []
+        for frame in self.frames_of_kind("M.2"):
+            try:
+                request = AccessRequest.decode(group, frame.payload)
+            except ReproError:
+                continue
+            identifiers.append(request.g_r_user.encode()
+                               + request.g_r_router.encode())
+        return identifiers
+
+    def identifier_reuse(self, group: PairingGroup) -> int:
+        """How many session identifiers repeat (0 = all fresh)."""
+        counts = Counter(self.observed_session_identifiers(group))
+        return sum(c - 1 for c in counts.values())
+
+
+class ReplayAttacker(SimNode):
+    """Captures M.2 frames, replays them later toward the same router."""
+
+    def __init__(self, node_id: str, position: Position, loop: EventLoop,
+                 radio: RadioMedium, replay_delay: float = 60.0,
+                 tx_range: float = 400.0) -> None:
+        super().__init__(node_id, position, loop, radio, tx_range=tx_range)
+        self.replay_delay = replay_delay
+        self.replayed = 0
+
+    def deliver(self, frame: Frame) -> None:
+        if frame.kind != "M.2":
+            return
+        captured = Frame(frame.kind, frame.payload, src=self.node_id,
+                         dst=frame.dst)
+
+        def replay() -> None:
+            self.replayed += 1
+            self.send(captured)
+
+        self.loop.schedule(self.replay_delay, replay)
+
+
+def forge_access_request(group: PairingGroup, beacon: Beacon, now: float,
+                         rng: random.Random) -> AccessRequest:
+    """Forge a *well-formed* but invalid (M.2).
+
+    Random scalars and real curve points: the router cannot reject the
+    forgery without doing the full verification work -- the worst case
+    for the defender, and what the DoS analysis assumes.
+    """
+    fake_signature = groupsig.GroupSignature(
+        r=group.random_scalar(rng),
+        t1=group.random_g1(rng),
+        t2=group.random_g1(rng),
+        c=group.random_scalar(rng),
+        s_alpha=group.random_scalar(rng),
+        s_x=group.random_scalar(rng),
+        s_delta=group.random_scalar(rng))
+    g_r_user = beacon.g ** group.random_scalar(rng)
+    return AccessRequest(g_r_user=g_r_user, g_r_router=beacon.g_r_router,
+                         ts2=now, group_signature=fake_signature)
+
+
+class OutsiderInjector(SimNode):
+    """No credentials: forges group signatures in response to beacons."""
+
+    def __init__(self, node_id: str, position: Position, loop: EventLoop,
+                 radio: RadioMedium, group: PairingGroup,
+                 rng: Optional[random.Random] = None,
+                 tx_range: float = 400.0) -> None:
+        super().__init__(node_id, position, loop, radio, tx_range=tx_range)
+        self.group = group
+        self.rng = rng or random.Random(1337)
+        self.injected = 0
+
+    def deliver(self, frame: Frame) -> None:
+        if frame.kind != "M.1":
+            return
+        try:
+            beacon = Beacon.decode(self.group, SECP160R1, frame.payload)
+        except ReproError:
+            return
+        request = forge_access_request(self.group, beacon, self.loop.now,
+                                       self.rng)
+        self.injected += 1
+        self.send(Frame("M.2", request.encode(), src=self.node_id,
+                        dst=beacon.router_id))
+
+
+class RoguePhisher(SimNode):
+    """A fake router: self-signed certificate, forged beacon chain."""
+
+    def __init__(self, node_id: str, position: Position, loop: EventLoop,
+                 radio: RadioMedium, group: PairingGroup,
+                 beacon_interval: float = 5.0,
+                 rng: Optional[random.Random] = None,
+                 tx_range: float = 350.0) -> None:
+        super().__init__(node_id, position, loop, radio, tx_range=tx_range)
+        self.group = group
+        self.rng = rng or random.Random(4242)
+        self.keypair = ecdsa_generate(SECP160R1, rng=self.rng)
+        self.victims: Set[str] = set()
+        loop.schedule_every(beacon_interval, self._beacon,
+                            jitter_rng=self.rng)
+
+    def _beacon(self) -> None:
+        now = self.loop.now
+        # Self-signed certificate: NO never blessed this key.
+        cert = RouterCertificate(self.node_id, self.keypair.public,
+                                 now + 86400.0, b"")
+        cert = RouterCertificate(
+            cert.router_id, cert.public_key, cert.expires_at,
+            self.keypair.sign(cert.signed_payload()))
+        crl = CertificateRevocationList(0, now, 600.0, frozenset(), b"")
+        crl = CertificateRevocationList(
+            0, now, 600.0, frozenset(),
+            self.keypair.sign(crl.signed_payload()))
+        url = UserRevocationList(0, now, 600.0, (), b"")
+        url = UserRevocationList(
+            0, now, 600.0, (), self.keypair.sign(url.signed_payload()))
+        r = self.group.random_scalar(self.rng)
+        g = self.group.random_g1(self.rng)
+        beacon = Beacon(self.node_id, g, g ** r, now, b"", cert, crl, url)
+        beacon = Beacon(self.node_id, g, beacon.g_r_router, now,
+                        self.keypair.sign(beacon.signed_payload()),
+                        cert, crl, url)
+        self.send(Frame("M.1", beacon.encode(), src=self.node_id))
+
+    def deliver(self, frame: Frame) -> None:
+        # Any M.2 answering our phish is a caught victim.
+        if frame.kind == "M.2" and frame.dst == self.node_id:
+            self.victims.add(frame.src)
+
+
+class RevokedRouterPhisher(SimNode):
+    """A real router after revocation: credentials valid, CRL stale.
+
+    It keeps broadcasting its *genuine* certificate with the last CRL it
+    obtained before NO severed the channel.  Users accept it only while
+    that CRL (a) predates the revocation and (b) is within its staleness
+    window -- the bounded phishing window of Section V.A.
+    """
+
+    def __init__(self, router: MeshRouter, position: Position,
+                 loop: EventLoop, radio: RadioMedium,
+                 beacon_interval: float = 5.0,
+                 rng: Optional[random.Random] = None,
+                 tx_range: float = 350.0) -> None:
+        super().__init__(router.router_id, position, loop, radio,
+                         tx_range=tx_range)
+        self.router = router
+        self.rng = rng or random.Random(7777)
+        self.victim_times: List[float] = []
+        self.victims: Set[str] = set()
+        loop.schedule_every(beacon_interval, self._beacon,
+                            jitter_rng=self.rng)
+
+    def _beacon(self) -> None:
+        # make_beacon() serves whatever lists the router last fetched;
+        # after revocation those never refresh again.
+        beacon = self.router.make_beacon()
+        self.send(Frame("M.1", beacon.encode(), src=self.node_id))
+
+    def deliver(self, frame: Frame) -> None:
+        if frame.kind == "M.2" and frame.dst == self.node_id:
+            self.victims.add(frame.src)
+            self.victim_times.append(self.loop.now)
+
+
+class DosFlooder(SimNode):
+    """Connection-depletion attacker (Section V.A, DoS).
+
+    Floods well-formed forged (M.2)s at ``rate`` per second.  When the
+    router demands puzzles, the flooder spends its ``hash_rate`` budget
+    solving them, which caps its effective request rate at
+    ``hash_rate / 2^difficulty`` -- the quantitative heart of the
+    client-puzzle defense.
+    """
+
+    def __init__(self, node_id: str, position: Position, loop: EventLoop,
+                 radio: RadioMedium, group: PairingGroup,
+                 target_router: str, rate: float = 50.0,
+                 hash_rate: float = 200_000.0,
+                 rng: Optional[random.Random] = None,
+                 tx_range: float = 400.0) -> None:
+        super().__init__(node_id, position, loop, radio, tx_range=tx_range)
+        self.group = group
+        self.target_router = target_router
+        self.rate = rate
+        self.hash_rate = hash_rate
+        self.rng = rng or random.Random(666)
+        self._last_beacon: Optional[Beacon] = None
+        self.sent = 0
+        self.puzzle_limited = 0
+        loop.schedule_every(1.0 / rate, self._flood, jitter_rng=self.rng)
+
+    def deliver(self, frame: Frame) -> None:
+        if frame.kind == "M.1" and frame.src == self.target_router:
+            try:
+                self._last_beacon = Beacon.decode(self.group, SECP160R1,
+                                                  frame.payload)
+            except ReproError:
+                pass
+
+    def _flood(self) -> None:
+        beacon = self._last_beacon
+        if beacon is None:
+            return
+        request = forge_access_request(self.group, beacon, self.loop.now,
+                                       self.rng)
+        if beacon.puzzle is not None:
+            # Effective solve time at our hash budget; skip the send if
+            # we cannot keep up with our own flood rate.
+            solve_time = ((1 << beacon.puzzle.difficulty_bits)
+                          / self.hash_rate)
+            if solve_time > 1.0 / self.rate:
+                self.puzzle_limited += 1
+                return
+            solution = puzzles.solve_puzzle(beacon.puzzle,
+                                            request.puzzle_binding())
+            request = AccessRequest(request.g_r_user, request.g_r_router,
+                                    request.ts2, request.group_signature,
+                                    solution)
+        self.sent += 1
+        self.send(Frame("M.2", request.encode(), src=self.node_id,
+                        dst=self.target_router))

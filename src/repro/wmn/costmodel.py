@@ -1,0 +1,93 @@
+"""Computational cost model for simulated nodes.
+
+The simulator advances virtual time when a node performs expensive
+cryptography, so resource-exhaustion effects (the DoS experiment) are
+first-class.  Costs default to values calibrated from this package's
+own SS512 measurements on a commodity core; they are configuration, not
+measurements -- benchmark E9 reports the real numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual CPU costs, in seconds."""
+
+    pairing: float = 0.020
+    exponentiation: float = 0.0025
+    hash_op: float = 2e-6
+    ecdsa_sign: float = 0.001
+    ecdsa_verify: float = 0.002
+    aead_per_kb: float = 0.0005
+
+    def group_sign(self) -> float:
+        """8 exponentiations + 2 pairings (paper V.C)."""
+        return 8 * self.exponentiation + 2 * self.pairing
+
+    def group_verify(self, url_size: int) -> float:
+        """6 exponentiations + (3 + 2|URL|) pairings (paper V.C)."""
+        return (6 * self.exponentiation
+                + (3 + 2 * url_size) * self.pairing)
+
+    def group_verify_fast_revocation(self) -> float:
+        """6 exponentiations + 5 pairings (the O(1) variant, V.C)."""
+        return 6 * self.exponentiation + 5 * self.pairing
+
+    def puzzle_solve(self, difficulty_bits: int) -> float:
+        """Expected brute-force time: 2^bits hash evaluations."""
+        return (1 << difficulty_bits) * self.hash_op
+
+    def puzzle_verify(self) -> float:
+        return self.hash_op
+
+    def beacon_cost(self) -> float:
+        """Router-side beacon signing."""
+        return self.ecdsa_sign
+
+    def beacon_check(self) -> float:
+        """User-side beacon validation: cert + CRL + URL + beacon sigs."""
+        return 4 * self.ecdsa_verify
+
+    @classmethod
+    def calibrate(cls, preset: str = "SS512",
+                  repeats: int = 3) -> "CostModel":
+        """Build a cost model from THIS host's measured primitives.
+
+        Runs each primitive ``repeats`` times and takes the minimum, so
+        simulated router CPU budgets reflect the machine the benchmarks
+        actually ran on rather than the shipped defaults.
+        """
+        import hashlib
+        import random
+
+        from repro.pairing import PairingGroup
+        from repro.sig.curves import SECP160R1
+        from repro.sig.ecdsa import ecdsa_generate
+
+        group = PairingGroup(preset)
+        rng = random.Random(0xCA11B)
+        scalar = group.random_scalar(rng)
+
+        def best(fn) -> float:
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        pairing = best(lambda: group.pair(group.g1, group.g2))
+        exponentiation = best(lambda: group.g1 ** scalar)
+        hash_op = best(lambda: hashlib.sha256(b"calibrate").digest())
+        keypair = ecdsa_generate(SECP160R1, rng=rng)
+        signature = keypair.sign(b"calibrate")
+        ecdsa_sign = best(lambda: keypair.sign(b"calibrate"))
+        ecdsa_verify = best(
+            lambda: keypair.public.verify(b"calibrate", signature))
+        return cls(pairing=pairing, exponentiation=exponentiation,
+                   hash_op=hash_op, ecdsa_sign=ecdsa_sign,
+                   ecdsa_verify=ecdsa_verify)

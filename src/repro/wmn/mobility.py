@@ -1,0 +1,70 @@
+"""Random-waypoint mobility for layer-3 users.
+
+Users pick a uniformly random destination in the area, walk toward it
+at a speed drawn from ``[speed_min, speed_max]``, pause, and repeat.
+Position updates are driven by the event loop at ``tick`` granularity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional, Tuple
+
+from repro.wmn.simclock import EventLoop
+
+Position = Tuple[float, float]
+
+
+class RandomWaypoint:
+    """One user's movement process."""
+
+    def __init__(self, loop: EventLoop, area_side: float,
+                 get_position: Callable[[], Position],
+                 set_position: Callable[[Position], None],
+                 speed_min: float = 0.5, speed_max: float = 2.0,
+                 pause: float = 20.0, tick: float = 1.0,
+                 rng: Optional[random.Random] = None) -> None:
+        self.loop = loop
+        self.area_side = area_side
+        self.get_position = get_position
+        self.set_position = set_position
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+        self.pause = pause
+        self.tick = tick
+        self.rng = rng or random.Random(0)
+        self._target: Optional[Position] = None
+        self._speed = 0.0
+        self._paused_until = 0.0
+        self.distance_travelled = 0.0
+
+    def start(self) -> None:
+        """Begin the movement process."""
+        self._choose_target()
+        self.loop.schedule(self.tick, self._step)
+
+    def _choose_target(self) -> None:
+        self._target = (self.rng.uniform(0, self.area_side),
+                        self.rng.uniform(0, self.area_side))
+        self._speed = self.rng.uniform(self.speed_min, self.speed_max)
+
+    def _step(self) -> None:
+        now = self.loop.now
+        if now >= self._paused_until:
+            position = self.get_position()
+            target = self._target
+            gap = math.dist(position, target)
+            stride = self._speed * self.tick
+            if gap <= stride:
+                self.set_position(target)
+                self.distance_travelled += gap
+                self._paused_until = now + self.pause
+                self._choose_target()
+            else:
+                frac = stride / gap
+                self.set_position((
+                    position[0] + (target[0] - position[0]) * frac,
+                    position[1] + (target[1] - position[1]) * frac))
+                self.distance_travelled += stride
+        self.loop.schedule(self.tick, self._step)

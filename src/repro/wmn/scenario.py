@@ -1,0 +1,150 @@
+"""Scenario builder: a whole simulated city in one call.
+
+Combines the core :class:`~repro.core.deployment.Deployment` (NO, TTP,
+GMs, users, routers with real keys) with the simulator substrate (event
+loop, radio, topology, nodes) into a runnable :class:`Scenario`.
+Benchmarks E4-E7 and the integration tests are all built on this.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.clock import Clock
+from repro.core.deployment import Deployment
+from repro.core.protocols.dos import DosPolicy
+from repro.core.router import MeshRouter
+from repro.wmn.costmodel import CostModel
+from repro.wmn.metrics import HandshakeStats, merge_counters
+from repro.wmn.backbone import BackboneNetwork, UplinkDirectory
+from repro.wmn.mobility import RandomWaypoint
+from repro.wmn.nodes import SimMeshRouter, SimUser
+from repro.wmn.radio import RadioMedium
+from repro.wmn.relay import RelayUser
+from repro.wmn.simclock import EventLoop, SimClock
+from repro.wmn.topology import MetroTopology, TopologyConfig, build_topology
+
+
+def _stable_id(node_id: str) -> int:
+    """Deterministic per-node seed offset (``hash()`` is salted per
+    process, which would make simulations non-reproducible)."""
+    import zlib
+    return zlib.crc32(node_id.encode()) % 1000
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """High-level configuration of a simulated deployment."""
+
+    preset: str = "TEST"
+    seed: int = 0
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    group_sizes: Tuple[Tuple[str, int], ...] = (("Company X", 32),
+                                                ("University Z", 32))
+    beacon_interval: float = 5.0
+    data_interval: Optional[float] = None
+    loss_probability: float = 0.0
+    relay_capable: bool = False
+    dos_policy_factory: Optional[object] = None   # () -> DosPolicy
+    list_refresh_period: float = 600.0
+    cost_model: CostModel = field(default_factory=CostModel)
+    mobility: bool = False                # random-waypoint user motion
+    mobility_speed: Tuple[float, float] = (1.0, 8.0)   # m/s range
+    reconnect_interval: Optional[float] = None   # periodic re-association
+
+
+class Scenario:
+    """A built, runnable simulation."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.loop = EventLoop(start=1_000_000.0)
+        self.clock: Clock = SimClock(self.loop)
+        self.rng = random.Random(config.seed)
+        self.topology: MetroTopology = build_topology(config.topology)
+        self.radio = RadioMedium(
+            self.loop, loss_probability=config.loss_probability,
+            rng=random.Random(config.seed + 1),
+            default_range=config.topology.access_range)
+
+        groups = dict(config.group_sizes)
+        group_names = list(groups)
+        user_specs = []
+        for i, user_id in enumerate(self.topology.user_positions):
+            membership = group_names[i % len(group_names)]
+            user_specs.append((user_id, [membership]))
+
+        self.deployment = Deployment.build(
+            preset=config.preset, seed=config.seed, groups=groups,
+            users=user_specs,
+            routers=list(self.topology.router_positions),
+            clock=self.clock,
+            dos_policy_factory=config.dos_policy_factory)
+
+        self.backbone = BackboneNetwork(self.loop, self.topology.backbone)
+        self.directory = UplinkDirectory()
+        self.sim_routers: Dict[str, SimMeshRouter] = {}
+        for router_id, position in self.topology.router_positions.items():
+            self.sim_routers[router_id] = SimMeshRouter(
+                self.deployment.routers[router_id], position, self.loop,
+                self.radio, cost_model=config.cost_model,
+                beacon_interval=config.beacon_interval,
+                list_refresh_period=config.list_refresh_period,
+                access_range=config.topology.access_range,
+                backbone=self.backbone, directory=self.directory,
+                rng=random.Random(config.seed + _stable_id(router_id)))
+
+        user_class = RelayUser if config.relay_capable else SimUser
+        self.sim_users: Dict[str, SimUser] = {}
+        self.walkers: Dict[str, RandomWaypoint] = {}
+        for user_id, position in self.topology.user_positions.items():
+            membership = dict(user_specs)[user_id][0]
+            user = user_class(
+                self.deployment.users[user_id], user_id, position,
+                self.loop, self.radio, cost_model=config.cost_model,
+                context=membership,
+                data_interval=config.data_interval,
+                user_range=config.topology.user_range,
+                boost_range=config.topology.access_range * 1.2,
+                reconnect_interval=config.reconnect_interval,
+                rng=random.Random(config.seed + _stable_id(user_id)))
+            self.sim_users[user_id] = user
+            if config.mobility:
+                walker = RandomWaypoint(
+                    self.loop, config.topology.area_side,
+                    get_position=lambda u=user: u.position,
+                    set_position=lambda p, u=user: setattr(
+                        u, "position", p),
+                    speed_min=config.mobility_speed[0],
+                    speed_max=config.mobility_speed[1],
+                    rng=random.Random(config.seed * 7 + len(self.walkers)))
+                walker.start()
+                self.walkers[user_id] = walker
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` virtual seconds."""
+        self.loop.run_until(self.loop.now + duration)
+
+    # -- results -----------------------------------------------------------
+
+    def handshake_stats(self) -> HandshakeStats:
+        stats = HandshakeStats()
+        for user in self.sim_users.values():
+            stats.extend(user.auth_delays)
+        return stats
+
+    def router_metrics(self) -> Dict[str, float]:
+        return merge_counters(r.metrics for r in self.sim_routers.values())
+
+    def user_metrics(self) -> Dict[str, float]:
+        return merge_counters(u.metrics for u in self.sim_users.values())
+
+    def connected_fraction(self) -> float:
+        users = list(self.sim_users.values())
+        if not users:
+            return 0.0
+        return sum(1 for u in users if u.state == "connected") / len(users)

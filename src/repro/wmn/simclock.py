@@ -1,0 +1,110 @@
+"""Discrete-event loop and the simulated clock.
+
+A classic calendar queue: events are ``(time, sequence, callback)``
+triples ordered by time (sequence breaks ties FIFO, keeping runs
+deterministic).  :class:`SimClock` adapts the loop to the
+:class:`repro.core.clock.Clock` interface so every PEACE entity --
+timestamp checks, certificate expiry, CRL staleness -- runs on virtual
+time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.clock import Clock
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._sequence = 0
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` ``delay`` seconds from now (>= 0)."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._queue,
+                       (self._now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute time ``when``."""
+        self.schedule(when - self._now, callback)
+
+    def schedule_every(self, period: float, callback: Callback,
+                       jitter_rng=None, until: Optional[float] = None
+                       ) -> None:
+        """Repeat ``callback`` every ``period`` seconds.
+
+        ``jitter_rng`` (a ``random.Random``) desynchronizes periodic
+        sources by up to 10% of the period; ``until`` stops the series.
+        """
+        if period <= 0:
+            raise SimulationError("period must be positive")
+
+        def fire() -> None:
+            if until is not None and self._now > until:
+                return
+            callback()
+            delay = period
+            if jitter_rng is not None:
+                delay *= 1 + 0.1 * (jitter_rng.random() - 0.5)
+            self.schedule(delay, fire)
+
+        first_delay = 0.0
+        if jitter_rng is not None:
+            first_delay = period * jitter_rng.random()
+        self.schedule(first_delay, fire)
+
+    def run_until(self, end: float, max_events: int = 10_000_000) -> None:
+        """Process events up to (and including) simulated time ``end``."""
+        processed = 0
+        while self._queue and self._queue[0][0] <= end:
+            when, _seq, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t={end}")
+        self._now = max(self._now, end)
+        self.events_processed += processed
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue completely."""
+        processed = 0
+        while self._queue:
+            when, _seq, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("event explosion in run_all")
+        self.events_processed += processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class SimClock(Clock):
+    """Clock view of an :class:`EventLoop` for protocol entities."""
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+
+    def now(self) -> float:
+        return self._loop.now

@@ -1,0 +1,137 @@
+"""The three-layer metropolitan topology of Fig. 1.
+
+Layer 1: wired access points (Internet gateways).  Layer 2: stationary
+mesh routers on a grid forming the long-range wireless backbone, a
+subset co-located with the gateways.  Layer 3: mobile users scattered
+uniformly over the coverage area.
+
+``networkx`` models the backbone graph; :func:`topology_report`
+computes the structural statistics benchmark F1 reports (connectivity,
+router degree, hops-to-gateway, user coverage).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import SimulationError
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Knobs of the metropolitan layout."""
+
+    area_side: float = 2000.0        # square city area side, metres
+    router_grid: int = 4             # routers per side (grid^2 routers)
+    gateway_fraction: float = 0.25   # share of routers wired as APs
+    user_count: int = 40
+    backbone_range: float = 900.0    # WiMAX-class long range links
+    access_range: float = 350.0      # router <-> user service radius
+    user_range: float = 150.0        # user <-> user radio range
+    seed: int = 0
+
+
+@dataclass
+class MetroTopology:
+    """Concrete node placements plus the backbone graph."""
+
+    config: TopologyConfig
+    router_positions: Dict[str, Position]
+    gateway_ids: List[str]
+    user_positions: Dict[str, Position]
+    backbone: nx.Graph
+
+    def routers_in_reach_of(self, position: Position) -> List[str]:
+        """Routers whose access radius covers the given point."""
+        reach = self.config.access_range
+        return [router_id for router_id, router_pos
+                in self.router_positions.items()
+                if math.dist(position, router_pos) <= reach]
+
+    def nearest_router(self, position: Position) -> str:
+        return min(self.router_positions,
+                   key=lambda rid: math.dist(position,
+                                             self.router_positions[rid]))
+
+
+def build_topology(config: TopologyConfig) -> MetroTopology:
+    """Lay out routers on a jittered grid and users uniformly."""
+    if config.router_grid < 1:
+        raise SimulationError("need at least one mesh router")
+    rng = random.Random(config.seed)
+    spacing = config.area_side / config.router_grid
+    router_positions: Dict[str, Position] = {}
+    index = 0
+    for row in range(config.router_grid):
+        for col in range(config.router_grid):
+            jitter_x = rng.uniform(-0.1, 0.1) * spacing
+            jitter_y = rng.uniform(-0.1, 0.1) * spacing
+            router_positions[f"MR-{index}"] = (
+                (col + 0.5) * spacing + jitter_x,
+                (row + 0.5) * spacing + jitter_y)
+            index += 1
+
+    router_ids = list(router_positions)
+    gateway_count = max(1, round(len(router_ids)
+                                 * config.gateway_fraction))
+    gateway_ids = rng.sample(router_ids, gateway_count)
+
+    backbone = nx.Graph()
+    backbone.add_nodes_from(router_ids)
+    for i, rid_a in enumerate(router_ids):
+        for rid_b in router_ids[i + 1:]:
+            if (math.dist(router_positions[rid_a],
+                          router_positions[rid_b])
+                    <= config.backbone_range):
+                backbone.add_edge(rid_a, rid_b)
+
+    user_positions = {
+        f"U-{i}": (rng.uniform(0, config.area_side),
+                   rng.uniform(0, config.area_side))
+        for i in range(config.user_count)}
+
+    return MetroTopology(config=config,
+                         router_positions=router_positions,
+                         gateway_ids=gateway_ids,
+                         user_positions=user_positions,
+                         backbone=backbone)
+
+
+def topology_report(topology: MetroTopology) -> Dict[str, float]:
+    """Structural statistics for benchmark F1."""
+    backbone = topology.backbone
+    config = topology.config
+    connected = nx.is_connected(backbone) if backbone.nodes else False
+    degrees = [deg for _node, deg in backbone.degree()]
+    hops: List[int] = []
+    if connected and topology.gateway_ids:
+        lengths = {}
+        for gateway in topology.gateway_ids:
+            for node, dist in nx.single_source_shortest_path_length(
+                    backbone, gateway).items():
+                lengths[node] = min(lengths.get(node, math.inf), dist)
+        hops = [int(lengths[node]) for node in backbone.nodes]
+    covered = sum(
+        1 for pos in topology.user_positions.values()
+        if topology.routers_in_reach_of(pos))
+    user_count = max(1, len(topology.user_positions))
+    return {
+        "routers": float(len(topology.router_positions)),
+        "gateways": float(len(topology.gateway_ids)),
+        "users": float(len(topology.user_positions)),
+        "backbone_connected": float(connected),
+        "mean_router_degree": (sum(degrees) / len(degrees)
+                               if degrees else 0.0),
+        "max_hops_to_gateway": float(max(hops)) if hops else math.inf,
+        "mean_hops_to_gateway": (sum(hops) / len(hops)
+                                 if hops else math.inf),
+        "user_coverage_fraction": covered / user_count,
+        "area_km2": (config.area_side / 1000.0) ** 2,
+    }

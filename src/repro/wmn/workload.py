@@ -1,0 +1,155 @@
+"""Synthetic metropolitan workload generation.
+
+The paper's motivating scenario is a city's worth of residents using
+the mesh "from everywhere within the community such as offices, homes,
+restaurants, hospitals, hotels, shopping malls, and even vehicles" --
+i.e. a diurnal activity pattern.  This module generates that load:
+
+* :class:`DiurnalProfile` -- a 24-hour activity envelope (relative
+  session-arrival intensity per hour), with a plausible city default
+  (morning ramp, lunchtime bump, evening peak, night trough);
+* :func:`poisson_arrivals` -- a non-homogeneous Poisson arrival
+  sequence over the profile, by thinning;
+* :class:`WorkloadDriver` -- schedules those arrivals onto a
+  :class:`~repro.wmn.scenario.Scenario`, making randomly chosen users
+  start short sessions (connect, send a burst, disconnect).
+
+Used by the diurnal example and available to scale handshake-load
+experiments with realistic burstiness instead of fixed intervals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+#: Relative hourly intensity of a residential metro network: quiet
+#: nights, commute ramps, lunch bump, strong evening peak.
+CITY_DEFAULT_PROFILE = (
+    0.15, 0.10, 0.08, 0.08, 0.10, 0.20,   # 00-05
+    0.40, 0.70, 0.90, 0.80, 0.70, 0.75,   # 06-11
+    0.85, 0.80, 0.70, 0.70, 0.75, 0.90,   # 12-17
+    1.00, 0.95, 0.85, 0.70, 0.45, 0.25,   # 18-23
+)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A 24-hour relative-intensity envelope."""
+
+    hourly: Sequence[float] = CITY_DEFAULT_PROFILE
+
+    def __post_init__(self) -> None:
+        if len(self.hourly) != 24:
+            raise SimulationError("profile needs exactly 24 hourly values")
+        if min(self.hourly) < 0 or max(self.hourly) <= 0:
+            raise SimulationError("profile values must be >= 0, not all 0")
+
+    def intensity_at(self, seconds_of_day: float) -> float:
+        """Relative intensity at a time of day, linearly interpolated."""
+        hours = (seconds_of_day / 3600.0) % 24.0
+        low = int(hours) % 24
+        high = (low + 1) % 24
+        frac = hours - int(hours)
+        return self.hourly[low] * (1 - frac) + self.hourly[high] * frac
+
+    @property
+    def peak(self) -> float:
+        return max(self.hourly)
+
+
+def poisson_arrivals(profile: DiurnalProfile, peak_rate: float,
+                     start: float, duration: float,
+                     rng: Optional[random.Random] = None,
+                     day_anchor: float = 0.0) -> List[float]:
+    """Non-homogeneous Poisson arrivals via Lewis-Shedler thinning.
+
+    ``peak_rate`` is the arrival rate (events/second) at the profile's
+    peak; the instantaneous rate is ``peak_rate * intensity / peak``.
+    ``day_anchor`` is the absolute time corresponding to midnight (the
+    simulator's clock rarely starts at a day boundary).  Returns
+    absolute event times within ``[start, start + duration)``.
+    """
+    if peak_rate <= 0 or duration <= 0:
+        raise SimulationError("peak_rate and duration must be positive")
+    rng = rng or random.Random()
+    arrivals: List[float] = []
+    t = start
+    end = start + duration
+    while True:
+        t += rng.expovariate(peak_rate)
+        if t >= end:
+            return arrivals
+        acceptance = profile.intensity_at(t - day_anchor) / profile.peak
+        if rng.random() < acceptance:
+            arrivals.append(t)
+
+
+class WorkloadDriver:
+    """Schedules diurnal session activity onto a scenario."""
+
+    def __init__(self, scenario, profile: Optional[DiurnalProfile] = None,
+                 peak_rate: float = 0.2,
+                 session_duration: float = 60.0,
+                 burst_packets: int = 3,
+                 day_anchor: Optional[float] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.scenario = scenario
+        self.profile = profile or DiurnalProfile()
+        self.peak_rate = peak_rate
+        self.session_duration = session_duration
+        self.burst_packets = burst_packets
+        # Default anchor: "the simulation started at midnight".
+        self.day_anchor = (scenario.loop.now if day_anchor is None
+                           else day_anchor)
+        self.rng = rng or random.Random(0)
+        self.sessions_started = 0
+        self.bursts_sent = 0
+        # The driver owns connection timing: users sit dormant until an
+        # arrival activates them.
+        for user in scenario.sim_users.values():
+            user.auto_connect = False
+
+    def schedule(self, duration: float) -> int:
+        """Lay out arrivals for the next ``duration`` simulated seconds.
+
+        Each arrival picks an idle user to connect; once connected the
+        user sends a short packet burst and disconnects after the
+        session duration.  Returns the number of scheduled arrivals.
+        """
+        loop = self.scenario.loop
+        arrivals = poisson_arrivals(self.profile, self.peak_rate,
+                                    loop.now, duration, rng=self.rng,
+                                    day_anchor=self.day_anchor)
+        for when in arrivals:
+            loop.schedule_at(when, self._start_session)
+        return len(arrivals)
+
+    def _start_session(self) -> None:
+        # Eligible: dormant users not already activated by an earlier
+        # arrival still waiting for its beacon.
+        idle = [user for user in self.scenario.sim_users.values()
+                if user.state == "idle" and not user.auto_connect]
+        if not idle:
+            return
+        user = self.rng.choice(idle)
+        user.auto_connect = True     # picks up the next beacon
+        self.sessions_started += 1
+        self.scenario.loop.schedule(self.session_duration / 2,
+                                    lambda: self._burst(user))
+
+        def finish() -> None:
+            user.disconnect()
+            user.auto_connect = False
+
+        self.scenario.loop.schedule(self.session_duration, finish)
+
+    def _burst(self, user) -> None:
+        if user.state != "connected":
+            return
+        for _ in range(self.burst_packets):
+            user._send_data()
+        self.bursts_sent += 1

@@ -1,0 +1,72 @@
+"""Experiments E2/E3: measured operation counts vs the paper's claims."""
+
+import pytest
+
+from repro.analysis.opreport import (
+    expected_fast_verify_cost,
+    expected_sign_cost,
+    expected_verify_cost,
+    measure_fast_verify_cost,
+    measure_sign_cost,
+    measure_verify_cost,
+    url_scaling_table,
+)
+from repro.core.groupsig import RevocationToken
+
+
+class TestSignCost:
+    def test_measured_matches_paper(self, gpk, member_keys, rng):
+        measured = measure_sign_cost(gpk, member_keys["a1"], rng=rng)
+        expected = expected_sign_cost()
+        assert measured.exponentiations == expected.exponentiations == 8
+        assert measured.pairings == expected.pairings == 2
+        assert measured.wall_seconds > 0
+
+
+class TestVerifyCost:
+    @pytest.mark.parametrize("url_size", [0, 2])
+    def test_measured_matches_paper(self, gpk, member_keys, rng,
+                                    url_size):
+        decoys = [RevocationToken(member_keys[n].a)
+                  for n in ("a2", "b1")][:url_size]
+        measured = measure_verify_cost(gpk, member_keys["a1"],
+                                       url=decoys, rng=rng)
+        expected = expected_verify_cost(url_size)
+        assert measured.exponentiations == expected.exponentiations == 6
+        assert measured.pairings == expected.pairings
+
+    def test_fast_variant_matches_paper(self, gpk, member_keys, rng):
+        url = [RevocationToken(member_keys["a2"].a),
+               RevocationToken(member_keys["b1"].a)]
+        measured = measure_fast_verify_cost(gpk, member_keys["a1"], url,
+                                            rng=rng)
+        expected = expected_fast_verify_cost()
+        assert measured.exponentiations == expected.exponentiations == 6
+        assert measured.pairings == expected.pairings == 5
+
+
+class TestUrlScaling:
+    def test_table_rows(self, gpk, member_keys, rng):
+        decoys = [RevocationToken(member_keys[n].a)
+                  for n in ("a2", "b1", "b2")]
+        rows = url_scaling_table(gpk, member_keys["a1"], decoys,
+                                 url_sizes=[0, 1, 3], rng=rng)
+        assert [row["url_size"] for row in rows] == [0, 1, 3]
+        for row in rows:
+            assert row["pairings_measured"] == row["pairings_expected"]
+            assert (row["exponentiations_measured"]
+                    == row["exponentiations_expected"])
+
+    def test_linear_growth(self, gpk, member_keys, rng):
+        decoys = [RevocationToken(member_keys[n].a)
+                  for n in ("a2", "b1", "b2")]
+        rows = url_scaling_table(gpk, member_keys["a1"], decoys,
+                                 url_sizes=[0, 1, 2, 3], rng=rng)
+        pairings = [row["pairings_measured"] for row in rows]
+        deltas = [b - a for a, b in zip(pairings, pairings[1:])]
+        assert all(delta == 2 for delta in deltas)
+
+    def test_insufficient_decoys_rejected(self, gpk, member_keys, rng):
+        with pytest.raises(ValueError):
+            url_scaling_table(gpk, member_keys["a1"], [], url_sizes=[1],
+                              rng=rng)

@@ -1,0 +1,92 @@
+"""Experiments E5-E7 as assertions: the paper's Section V.A claims."""
+
+import pytest
+
+from repro.analysis.attack_eval import (
+    dos_campaign,
+    injection_campaign,
+    phishing_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def injection_result():
+    return injection_campaign(seed=11, user_count=3, duration=90.0)
+
+
+class TestInjectionFiltering:
+    """'such bogus data traffic will be all immediately filtered'"""
+
+    def test_outsiders_filtered(self, injection_result):
+        assert injection_result.outsider_injected > 0
+        assert injection_result.outsider_accepted == 0
+
+    def test_replays_filtered(self, injection_result):
+        assert injection_result.replays_sent > 0
+        assert injection_result.replays_accepted == 0
+
+    def test_revoked_users_filtered(self, injection_result):
+        assert injection_result.revoked_attempts > 0
+        assert injection_result.revoked_accepted == 0
+
+    def test_bogus_data_frames_filtered(self, injection_result):
+        assert injection_result.bogus_data_frames > 0
+        assert injection_result.bogus_data_accepted == 0
+
+    def test_legitimate_users_unaffected(self, injection_result):
+        assert (injection_result.legit_accepted
+                == injection_result.legit_attempted > 0)
+
+
+@pytest.fixture(scope="module")
+def phishing_result():
+    return phishing_campaign(crl_update_period=120.0, revoke_at=100.0,
+                             duration=420.0, seed=23, user_count=3)
+
+
+class TestPhishingWindow:
+    """'cheated ... only for up to (inverse of the update frequency -
+    (current time - last periodical update time)) time period'"""
+
+    def test_phisher_collects_victims_before_revocation(self,
+                                                        phishing_result):
+        assert phishing_result.victims_before_revocation > 0
+
+    def test_window_bounded_by_crl_period(self, phishing_result):
+        assert (phishing_result.observed_window
+                <= phishing_result.paper_bound)
+
+    def test_phishing_eventually_stops(self, phishing_result):
+        """No victims beyond the bound: the stale CRL gives it away."""
+        if phishing_result.last_victim_at is not None:
+            run_end = 1_000_000.0 + 420.0
+            assert phishing_result.last_victim_at < run_end - 60.0
+
+    def test_fresh_rogue_router_gets_nobody(self, phishing_result):
+        """A never-provisioned rogue cannot phish even one user."""
+        assert phishing_result.rogue_victims == 0
+
+
+class TestDosDefense:
+    """Client puzzles keep legitimate users served under flood."""
+
+    def test_puzzles_cut_router_cpu(self):
+        without = dos_campaign(flood_rate=30.0, puzzles=False,
+                               duration=45.0, seed=31, user_count=2)
+        with_puzzles = dos_campaign(flood_rate=30.0, puzzles=True,
+                                    difficulty=14, duration=45.0,
+                                    seed=31, user_count=2)
+        assert (with_puzzles.router_cpu_busy
+                < without.router_cpu_busy * 0.7)
+
+    def test_attacker_rate_collapses_under_puzzles(self):
+        result = dos_campaign(flood_rate=30.0, puzzles=True,
+                              difficulty=14, duration=45.0, seed=32,
+                              user_count=2)
+        assert result.attacker_puzzle_limited > result.attacker_sent
+
+    def test_legit_users_connect_despite_attack(self):
+        result = dos_campaign(flood_rate=30.0, puzzles=True,
+                              difficulty=10, duration=60.0, seed=33,
+                              user_count=2)
+        assert result.legit_success_rate == 1.0

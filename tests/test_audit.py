@@ -1,0 +1,135 @@
+"""Audit and law-authority tracing (Section IV.D)."""
+
+import pytest
+
+from repro.core.audit import NetworkLog, audit_by_session
+from repro.errors import AuditError
+
+
+class TestNoAudit:
+    def test_audit_reveals_group_only(self, fresh_deployment):
+        deployment = fresh_deployment()
+        user_session, _ = deployment.connect("alice", "MR-1",
+                                             context="Company X")
+        result = audit_by_session(deployment.operator,
+                                  deployment.network_log,
+                                  user_session.session_id)
+        assert result.group_name == "Company X"
+        # Nothing about alice herself in the result.
+        rendered = result.describe()
+        assert "alice" not in rendered
+        assert deployment.users["alice"].identity.uid.hex() not in rendered
+
+    def test_audit_respects_signing_context(self, fresh_deployment):
+        """Signing under a different role attributes a different group."""
+        deployment = fresh_deployment(
+            users=[("alice", ["Company X", "University Z"])])
+        s1, _ = deployment.connect("alice", "MR-1", context="Company X")
+        s2, _ = deployment.connect("alice", "MR-1",
+                                   context="University Z")
+        r1 = audit_by_session(deployment.operator, deployment.network_log,
+                              s1.session_id)
+        r2 = audit_by_session(deployment.operator, deployment.network_log,
+                              s2.session_id)
+        assert r1.group_name == "Company X"
+        assert r2.group_name == "University Z"
+
+    def test_unknown_session_raises(self, fresh_deployment):
+        deployment = fresh_deployment()
+        with pytest.raises(AuditError):
+            audit_by_session(deployment.operator, deployment.network_log,
+                             b"\x00" * 16)
+
+    def test_audit_of_every_logged_session(self, fresh_deployment):
+        deployment = fresh_deployment()
+        sessions = [deployment.connect("alice", "MR-1")[0]
+                    for _ in range(3)]
+        for session in sessions:
+            result = audit_by_session(deployment.operator,
+                                      deployment.network_log,
+                                      session.session_id)
+            assert result.group_name == "Company X"
+
+
+class TestLawAuthorityTrace:
+    def test_full_trace_reveals_identity(self, fresh_deployment):
+        deployment = fresh_deployment()
+        user_session, _ = deployment.connect("bob", "MR-1")
+        result = deployment.law_authority.trace_session(
+            deployment.operator, deployment.network_log, deployment.gms,
+            user_session.session_id)
+        assert result.identity.name == "bob"
+        assert result.audit.group_name == "University Z"
+        assert result.receipt_backed
+
+    def test_trace_recorded_in_case_file(self, fresh_deployment):
+        deployment = fresh_deployment()
+        user_session, _ = deployment.connect("alice", "MR-1")
+        deployment.law_authority.trace_session(
+            deployment.operator, deployment.network_log, deployment.gms,
+            user_session.session_id)
+        assert len(deployment.law_authority.case_file) == 1
+
+    def test_trace_needs_the_gm(self, fresh_deployment):
+        """NO alone cannot produce an identity: without GM_i the trace
+        fails -- the paper's joint-effort requirement."""
+        deployment = fresh_deployment()
+        user_session, _ = deployment.connect("alice", "MR-1")
+        with pytest.raises(AuditError):
+            deployment.law_authority.trace_session(
+                deployment.operator, deployment.network_log,
+                {},   # no group managers cooperate
+                user_session.session_id)
+
+    def test_trace_describe_mentions_receipt(self, fresh_deployment):
+        deployment = fresh_deployment()
+        user_session, _ = deployment.connect("alice", "MR-1")
+        result = deployment.law_authority.trace_session(
+            deployment.operator, deployment.network_log, deployment.gms,
+            user_session.session_id)
+        assert "receipt" in result.describe()
+
+
+class TestNonFrameability:
+    def test_audit_never_blames_non_signer(self, fresh_deployment):
+        """Eq.3 matches exactly one token; other members' tokens never
+        match, so no innocent member can be framed by the audit."""
+        from repro.core import groupsig
+        deployment = fresh_deployment()
+        user_session, _ = deployment.connect("alice", "MR-1",
+                                             context="Company X")
+        entry = deployment.network_log.find(user_session.session_id)
+        gpk = deployment.operator.gpk
+        alice_token = groupsig.RevocationToken(
+            deployment.users["alice"].credentials["Company X"].a)
+        bob_token = groupsig.RevocationToken(
+            deployment.users["bob"].credentials["University Z"].a)
+        assert groupsig.signature_matches_token(
+            gpk, entry.signed_payload, entry.group_signature, alice_token)
+        assert not groupsig.signature_matches_token(
+            gpk, entry.signed_payload, entry.group_signature, bob_token)
+
+    def test_gm_cannot_identify_unassigned_index(self, fresh_deployment):
+        deployment = fresh_deployment()
+        gm = deployment.gms["Company X"]
+        with pytest.raises(AuditError):
+            gm.identify((1, 999))
+
+
+class TestNetworkLog:
+    def test_ingest_and_find(self, fresh_deployment):
+        deployment = fresh_deployment()
+        user_session, _ = deployment.connect("alice", "MR-1")
+        log = NetworkLog()
+        log.ingest(deployment.routers["MR-1"].auth_log)
+        assert len(log) == 1
+        assert log.find(user_session.session_id).router_id == "MR-1"
+
+    def test_reingest_idempotent(self, fresh_deployment):
+        deployment = fresh_deployment()
+        deployment.connect("alice", "MR-1")
+        log = NetworkLog()
+        entries = deployment.routers["MR-1"].auth_log
+        log.ingest(entries)
+        log.ingest(entries)
+        assert len(log) == 1

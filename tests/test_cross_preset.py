@@ -1,0 +1,65 @@
+"""The full scheme on every shipped parameter set.
+
+Most of the suite runs on TEST for speed; these tests confirm nothing
+is accidentally TEST-specific -- including the 1024-bit preset.
+"""
+
+import random
+
+import pytest
+
+from repro.core import groupsig
+from repro.pairing import PairingGroup
+
+
+@pytest.mark.parametrize("preset", ["TEST", "SS256", "SS512"])
+def test_sign_verify_roundtrip(preset):
+    group = PairingGroup(preset)
+    rng = random.Random(42)
+    gpk, master = groupsig.keygen_master(group, rng)
+    key = groupsig.issue_member_key(group, master, 77, (1, 1), rng)
+    signature = groupsig.sign(gpk, key, b"cross-preset", rng=rng)
+    groupsig.verify(gpk, b"cross-preset", signature)
+    with pytest.raises(groupsig.InvalidSignature):
+        groupsig.verify(gpk, b"tampered", signature)
+
+
+@pytest.mark.parametrize("preset", ["TEST", "SS256", "SS512"])
+def test_revocation_and_open(preset):
+    group = PairingGroup(preset)
+    rng = random.Random(43)
+    gpk, master = groupsig.keygen_master(group, rng)
+    key1 = groupsig.issue_member_key(group, master, 10, (1, 1), rng)
+    key2 = groupsig.issue_member_key(group, master, 10, (1, 2), rng)
+    signature = groupsig.sign(gpk, key1, b"m", rng=rng)
+    with pytest.raises(groupsig.RevokedKeyError):
+        groupsig.verify(gpk, b"m", signature,
+                        url=[groupsig.RevocationToken(key1.a)])
+    grt = [(groupsig.RevocationToken(key1.a), "one"),
+           (groupsig.RevocationToken(key2.a), "two")]
+    assert groupsig.open_signature(gpk, b"m", signature, grt) == "one"
+
+
+def test_ss1024_smoke():
+    """One full cycle on the 1024-bit preset (slowest path, run once)."""
+    group = PairingGroup("SS1024")
+    rng = random.Random(44)
+    gpk, master = groupsig.keygen_master(group, rng)
+    key = groupsig.issue_member_key(group, master, 5, (1, 1), rng)
+    signature = groupsig.sign(gpk, key, b"big", rng=rng)
+    groupsig.verify(gpk, b"big", signature)
+    blob = signature.encode()
+    assert len(blob) == groupsig.GroupSignature.encoded_size(group)
+    groupsig.verify(gpk, b"big",
+                    groupsig.GroupSignature.decode(group, blob))
+
+
+@pytest.mark.parametrize("preset", ["TEST", "SS256"])
+def test_deployment_on_preset(preset):
+    from repro.core.deployment import Deployment
+    deployment = Deployment.build(preset=preset, seed=5,
+                                  groups={"Company X": 2},
+                                  users=[("alice", ["Company X"])],
+                                  routers=["MR-1"])
+    user_session, router_session = deployment.connect("alice", "MR-1")
+    assert router_session.receive(user_session.send(b"x")) == b"x"

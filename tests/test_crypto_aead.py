@@ -1,0 +1,98 @@
+"""Tests for the AES-CTR + HMAC encrypt-then-MAC AEAD."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import AeadKey, open_sealed, seal
+from repro.errors import SessionError
+
+KEY = b"\x42" * 32
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        k = AeadKey(KEY)
+        assert k.open(k.seal(b"payload")) == b"payload"
+
+    def test_with_aad(self):
+        k = AeadKey(KEY)
+        sealed = k.seal(b"payload", aad=b"header")
+        assert k.open(sealed, aad=b"header") == b"payload"
+
+    def test_empty_plaintext(self):
+        k = AeadKey(KEY)
+        assert k.open(k.seal(b"")) == b""
+
+    def test_one_shot_helpers(self):
+        assert open_sealed(KEY, seal(KEY, b"x", b"a"), b"a") == b"x"
+
+    def test_nonces_are_fresh(self):
+        k = AeadKey(KEY)
+        assert k.seal(b"same") != k.seal(b"same")
+
+    def test_explicit_nonce_is_deterministic(self):
+        k = AeadKey(KEY)
+        nonce = b"\x01" * 16
+        assert k.seal(b"m", nonce=nonce) == k.seal(b"m", nonce=nonce)
+
+    @given(st.binary(max_size=300), st.binary(max_size=50))
+    @settings(max_examples=25)
+    def test_property_roundtrip(self, plaintext, aad):
+        k = AeadKey(KEY)
+        assert k.open(k.seal(plaintext, aad=aad), aad=aad) == plaintext
+
+
+class TestForgeryRejection:
+    def test_tampered_ciphertext(self):
+        k = AeadKey(KEY)
+        sealed = bytearray(k.seal(b"secret"))
+        sealed[20] ^= 1
+        with pytest.raises(SessionError):
+            k.open(bytes(sealed))
+
+    def test_tampered_tag(self):
+        k = AeadKey(KEY)
+        sealed = bytearray(k.seal(b"secret"))
+        sealed[-1] ^= 1
+        with pytest.raises(SessionError):
+            k.open(bytes(sealed))
+
+    def test_tampered_nonce(self):
+        k = AeadKey(KEY)
+        sealed = bytearray(k.seal(b"secret"))
+        sealed[0] ^= 1
+        with pytest.raises(SessionError):
+            k.open(bytes(sealed))
+
+    def test_wrong_aad(self):
+        k = AeadKey(KEY)
+        with pytest.raises(SessionError):
+            k.open(k.seal(b"m", aad=b"a"), aad=b"b")
+
+    def test_wrong_key(self):
+        sealed = AeadKey(KEY).seal(b"m")
+        with pytest.raises(SessionError):
+            AeadKey(b"\x43" * 32).open(sealed)
+
+    def test_truncated_blob(self):
+        k = AeadKey(KEY)
+        with pytest.raises(SessionError):
+            k.open(b"\x00" * 10)
+
+    def test_aad_length_confusion_rejected(self):
+        """aad=b'ab' + pt prefix must not collide with aad=b'a'."""
+        k = AeadKey(KEY)
+        sealed = k.seal(b"m", aad=b"ab")
+        with pytest.raises(SessionError):
+            k.open(sealed, aad=b"a")
+
+
+class TestKeyValidation:
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(SessionError):
+            AeadKey(b"short")
+
+    def test_bad_nonce_size_rejected(self):
+        with pytest.raises(SessionError):
+            AeadKey(KEY).seal(b"m", nonce=b"short")

@@ -1,0 +1,91 @@
+"""AES correctness against FIPS-197 / SP 800-38A vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.errors import ParameterError
+
+
+class TestFips197Vectors:
+    def test_aes128(self):
+        cipher = AES(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        out = cipher.encrypt_block(
+            bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out == bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_aes192(self):
+        cipher = AES(bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617"))
+        out = cipher.encrypt_block(
+            bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out == bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+
+    def test_aes256(self):
+        cipher = AES(bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"))
+        out = cipher.encrypt_block(
+            bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out == bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+
+    def test_sp800_38a_aes128_ecb_first_block(self):
+        cipher = AES(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        out = cipher.encrypt_block(
+            bytes.fromhex("6bc1bee22e409f96e93d7e117393172a"))
+        assert out == bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+
+
+class TestCtrMode:
+    def test_sp800_38a_ctr_vector(self):
+        cipher = AES(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        counter = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+        plaintext = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51")
+        expected = bytes.fromhex(
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff")
+        assert cipher.ctr_xor(counter, plaintext) == expected
+
+    def test_ctr_self_inverse(self):
+        cipher = AES(b"k" * 16)
+        nonce = b"n" * 16
+        data = b"some session payload bytes"
+        assert cipher.ctr_xor(nonce, cipher.ctr_xor(nonce, data)) == data
+
+    def test_ctr_counter_wraps(self):
+        cipher = AES(b"k" * 16)
+        nonce = b"\xff" * 16
+        # Two blocks force a counter increment past 2^128 - 1.
+        out = cipher.ctr_keystream(nonce, 32)
+        assert len(out) == 32
+        assert out[:16] != out[16:]
+
+    def test_ctr_bad_nonce_rejected(self):
+        with pytest.raises(ParameterError):
+            AES(b"k" * 16).ctr_xor(b"short", b"data")
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=25)
+    def test_property_roundtrip(self, data):
+        cipher = AES(b"p" * 16)
+        nonce = b"q" * 16
+        assert cipher.ctr_xor(nonce, cipher.ctr_xor(nonce, data)) == data
+
+
+class TestKeyHandling:
+    def test_bad_key_sizes_rejected(self):
+        for size in (0, 8, 15, 17, 31, 33):
+            with pytest.raises(ParameterError):
+                AES(b"k" * size)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ParameterError):
+            AES(b"k" * 16).encrypt_block(b"short")
+
+    def test_different_keys_differ(self):
+        block = b"b" * 16
+        assert (AES(b"a" * 16).encrypt_block(block)
+                != AES(b"b" * 16).encrypt_block(block))

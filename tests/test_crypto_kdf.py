@@ -1,0 +1,65 @@
+"""Tests for HKDF and session key derivation."""
+
+import pytest
+
+from repro.crypto.kdf import derive_session_keys, hkdf
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        """RFC 5869 Appendix A.1 test vector."""
+        okm = hkdf(ikm=b"\x0b" * 22, length=42,
+                   salt=bytes.fromhex("000102030405060708090a0b0c"),
+                   info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"))
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865")
+
+    def test_rfc5869_case_3_empty_salt_info(self):
+        okm = hkdf(ikm=b"\x0b" * 22, length=42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8")
+
+    def test_length_control(self):
+        for length in (1, 16, 31, 64, 100):
+            assert len(hkdf(b"ikm", length)) == length
+
+    def test_deterministic(self):
+        assert hkdf(b"k", 32, b"s", b"i") == hkdf(b"k", 32, b"s", b"i")
+
+    def test_info_separates(self):
+        assert hkdf(b"k", 32, info=b"a") != hkdf(b"k", 32, info=b"b")
+
+    def test_salt_separates(self):
+        assert hkdf(b"k", 32, salt=b"a") != hkdf(b"k", 32, salt=b"b")
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"k", 255 * 32 + 1)
+
+
+class TestSessionKeys:
+    def test_all_keys_present_and_distinct(self):
+        keys = derive_session_keys(b"shared-element", b"session-id")
+        assert set(keys) == {"enc_i2r", "enc_r2i", "mac_i2r", "mac_r2i",
+                             "aead"}
+        values = list(keys.values())
+        assert len(set(values)) == len(values)
+
+    def test_key_sizes(self):
+        keys = derive_session_keys(b"shared", b"sid")
+        assert len(keys["enc_i2r"]) == 16
+        assert len(keys["mac_i2r"]) == 32
+        assert len(keys["aead"]) == 32
+
+    def test_session_id_salts_derivation(self):
+        a = derive_session_keys(b"shared", b"sid-1")
+        b = derive_session_keys(b"shared", b"sid-2")
+        assert a["aead"] != b["aead"]
+
+    def test_both_sides_agree(self):
+        assert (derive_session_keys(b"K", b"S")
+                == derive_session_keys(b"K", b"S"))

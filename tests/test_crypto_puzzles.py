@@ -1,0 +1,79 @@
+"""Tests for the Juels-Brainard client puzzles."""
+
+import pytest
+
+from repro.crypto.puzzles import (
+    Puzzle,
+    PuzzleSolution,
+    expected_attempts,
+    solve_puzzle,
+    verify_solution,
+)
+from repro.errors import PuzzleError
+
+
+class TestSolveVerify:
+    def test_roundtrip(self):
+        puzzle = Puzzle.fresh(8)
+        solution = solve_puzzle(puzzle, b"binding")
+        assert verify_solution(puzzle, b"binding", solution)
+
+    def test_zero_difficulty_trivial(self):
+        puzzle = Puzzle.fresh(0)
+        solution = solve_puzzle(puzzle, b"x")
+        assert solution.counter == 0
+        assert verify_solution(puzzle, b"x", solution)
+
+    def test_solution_bound_to_binding(self):
+        puzzle = Puzzle.fresh(12)
+        solution = solve_puzzle(puzzle, b"request-A")
+        # With overwhelming probability the same counter fails for a
+        # different binding at 12 bits.
+        assert not verify_solution(puzzle, b"request-B", solution)
+
+    def test_solution_bound_to_puzzle(self):
+        p1 = Puzzle.fresh(12)
+        p2 = Puzzle.fresh(12)
+        solution = solve_puzzle(p1, b"bind")
+        assert not verify_solution(p2, b"bind", solution)
+
+    def test_attempt_cap_honored(self):
+        puzzle = Puzzle.fresh(30)
+        with pytest.raises(PuzzleError):
+            solve_puzzle(puzzle, b"bind", max_attempts=4)
+
+    def test_work_scales_with_difficulty(self):
+        """Average counters grow ~2x per extra bit (loose check)."""
+        easy = [solve_puzzle(Puzzle.fresh(4), bytes([i])).counter
+                for i in range(20)]
+        hard = [solve_puzzle(Puzzle.fresh(10), bytes([i])).counter
+                for i in range(20)]
+        assert sum(hard) > sum(easy)
+
+    def test_expected_attempts(self):
+        assert expected_attempts(10) == 1024
+
+
+class TestEncoding:
+    def test_puzzle_roundtrip(self):
+        puzzle = Puzzle.fresh(9)
+        decoded = Puzzle.decode(puzzle.encode())
+        assert decoded == puzzle
+
+    def test_solution_roundtrip(self):
+        solution = PuzzleSolution(123456)
+        assert PuzzleSolution.decode(solution.encode()) == solution
+
+    def test_truncated_puzzle_rejected(self):
+        with pytest.raises(PuzzleError):
+            Puzzle.decode(b"\x08")
+
+    def test_bad_solution_width_rejected(self):
+        with pytest.raises(PuzzleError):
+            PuzzleSolution.decode(b"\x00" * 7)
+
+    def test_unreasonable_difficulty_rejected(self):
+        with pytest.raises(PuzzleError):
+            Puzzle.fresh(64)
+        with pytest.raises(PuzzleError):
+            Puzzle.fresh(-1)

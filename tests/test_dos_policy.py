@@ -1,0 +1,78 @@
+"""Tests for the DoS detection / puzzle policy."""
+
+from repro.core.protocols.dos import DosPolicy
+
+
+class TestDetection:
+    def test_quiet_is_not_attack(self):
+        policy = DosPolicy(rate_threshold=10.0, window=10.0)
+        assert not policy.under_attack(now=0.0)
+
+    def test_flood_detected(self):
+        policy = DosPolicy(rate_threshold=10.0, window=10.0)
+        for i in range(150):
+            policy.note_request(now=i * 0.05)
+        assert policy.under_attack(now=7.5)
+
+    def test_window_slides(self):
+        policy = DosPolicy(rate_threshold=10.0, window=10.0)
+        for i in range(150):
+            policy.note_request(now=i * 0.05)
+        # Long after the burst, the window is empty again.
+        assert not policy.under_attack(now=100.0)
+
+    def test_observed_rate(self):
+        policy = DosPolicy(window=10.0)
+        for i in range(50):
+            policy.note_request(now=float(i) * 0.1)
+        assert abs(policy.observed_rate(now=5.0) - 5.0) < 1.0
+
+    def test_forced_override(self):
+        policy = DosPolicy()
+        policy.forced = True
+        assert policy.under_attack(now=0.0)
+        policy.forced = False
+        for i in range(1000):
+            policy.note_request(now=0.0)
+        assert not policy.under_attack(now=0.0)
+
+
+class TestDifficulty:
+    def test_zero_when_calm(self):
+        policy = DosPolicy(rate_threshold=10.0)
+        assert policy.current_difficulty(now=0.0) == 0
+
+    def test_base_at_threshold(self):
+        policy = DosPolicy(rate_threshold=1.0, window=10.0,
+                           base_difficulty=8, adaptive=True)
+        for i in range(12):
+            policy.note_request(now=i * 0.8)
+        assert policy.current_difficulty(now=9.0) == 8
+
+    def test_scales_with_overload(self):
+        policy = DosPolicy(rate_threshold=1.0, window=10.0,
+                           base_difficulty=8, max_difficulty=20,
+                           adaptive=True)
+        for i in range(400):
+            policy.note_request(now=i * 0.025)
+        assert policy.current_difficulty(now=9.9) > 8
+
+    def test_capped_at_max(self):
+        policy = DosPolicy(rate_threshold=1.0, window=10.0,
+                           base_difficulty=8, max_difficulty=10,
+                           adaptive=True)
+        for i in range(5000):
+            policy.note_request(now=i * 0.002)
+        assert policy.current_difficulty(now=9.9) <= 10
+
+    def test_non_adaptive_fixed(self):
+        policy = DosPolicy(rate_threshold=1.0, base_difficulty=12,
+                           adaptive=False)
+        policy.forced = True
+        assert policy.current_difficulty(now=0.0) == 12
+
+    def test_fresh_puzzle_has_policy_difficulty(self):
+        policy = DosPolicy(base_difficulty=9)
+        policy.forced = True
+        puzzle = policy.fresh_puzzle()
+        assert puzzle.difficulty_bits == 9

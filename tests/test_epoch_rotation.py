@@ -1,0 +1,150 @@
+"""Membership renewal via group-public-key update (Sections III.A, V.A).
+
+The paper's membership maintenance: subscriptions may be
+"terminated/renewed ... in a periodic manner", and revoked users may
+"not have any group private key currently in use due to group public
+key update".  These tests exercise the full rotation flow.
+"""
+
+import pytest
+
+from repro.core import groupsig
+from repro.core.audit import audit_by_session
+from repro.errors import AuditError, InvalidSignature, ParameterError
+
+
+class TestRotationBasics:
+    def test_gpk_changes(self, fresh_deployment):
+        deployment = fresh_deployment()
+        old_w = deployment.operator.gpk.w
+        deployment.rotate_epoch()
+        assert deployment.operator.gpk.w != old_w
+        assert deployment.operator.epoch == 1
+
+    def test_reenrolled_users_connect(self, fresh_deployment):
+        deployment = fresh_deployment()
+        deployment.rotate_epoch()
+        deployment.connect("alice", "MR-1")
+        deployment.connect("bob", "MR-1")
+
+    def test_old_credentials_dead_under_new_gpk(self, fresh_deployment):
+        deployment = fresh_deployment()
+        old_credential = deployment.users["alice"].credentials["Company X"]
+        old_gpk = deployment.operator.gpk
+        deployment.rotate_epoch()
+        new_gpk = deployment.operator.gpk
+        sig = groupsig.sign(old_gpk, old_credential, b"stale",
+                            rng=deployment.rng)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(new_gpk, b"stale", sig)
+
+    def test_new_credentials_differ(self, fresh_deployment):
+        deployment = fresh_deployment()
+        old = deployment.users["alice"].credentials["Company X"]
+        deployment.rotate_epoch()
+        new = deployment.users["alice"].credentials["Company X"]
+        assert old.a != new.a
+        assert old.x != new.x
+
+    def test_multiple_rotations(self, fresh_deployment):
+        deployment = fresh_deployment()
+        for expected_epoch in (1, 2, 3):
+            deployment.rotate_epoch()
+            assert deployment.operator.epoch == expected_epoch
+        deployment.connect("alice", "MR-1")
+
+
+class TestRotationAsRevocation:
+    def test_excluded_user_loses_access(self, fresh_deployment):
+        """Revocation case (i): not re-issued at the rotation."""
+        deployment = fresh_deployment()
+        deployment.rotate_epoch(exclude=["bob"])
+        deployment.connect("alice", "MR-1")
+        with pytest.raises(ParameterError):
+            deployment.connect("bob", "MR-1")   # no credential at all
+
+    def test_url_cleared_by_rotation(self, fresh_deployment):
+        """Old URL entries are moot once the whole epoch is dead."""
+        deployment = fresh_deployment()
+        index = deployment.users["bob"].credentials["University Z"].index
+        deployment.operator.revoke_user_key(index)
+        assert len(deployment.operator.issue_url().tokens) == 1
+        deployment.rotate_epoch(exclude=["bob"])
+        assert len(deployment.operator.issue_url().tokens) == 0
+
+    def test_gm_pool_size_preserved(self, fresh_deployment):
+        deployment = fresh_deployment(groups={"Company X": 5},
+                                      users=[("alice", ["Company X"])])
+        gm = deployment.gms["Company X"]
+        assert gm.pool_size == 4          # 5 issued, 1 assigned
+        deployment.rotate_epoch()
+        assert gm.pool_size == 4          # reissued at the same size
+        assert gm.epoch == 1
+
+
+class TestHistoricalAudit:
+    def test_old_sessions_still_auditable(self, fresh_deployment):
+        deployment = fresh_deployment()
+        old_session, _ = deployment.connect("alice", "MR-1",
+                                            context="Company X")
+        deployment.rotate_epoch()
+        result = audit_by_session(deployment.operator,
+                                  deployment.network_log,
+                                  old_session.session_id)
+        assert result.group_name == "Company X"
+        assert result.epoch == 0
+
+    def test_old_sessions_still_traceable(self, fresh_deployment):
+        deployment = fresh_deployment()
+        old_session, _ = deployment.connect("alice", "MR-1",
+                                            context="Company X")
+        deployment.rotate_epoch()
+        trace = deployment.law_authority.trace_session(
+            deployment.operator, deployment.network_log, deployment.gms,
+            old_session.session_id)
+        assert trace.identity.name == "alice"
+
+    def test_new_sessions_audit_in_new_epoch(self, fresh_deployment):
+        deployment = fresh_deployment()
+        deployment.rotate_epoch()
+        session, _ = deployment.connect("alice", "MR-1")
+        result = audit_by_session(deployment.operator,
+                                  deployment.network_log,
+                                  session.session_id)
+        assert result.epoch == 1
+
+    def test_historical_trace_is_receipt_backed(self, fresh_deployment):
+        """Non-repudiation survives rotation: the member's epoch-0
+        receipt still backs a trace of an epoch-0 session."""
+        deployment = fresh_deployment()
+        old_session, _ = deployment.connect("alice", "MR-1")
+        deployment.rotate_epoch()
+        trace = deployment.law_authority.trace_session(
+            deployment.operator, deployment.network_log, deployment.gms,
+            old_session.session_id)
+        assert trace.receipt_backed
+
+    def test_cross_epoch_trace_of_excluded_user(self, fresh_deployment):
+        """Even a user dropped at rotation stays accountable for their
+        PRE-rotation sessions."""
+        deployment = fresh_deployment()
+        old_session, _ = deployment.connect("bob", "MR-1")
+        deployment.rotate_epoch(exclude=["bob"])
+        trace = deployment.law_authority.trace_session(
+            deployment.operator, deployment.network_log, deployment.gms,
+            old_session.session_id)
+        assert trace.identity.name == "bob"
+
+    def test_unknown_signature_fails_in_all_epochs(self, fresh_deployment,
+                                                   group):
+        import random
+        deployment = fresh_deployment()
+        deployment.rotate_epoch()
+        foreign_gpk, foreign_master = groupsig.keygen_master(
+            group, random.Random(12321))
+        foreign_key = groupsig.issue_member_key(
+            group, foreign_master, 7, (1, 1), random.Random(2))
+        sig = groupsig.sign(foreign_gpk, foreign_key, b"alien",
+                            rng=random.Random(3))
+        with pytest.raises(AuditError):
+            deployment.operator.audit_session(b"alien", sig)

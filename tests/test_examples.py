@@ -1,0 +1,26 @@
+"""Every example script must run cleanly end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLE_SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def test_examples_exist():
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "done." in output

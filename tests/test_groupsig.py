@@ -1,0 +1,187 @@
+"""Tests for the PEACE group signature (sign/verify/revoke/open)."""
+
+import random
+
+import pytest
+
+from repro.core import groupsig
+from repro.errors import EncodingError, InvalidSignature, RevokedKeyError
+
+MSG = b"g^rj || g^rR || ts2"
+
+
+class TestSignVerify:
+    def test_roundtrip(self, gpk, member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        groupsig.verify(gpk, MSG, sig)   # no raise = valid
+
+    def test_every_member_can_sign(self, gpk, member_keys, rng):
+        for key in member_keys.values():
+            sig = groupsig.sign(gpk, key, MSG, rng=rng)
+            groupsig.verify(gpk, MSG, sig)
+
+    def test_wrong_message_rejected(self, gpk, member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, MSG + b"!", sig)
+
+    def test_signatures_are_randomized(self, gpk, member_keys, rng):
+        sig1 = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        sig2 = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        assert sig1.encode() != sig2.encode()
+
+    def test_verify_under_different_master_fails(self, group, rng):
+        gpk1, master1 = groupsig.keygen_master(group, random.Random(1))
+        gpk2, _master2 = groupsig.keygen_master(group, random.Random(2))
+        key = groupsig.issue_member_key(group, master1, 42, (1, 1), rng)
+        sig = groupsig.sign(gpk1, key, MSG, rng=rng)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk2, MSG, sig)
+
+    @pytest.mark.parametrize("field", ["r", "c", "s_alpha", "s_x",
+                                       "s_delta"])
+    def test_tampered_scalar_rejected(self, gpk, member_keys, rng, field):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        tampered = groupsig.GroupSignature(
+            **{**sig.__dict__, field: (getattr(sig, field) + 1)
+               % gpk.group.order})
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, MSG, tampered)
+
+    @pytest.mark.parametrize("field", ["t1", "t2"])
+    def test_tampered_point_rejected(self, gpk, member_keys, rng, field):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        tampered = groupsig.GroupSignature(
+            **{**sig.__dict__, field: getattr(sig, field) ** 2})
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, MSG, tampered)
+
+    def test_degenerate_t1_rejected(self, gpk, member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        identity = sig.t1 / sig.t1
+        bad = groupsig.GroupSignature(sig.r, identity, sig.t2, sig.c,
+                                      sig.s_alpha, sig.s_x, sig.s_delta)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, MSG, bad)
+
+
+class TestKeyGeneration:
+    def test_member_key_satisfies_sdh_relation(self, group, scheme):
+        """e(A, w * g2^(grp+x)) == e(g1, g2) -- the paper's key equation."""
+        gpk, _master, keys = scheme
+        for key in keys.values():
+            lhs = group.pair(key.a,
+                             gpk.w * (gpk.g2 ** key.exponent_sum))
+            assert lhs == group.pair(gpk.g1, gpk.g2)
+
+    def test_distinct_members_distinct_keys(self, member_keys):
+        encodings = {key.a.encode() for key in member_keys.values()}
+        assert len(encodings) == len(member_keys)
+
+    def test_same_group_shares_grp_component(self, member_keys):
+        assert member_keys["a1"].grp == member_keys["a2"].grp
+        assert member_keys["a1"].grp != member_keys["b1"].grp
+
+    def test_exponent_sum(self, member_keys):
+        key = member_keys["a1"]
+        assert key.exponent_sum == key.grp + key.x
+
+    def test_keygen_deterministic_under_seeded_rng(self, group):
+        a = groupsig.keygen_master(group, random.Random(9))
+        b = groupsig.keygen_master(group, random.Random(9))
+        assert a[0].w == b[0].w and a[1].gamma == b[1].gamma
+
+
+class TestRevocation:
+    def test_revoked_key_detected(self, gpk, member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        url = [groupsig.RevocationToken(member_keys["a1"].a)]
+        with pytest.raises(RevokedKeyError):
+            groupsig.verify(gpk, MSG, sig, url=url)
+
+    def test_unrevoked_key_passes(self, gpk, member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        url = [groupsig.RevocationToken(member_keys["a2"].a),
+               groupsig.RevocationToken(member_keys["b1"].a)]
+        groupsig.verify(gpk, MSG, sig, url=url)
+
+    def test_revocation_check_skippable(self, gpk, member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        url = [groupsig.RevocationToken(member_keys["a1"].a)]
+        groupsig.verify(gpk, MSG, sig, url=url, check_revocation=False)
+
+    def test_signature_matches_token_specificity(self, gpk, member_keys,
+                                                 rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        assert groupsig.signature_matches_token(
+            gpk, MSG, sig, groupsig.RevocationToken(member_keys["a1"].a))
+        for other in ("a2", "b1", "b2"):
+            assert not groupsig.signature_matches_token(
+                gpk, MSG, sig,
+                groupsig.RevocationToken(member_keys[other].a))
+
+
+class TestOpen:
+    def test_open_identifies_signer_group(self, gpk, member_keys, rng):
+        grt = [(groupsig.RevocationToken(key.a), name)
+               for name, key in member_keys.items()]
+        sig = groupsig.sign(gpk, member_keys["b2"], MSG, rng=rng)
+        assert groupsig.open_signature(gpk, MSG, sig, grt) == "b2"
+
+    def test_open_unknown_signer_returns_none(self, group, gpk,
+                                              member_keys, rng):
+        """A key NO never issued opens to nothing."""
+        # Forge grt missing the actual signer.
+        grt = [(groupsig.RevocationToken(member_keys["a2"].a), "a2")]
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        assert groupsig.open_signature(gpk, MSG, sig, grt) is None
+
+
+class TestEncoding:
+    def test_roundtrip(self, group, gpk, member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        decoded = groupsig.GroupSignature.decode(group, sig.encode())
+        groupsig.verify(gpk, MSG, decoded)
+        assert decoded.encode() == sig.encode()
+
+    def test_size_formula(self, group, gpk, member_keys, rng):
+        """2 G1 elements + 5 Z_r scalars, exactly (paper V.C)."""
+        sig = groupsig.sign(gpk, member_keys["a1"], MSG, rng=rng)
+        expected = (2 * group.params.point_bytes
+                    + 5 * group.params.scalar_bytes)
+        assert len(sig.encode()) == expected
+        assert groupsig.GroupSignature.encoded_size(group) == expected
+
+    def test_bad_length_rejected(self, group):
+        with pytest.raises(EncodingError):
+            groupsig.GroupSignature.decode(group, b"\x00" * 10)
+
+    def test_gpk_roundtrip(self, group, gpk):
+        decoded = groupsig.GroupPublicKey.decode(group, gpk.encode())
+        assert decoded.w == gpk.w
+
+    def test_token_roundtrip(self, group, member_keys):
+        token = groupsig.RevocationToken(member_keys["a1"].a)
+        assert groupsig.RevocationToken.decode(
+            group, token.encode()).a == token.a
+
+
+class TestBlindShares:
+    def test_share_roundtrip(self, group, member_keys):
+        key = member_keys["a1"]
+        share = groupsig.blind_share(key.a, key.x)
+        assert groupsig.unblind_share(group, share, key.x) == key.a
+
+    def test_share_hides_a(self, group, member_keys):
+        """The blinded share differs from the raw A encoding."""
+        key = member_keys["a1"]
+        assert groupsig.blind_share(key.a, key.x) != key.a.encode()
+
+    def test_wrong_x_fails_or_garbles(self, group, member_keys):
+        key = member_keys["a1"]
+        share = groupsig.blind_share(key.a, key.x)
+        try:
+            recovered = groupsig.unblind_share(group, share, key.x + 1)
+        except EncodingError:
+            return   # decode failure is the common outcome
+        assert recovered != key.a

@@ -1,0 +1,98 @@
+"""Property-based tests for the group signature (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import groupsig
+from repro.errors import InvalidSignature
+
+
+@pytest.fixture(scope="module")
+def fast_scheme(group):
+    rng = random.Random(31337)
+    gpk, master = groupsig.keygen_master(group, rng)
+    keys = [groupsig.issue_member_key(group, master, 100 + i // 2,
+                                      (i // 2, i % 2), rng)
+            for i in range(4)]
+    return gpk, keys
+
+
+class TestMessageProperties:
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=8, deadline=None)
+    def test_any_message_signs_and_verifies(self, fast_scheme, message):
+        gpk, keys = fast_scheme
+        rng = random.Random(message[:4] if message else b"\x00")
+        sig = groupsig.sign(gpk, keys[0], message, rng=rng)
+        groupsig.verify(gpk, message, sig)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 63))
+    @settings(max_examples=8, deadline=None)
+    def test_bit_flip_in_message_rejected(self, fast_scheme, message,
+                                          position):
+        gpk, keys = fast_scheme
+        sig = groupsig.sign(gpk, keys[0], message, rng=random.Random(1))
+        flipped = bytearray(message)
+        flipped[position % len(flipped)] ^= 1 << (position % 8)
+        if bytes(flipped) == message:
+            return
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, bytes(flipped), sig)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=6, deadline=None)
+    def test_encode_decode_identity(self, fast_scheme, message):
+        gpk, keys = fast_scheme
+        sig = groupsig.sign(gpk, keys[1], message, rng=random.Random(2))
+        assert (groupsig.GroupSignature.decode(gpk.group,
+                                               sig.encode()).encode()
+                == sig.encode())
+
+
+class TestSignerIndistinguishability:
+    @given(st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_all_signers_produce_valid_signatures(self, fast_scheme,
+                                                  i, j):
+        gpk, keys = fast_scheme
+        rng = random.Random(i * 4 + j)
+        message = b"indist"
+        sig_i = groupsig.sign(gpk, keys[i], message, rng=rng)
+        sig_j = groupsig.sign(gpk, keys[j], message, rng=rng)
+        groupsig.verify(gpk, message, sig_i)
+        groupsig.verify(gpk, message, sig_j)
+        # Signatures never repeat across signers or randomness.
+        assert sig_i.encode() != sig_j.encode()
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=4, deadline=None)
+    def test_only_matching_token_opens(self, fast_scheme, signer):
+        gpk, keys = fast_scheme
+        message = b"open-prop"
+        sig = groupsig.sign(gpk, keys[signer], message,
+                            rng=random.Random(signer))
+        matches = [index for index, key in enumerate(keys)
+                   if groupsig.signature_matches_token(
+                       gpk, message, sig, groupsig.RevocationToken(key.a))]
+        assert matches == [signer]
+
+
+class TestScalarMalleability:
+    @given(st.integers(min_value=1, max_value=2 ** 62),
+           st.sampled_from(["r", "c", "s_alpha", "s_x", "s_delta"]))
+    @settings(max_examples=10, deadline=None)
+    def test_scalar_shifts_rejected(self, fast_scheme, delta, field):
+        gpk, keys = fast_scheme
+        order = gpk.group.order
+        sig = groupsig.sign(gpk, keys[2], b"mall", rng=random.Random(3))
+        shifted = (getattr(sig, field) + delta) % order
+        if shifted == getattr(sig, field):
+            return
+        tampered = groupsig.GroupSignature(
+            **{**sig.__dict__, field: shifted})
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, b"mall", tampered)

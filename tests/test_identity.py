@@ -1,0 +1,60 @@
+"""Tests for the multi-faceted user identity model (Fig. 2)."""
+
+from repro.core.identity import RoleAttribute, UserIdentity
+
+
+def make_identity():
+    return UserIdentity.build(
+        name="pat",
+        essential={"ssn": "123-45-6789", "passport": "X1234567"},
+        roles=[RoleAttribute("engineer", "Company X"),
+               RoleAttribute("student", "University Z"),
+               RoleAttribute("tenant", "Apartment Y")])
+
+
+class TestIdentity:
+    def test_uid_is_stable(self):
+        assert make_identity().uid == make_identity().uid
+
+    def test_uid_depends_on_essentials(self):
+        a = UserIdentity.build("pat", {"ssn": "1"}, [])
+        b = UserIdentity.build("pat", {"ssn": "2"}, [])
+        assert a.uid != b.uid
+
+    def test_uid_depends_on_name(self):
+        a = UserIdentity.build("pat", {"ssn": "1"}, [])
+        b = UserIdentity.build("sam", {"ssn": "1"}, [])
+        assert a.uid != b.uid
+
+    def test_uid_independent_of_roles(self):
+        """Roles are nonessential: they never perturb the uid."""
+        a = UserIdentity.build("pat", {"ssn": "1"},
+                               [RoleAttribute("engineer", "Company X")])
+        b = UserIdentity.build("pat", {"ssn": "1"}, [])
+        assert a.uid == b.uid
+
+    def test_uid_insensitive_to_essential_ordering(self):
+        a = UserIdentity.build("pat", {"a": "1", "b": "2"}, [])
+        b = UserIdentity.build("pat", {"b": "2", "a": "1"}, [])
+        assert a.uid == b.uid
+
+    def test_has_role_at(self):
+        identity = make_identity()
+        assert identity.has_role_at("Company X")
+        assert identity.has_role_at("University Z")
+        assert not identity.has_role_at("Golf Club V")
+
+    def test_nonessential_view_excludes_essentials(self):
+        identity = make_identity()
+        view = identity.nonessential_view()
+        rendered = " ".join(sorted(r.describe() for r in view))
+        assert "123-45-6789" not in rendered
+        assert "engineer of Company X" in rendered
+
+    def test_role_describe(self):
+        role = RoleAttribute("member", "Golf Club V")
+        assert role.describe() == "member of Golf Club V"
+
+    def test_identity_hashable_and_frozen(self):
+        identity = make_identity()
+        assert identity in {identity}

@@ -1,0 +1,69 @@
+"""Tests for the operation-count instrumentation."""
+
+import threading
+
+from repro import instrument
+
+
+class TestCounter:
+    def test_counts_accumulate(self):
+        with instrument.count_operations() as ops:
+            instrument.note("exp")
+            instrument.note("exp", 2)
+            instrument.note("pairing")
+        assert ops.total("exp") == 3
+        assert ops.total("pairing") == 1
+        assert ops.total("never") == 0
+
+    def test_paper_style_exponentiations(self):
+        with instrument.count_operations() as ops:
+            instrument.note("exp", 6)
+            instrument.note("psi", 2)
+        assert ops.exponentiations() == 8
+        assert ops.pairings() == 0
+
+    def test_noop_without_counter(self):
+        # Must not raise or record anywhere.
+        instrument.note("exp")
+        assert instrument.current_counter() is None
+
+    def test_nesting_isolates_inner(self):
+        with instrument.count_operations() as outer:
+            instrument.note("exp")
+            with instrument.count_operations() as inner:
+                instrument.note("exp", 5)
+            instrument.note("exp")
+        assert inner.total("exp") == 5
+        assert outer.total("exp") == 2
+
+    def test_snapshot_is_a_copy(self):
+        with instrument.count_operations() as ops:
+            instrument.note("exp")
+            snap = ops.snapshot()
+            instrument.note("exp")
+        assert snap["exp"] == 1
+        assert ops.total("exp") == 2
+
+    def test_thread_isolation(self):
+        seen = {}
+
+        def worker():
+            with instrument.count_operations() as ops:
+                instrument.note("pairing", 7)
+                seen["worker"] = ops.total("pairing")
+
+        with instrument.count_operations() as main_ops:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            instrument.note("pairing")
+        assert seen["worker"] == 7
+        assert main_ops.total("pairing") == 1
+
+    def test_counter_restored_after_exception(self):
+        try:
+            with instrument.count_operations():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert instrument.current_counter() is None

@@ -1,0 +1,49 @@
+"""Unit tests for repro.mathx.encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.mathx import byte_length, bytes_to_int, int_to_bytes
+
+
+class TestByteLength:
+    def test_zero_needs_one_byte(self):
+        assert byte_length(0) == 1
+
+    def test_boundaries(self):
+        assert byte_length(255) == 1
+        assert byte_length(256) == 2
+        assert byte_length(65535) == 2
+        assert byte_length(65536) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            byte_length(-1)
+
+
+class TestIntBytes:
+    def test_roundtrip_fixed_width(self):
+        for n in (0, 1, 255, 256, 2 ** 64 - 1):
+            assert bytes_to_int(int_to_bytes(n, 16)) == n
+
+    def test_big_endian(self):
+        assert int_to_bytes(0x0102, 2) == b"\x01\x02"
+
+    def test_padding(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes(256, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes(-5, 4)
+
+    @given(st.integers(min_value=0, max_value=2 ** 256 - 1))
+    @settings(max_examples=100)
+    def test_property_roundtrip(self, n):
+        width = max(32, byte_length(n))
+        assert bytes_to_int(int_to_bytes(n, width)) == n

@@ -1,0 +1,116 @@
+"""Unit tests for repro.mathx.modular."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mathx import (
+    crt_pair,
+    inv_mod,
+    jacobi_symbol,
+    legendre_symbol,
+    sqrt_mod_p34,
+)
+
+P = 0xF06D3FEF70196720BA09F7338D7E8587  # 128-bit prime, 3 mod 4
+Q = 104729                               # small prime, 1 mod 4
+
+
+class TestInvMod:
+    def test_basic_inverse(self):
+        assert inv_mod(3, 7) == 5
+
+    def test_inverse_roundtrip(self):
+        for a in (2, 17, 12345, P - 2):
+            assert a * inv_mod(a, P) % P == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ParameterError):
+            inv_mod(6, 9)
+
+    def test_zero_raises(self):
+        with pytest.raises(ParameterError):
+            inv_mod(0, P)
+
+    @given(st.integers(min_value=1, max_value=P - 1))
+    @settings(max_examples=50)
+    def test_property_inverse(self, a):
+        assert a * inv_mod(a, P) % P == 1
+
+
+class TestLegendre:
+    def test_quadratic_residue(self):
+        assert legendre_symbol(4, 7) == 1
+
+    def test_non_residue(self):
+        assert legendre_symbol(3, 7) == -1
+
+    def test_zero(self):
+        assert legendre_symbol(0, 7) == 0
+
+    def test_squares_are_residues(self):
+        for a in (2, 5, 99, 123456789):
+            assert legendre_symbol(a * a % P, P) == 1
+
+
+class TestJacobi:
+    def test_matches_legendre_for_primes(self):
+        for a in range(1, 20):
+            assert jacobi_symbol(a, 7) == legendre_symbol(a, 7)
+
+    def test_composite_modulus(self):
+        # (2|15) = (2|3)(2|5) = (-1)(-1) = 1
+        assert jacobi_symbol(2, 15) == 1
+
+    def test_shared_factor_gives_zero(self):
+        assert jacobi_symbol(6, 15) == 0
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            jacobi_symbol(3, 8)
+
+    def test_multiplicative_in_numerator(self):
+        n = 1001  # 7 * 11 * 13
+        for a, b in ((2, 3), (5, 9), (10, 17)):
+            assert (jacobi_symbol(a * b, n)
+                    == jacobi_symbol(a, n) * jacobi_symbol(b, n))
+
+
+class TestSqrtP34:
+    def test_roundtrip(self):
+        for a in (4, 9, 1234567):
+            root = sqrt_mod_p34(a, P)
+            assert root * root % P == a % P
+
+    def test_non_residue_raises(self):
+        # find a non-residue
+        non_residue = next(a for a in range(2, 100)
+                           if legendre_symbol(a, P) == -1)
+        with pytest.raises(ParameterError):
+            sqrt_mod_p34(non_residue, P)
+
+    def test_requires_3_mod_4(self):
+        with pytest.raises(ParameterError):
+            sqrt_mod_p34(4, Q)
+
+    @given(st.integers(min_value=1, max_value=P - 1))
+    @settings(max_examples=50)
+    def test_property_square_then_root(self, a):
+        square = a * a % P
+        root = sqrt_mod_p34(square, P)
+        assert root in (a, P - a)
+
+
+class TestCrt:
+    def test_combination(self):
+        value = crt_pair(2, 5, 3, 7)
+        assert value % 5 == 2 and value % 7 == 3
+
+    def test_range(self):
+        assert 0 <= crt_pair(4, 5, 6, 7) < 35
+
+    @given(st.integers(min_value=0, max_value=34))
+    @settings(max_examples=35)
+    def test_property_bijection(self, x):
+        assert crt_pair(x % 5, 5, x % 7, 7) == x

@@ -1,0 +1,83 @@
+"""Unit tests for repro.mathx.primes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathx import is_probable_prime, next_prime, random_prime, small_factors
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 104729, 2 ** 61 - 1,
+                0xF06D3FEF701966A1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 100, 561, 41041,        # Carmichaels too
+                    2 ** 61 - 3, 6601, 8911]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_primes_accepted(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_composites_rejected(self, n):
+        assert not is_probable_prime(n)
+
+    def test_deterministic_with_rng(self):
+        rng1 = random.Random(5)
+        rng2 = random.Random(5)
+        n = 0x9AA4B64091B1078E926BAEAFE79A27E68AB12C33
+        assert (is_probable_prime(n, rng=rng1)
+                == is_probable_prime(n, rng=rng2))
+
+    @given(st.integers(min_value=4, max_value=10_000))
+    @settings(max_examples=100)
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n ** 0.5) + 1))
+        assert is_probable_prime(n) == by_trial
+
+
+class TestRandomPrime:
+    def test_bit_length(self):
+        rng = random.Random(1)
+        for bits in (8, 16, 64, 128):
+            p = random_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_congruence_constraint(self):
+        rng = random.Random(2)
+        p = random_prime(64, rng=rng, congruence=(3, 4))
+        assert p % 4 == 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_prime(1)
+
+    def test_reproducible(self):
+        assert (random_prime(32, rng=random.Random(9))
+                == random_prime(32, rng=random.Random(9)))
+
+
+class TestNextPrime:
+    def test_small_cases(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+
+    def test_result_exceeds_input(self):
+        for n in (100, 1000, 99991):
+            p = next_prime(n)
+            assert p > n and is_probable_prime(p)
+
+
+class TestSmallFactors:
+    def test_factors_found(self):
+        assert small_factors(2 * 2 * 3 * 7) == [2, 2, 3, 7]
+
+    def test_prime_has_no_small_factors(self):
+        assert small_factors(104729, bound=100) == []
+
+    def test_multiplicity(self):
+        assert small_factors(8) == [2, 2, 2]

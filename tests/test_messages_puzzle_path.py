@@ -1,0 +1,79 @@
+"""Wire roundtrips for the optional DoS-puzzle fields in M.1 / M.2."""
+
+import pytest
+
+from repro.core.messages import AccessRequest, Beacon
+from repro.core.protocols.dos import DosPolicy
+from repro.sig.curves import SECP160R1
+
+
+@pytest.fixture
+def puzzle_deployment(fresh_deployment):
+    def factory():
+        policy = DosPolicy(base_difficulty=6, max_difficulty=6,
+                           adaptive=False)
+        policy.forced = True
+        return policy
+
+    return fresh_deployment(dos_policy_factory=factory)
+
+
+class TestPuzzleFraming:
+    def test_beacon_with_puzzle_roundtrips(self, puzzle_deployment):
+        deployment = puzzle_deployment
+        beacon = deployment.routers["MR-1"].make_beacon()
+        assert beacon.puzzle is not None
+        blob = beacon.encode()
+        decoded = Beacon.decode(deployment.group, SECP160R1, blob)
+        assert decoded.puzzle == beacon.puzzle
+        assert decoded.encode() == blob
+
+    def test_request_with_solution_roundtrips(self, puzzle_deployment):
+        deployment = puzzle_deployment
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _ = user.connect_to_router(beacon)
+        assert request.puzzle_solution is not None
+        blob = request.encode()
+        decoded = AccessRequest.decode(deployment.group, blob)
+        assert decoded.puzzle_solution == request.puzzle_solution
+        assert decoded.encode() == blob
+
+    def test_solution_covered_by_binding_not_signature(self,
+                                                       puzzle_deployment):
+        """The puzzle solution is bound to the signed payload (so it
+        cannot be grafted onto a different request), yet is not inside
+        the group-signed bytes (the signature is computed first)."""
+        deployment = puzzle_deployment
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _ = user.connect_to_router(beacon)
+        assert request.puzzle_binding() == request.signed_payload()
+        stripped = AccessRequest(request.g_r_user, request.g_r_router,
+                                 request.ts2, request.group_signature)
+        assert stripped.signed_payload() == request.signed_payload()
+
+    def test_decoded_puzzle_request_accepted(self, puzzle_deployment):
+        """End-to-end through serialization, as the radio delivers it."""
+        deployment = puzzle_deployment
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon_blob = router.make_beacon().encode()
+        beacon = Beacon.decode(deployment.group, SECP160R1, beacon_blob)
+        request, pending = user.connect_to_router(beacon)
+        request_blob = request.encode()
+        decoded = AccessRequest.decode(deployment.group, request_blob)
+        confirm, _ = router.process_request(decoded)
+        session = user.complete_router_handshake(pending, confirm)
+        assert session is not None
+
+    def test_puzzle_size_overhead(self, puzzle_deployment):
+        """Puzzles cost ~17 B on the beacon and 8 B on the request."""
+        deployment = puzzle_deployment
+        router = deployment.routers["MR-1"]
+        with_puzzle = len(router.make_beacon().encode())
+        router.engine.dos_policy.forced = False
+        without = len(router.make_beacon().encode())
+        assert 0 < with_puzzle - without <= 32

@@ -1,0 +1,132 @@
+"""The anonymous-communication upper layer (paper's closing pointer)."""
+
+import pytest
+
+from repro.errors import ProtocolError, SessionError
+from repro.wmn.onion import (
+    OnionCircuit,
+    OnionRelay,
+    build_circuit,
+    derive_layer_key,
+    open_exit_record,
+    route_through,
+)
+
+
+@pytest.fixture
+def circuit_world(fresh_deployment):
+    """Three relays keyed from real PEACE peer sessions.
+
+    alice establishes a peer session with each relay user; the layer
+    keys derive from those sessions' exported material, so circuit
+    anonymity rests on PEACE's authenticated-yet-anonymous handshakes.
+    """
+    deployment = fresh_deployment(
+        users=[("alice", ["Company X"]),
+               ("r1", ["Company X"]), ("r2", ["Company X"]),
+               ("r3", ["University Z"])])
+    sessions = {}
+    for relay_name in ("r1", "r2", "r3"):
+        initiator_session, _responder = deployment.peer_connect(
+            "alice", relay_name, "MR-1")
+        sessions[relay_name] = initiator_session.export_key_material(
+            b"onion")
+    relays = {name: OnionRelay(name) for name in ("r1", "r2", "r3")}
+    circuit = build_circuit(sessions, ["r1", "r2", "r3"], relays,
+                            circuit_id=b"CIRCUIT1")
+    return deployment, circuit, relays
+
+
+class TestCircuit:
+    def test_roundtrip_through_three_hops(self, circuit_world):
+        _deployment, circuit, relays = circuit_world
+        seen = {}
+
+        def deliver(destination, payload):
+            seen["dst"] = destination
+            seen["payload"] = payload
+            return b"pong:" + payload
+
+        reply, trail = route_through(circuit, relays, "internet-host",
+                                     b"ping", deliver)
+        assert seen == {"dst": "internet-host", "payload": b"ping"}
+        assert reply == b"pong:ping"
+        assert trail == ["r1", "r2", "r3"]
+
+    def test_each_relay_peeled_once(self, circuit_world):
+        _deployment, circuit, relays = circuit_world
+        route_through(circuit, relays, "host", b"m",
+                      lambda d, p: b"ok")
+        assert all(relay.peeled == 1 for relay in relays.values())
+
+    def test_intermediate_layers_hide_destination(self, circuit_world):
+        """No non-exit relay's view contains the destination or the
+        payload -- the onion property."""
+        _deployment, circuit, relays = circuit_world
+        blob = circuit.wrap("secret-host", b"secret-payload")
+        # r1's peel output is what r1 sees in the clear.
+        next_hop, after_r1 = relays["r1"].peel(b"CIRCUIT1", blob)
+        assert next_hop == "r2"
+        assert b"secret-host" not in after_r1.split(b"r2")[0]
+        # The remaining blob is still sealed for r2: r1 cannot read on.
+        with pytest.raises((SessionError, ProtocolError)):
+            relays["r1"].peel(b"CIRCUIT1", after_r1)
+
+    def test_entry_relay_cannot_see_exit_record(self, circuit_world):
+        _deployment, circuit, relays = circuit_world
+        blob = circuit.wrap("dst", b"payload")
+        _next, remainder = relays["r1"].peel(b"CIRCUIT1", blob)
+        with pytest.raises(Exception):
+            open_exit_record(remainder)
+
+    def test_tampered_onion_rejected(self, circuit_world):
+        _deployment, circuit, relays = circuit_world
+        blob = bytearray(circuit.wrap("dst", b"payload"))
+        blob[-1] ^= 1
+        with pytest.raises(SessionError):
+            relays["r1"].peel(b"CIRCUIT1", bytes(blob))
+
+    def test_unknown_circuit_rejected(self, circuit_world):
+        _deployment, circuit, relays = circuit_world
+        blob = circuit.wrap("dst", b"payload")
+        with pytest.raises(ProtocolError):
+            relays["r1"].peel(b"OTHER-ID", blob)
+
+    def test_reply_unwrap_requires_all_layers(self, circuit_world):
+        _deployment, circuit, relays = circuit_world
+        # A reply sealed by only the exit cannot be opened in full.
+        partial = relays["r3"].seal_reply(b"CIRCUIT1", b"reply")
+        with pytest.raises(SessionError):
+            circuit.unwrap_reply(partial)
+
+
+class TestConstruction:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ProtocolError):
+            OnionCircuit([])
+
+    def test_missing_session_rejected(self):
+        relays = {"r1": OnionRelay("r1")}
+        with pytest.raises(ProtocolError):
+            build_circuit({}, ["r1"], relays)
+
+    def test_missing_relay_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_circuit({"ghost": b"\x00" * 32}, ["ghost"], {})
+
+    def test_layer_keys_differ_per_circuit(self):
+        material = b"\x07" * 32
+        assert (derive_layer_key(material, b"circuit-A")
+                != derive_layer_key(material, b"circuit-B"))
+
+    def test_single_hop_circuit(self, fresh_deployment):
+        deployment = fresh_deployment()
+        session, _ = deployment.peer_connect("alice", "bob", "MR-1")
+        relays = {"bob": OnionRelay("bob")}
+        circuit = build_circuit(
+            {"bob": session.export_key_material(b"onion")},
+            ["bob"], relays)
+        reply, trail = route_through(circuit, relays, "host", b"hi",
+                                     lambda d, p: p.upper())
+        assert reply == b"HI"
+        assert trail == ["bob"]

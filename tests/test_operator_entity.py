@@ -1,0 +1,123 @@
+"""Focused unit tests for the NetworkOperator entity."""
+
+import pytest
+
+from repro.core import groupsig
+from repro.errors import AuditError, ParameterError
+
+
+class TestRouterProvisioning:
+    def test_provisioned_cert_validates(self, fresh_deployment):
+        deployment = fresh_deployment()
+        keypair, cert = deployment.operator.provision_router("MR-extra")
+        cert.validate(deployment.operator.public_key,
+                      deployment.clock.now())
+        assert cert.router_id == "MR-extra"
+        assert cert.public_key == keypair.public
+
+    def test_validity_horizon(self, fresh_deployment):
+        deployment = fresh_deployment()
+        _kp, cert = deployment.operator.provision_router(
+            "MR-short", validity=100.0)
+        now = deployment.clock.now()
+        cert.validate(deployment.operator.public_key, now + 99.0)
+        from repro.errors import CertificateError
+        with pytest.raises(CertificateError):
+            cert.validate(deployment.operator.public_key, now + 101.0)
+
+    def test_revoke_unknown_router_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        with pytest.raises(ParameterError):
+            deployment.operator.revoke_router("MR-ghost")
+
+    def test_crl_version_bumps_on_revocation(self, fresh_deployment):
+        deployment = fresh_deployment()
+        v0 = deployment.operator.issue_crl().version
+        deployment.operator.provision_router("MR-victim")
+        deployment.operator.revoke_router("MR-victim")
+        crl = deployment.operator.issue_crl()
+        assert crl.version == v0 + 1
+        assert crl.is_revoked("MR-victim")
+
+
+class TestKeyIssuance:
+    def test_revoke_unknown_index_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        with pytest.raises(ParameterError):
+            deployment.operator.revoke_user_key((99, 99))
+
+    def test_grt_grows_with_issuance(self, fresh_deployment):
+        deployment = fresh_deployment(groups={"Company X": 3},
+                                      users=[("alice", ["Company X"])])
+        operator = deployment.operator
+        before = operator.grt_size
+        operator.issue_additional_keys("Company X", 2)
+        assert operator.grt_size == before + 2
+
+    def test_additional_keys_unknown_group_rejected(self,
+                                                    fresh_deployment):
+        deployment = fresh_deployment()
+        with pytest.raises(ParameterError):
+            deployment.operator.issue_additional_keys("Nonexistent", 1)
+
+    def test_zero_member_batch_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        with pytest.raises(ParameterError):
+            deployment.operator.register_user_group("Empty Org", 0)
+
+    def test_group_name_lookup(self, fresh_deployment):
+        deployment = fresh_deployment()
+        assert deployment.operator.group_name(1) in ("Company X",
+                                                     "University Z")
+
+
+class TestListIssuance:
+    def test_lists_carry_current_time(self, fresh_deployment):
+        deployment = fresh_deployment()
+        deployment.clock.advance(123.0)
+        crl = deployment.operator.issue_crl()
+        url = deployment.operator.issue_url()
+        assert crl.issued_at == deployment.clock.now()
+        assert url.issued_at == deployment.clock.now()
+
+    def test_lists_signed_by_npk(self, fresh_deployment):
+        deployment = fresh_deployment()
+        crl = deployment.operator.issue_crl()
+        url = deployment.operator.issue_url()
+        crl.validate(deployment.operator.public_key,
+                     deployment.clock.now())
+        url.validate(deployment.operator.public_key,
+                     deployment.clock.now())
+
+    def test_url_reflects_revocations_in_order(self, fresh_deployment):
+        deployment = fresh_deployment()
+        index_a = deployment.users["alice"].credentials["Company X"].index
+        index_b = deployment.users["bob"].credentials[
+            "University Z"].index
+        token_a = deployment.operator.revoke_user_key(index_a)
+        token_b = deployment.operator.revoke_user_key(index_b)
+        url = deployment.operator.issue_url()
+        assert [t.a for t in url.tokens] == [token_a.a, token_b.a]
+
+
+class TestAuditEdgeCases:
+    def test_audit_fails_for_foreign_signature(self, fresh_deployment,
+                                               group, rng):
+        deployment = fresh_deployment()
+        foreign_gpk, foreign_master = groupsig.keygen_master(group, rng)
+        foreign_key = groupsig.issue_member_key(group, foreign_master,
+                                                1, (1, 1), rng)
+        signature = groupsig.sign(foreign_gpk, foreign_key, b"alien",
+                                  rng=rng)
+        with pytest.raises(AuditError):
+            deployment.operator.audit_session(b"alien", signature)
+
+    def test_audit_result_index_roundtrip(self, fresh_deployment):
+        deployment = fresh_deployment()
+        session, _ = deployment.connect("alice", "MR-1")
+        result = deployment.operator.audit_session(
+            deployment.routers["MR-1"].auth_log[-1].signed_payload,
+            deployment.routers["MR-1"].auth_log[-1].group_signature)
+        index = deployment.operator.audit_result_index(result)
+        assert index == deployment.users["alice"].credentials[
+            "Company X"].index

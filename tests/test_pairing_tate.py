@@ -1,0 +1,93 @@
+"""Bilinearity and structure tests for the Tate pairing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.pairing.curve import Curve, Point
+from repro.pairing.params import get_params
+from repro.pairing.tate import tate_pairing
+
+PARAMS = get_params("TEST")
+CURVE = Curve(PARAMS)
+P = CURVE.random_point(random.Random(11))
+Q = CURVE.random_point(random.Random(22))
+BASE = tate_pairing(CURVE, P, Q)
+
+scalars = st.integers(min_value=1, max_value=PARAMS.r - 1)
+
+
+class TestStructure:
+    def test_non_degenerate(self):
+        assert not BASE.is_one()
+
+    def test_order_r(self):
+        assert (BASE ** PARAMS.r).is_one()
+
+    def test_symmetric(self):
+        assert tate_pairing(CURVE, Q, P) == BASE
+
+    def test_infinity_maps_to_one(self):
+        inf = Point.infinity(PARAMS.p)
+        assert tate_pairing(CURVE, inf, Q).is_one()
+        assert tate_pairing(CURVE, P, inf).is_one()
+
+    def test_wrong_field_rejected(self):
+        foreign = Point(1, 1, 7)
+        with pytest.raises(ParameterError):
+            tate_pairing(CURVE, foreign, Q)
+
+    def test_inverse_point(self):
+        assert (tate_pairing(CURVE, CURVE.neg(P), Q)
+                == BASE.inverse())
+
+    def test_deterministic(self):
+        assert tate_pairing(CURVE, P, Q) == tate_pairing(CURVE, P, Q)
+
+
+class TestBilinearity:
+    @given(scalars, scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_full_bilinearity(self, a, b):
+        lhs = tate_pairing(CURVE, CURVE.mul(P, a), CURVE.mul(Q, b))
+        assert lhs == BASE ** (a * b % PARAMS.r)
+
+    @given(scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_left_linearity(self, a):
+        assert tate_pairing(CURVE, CURVE.mul(P, a), Q) == BASE ** a
+
+    @given(scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_right_linearity(self, b):
+        assert tate_pairing(CURVE, P, CURVE.mul(Q, b)) == BASE ** b
+
+    def test_additive_in_first_argument(self):
+        p2 = CURVE.random_point(random.Random(33))
+        lhs = tate_pairing(CURVE, CURVE.add(P, p2), Q)
+        rhs = tate_pairing(CURVE, P, Q) * tate_pairing(CURVE, p2, Q)
+        assert lhs == rhs
+
+    def test_additive_in_second_argument(self):
+        q2 = CURVE.random_point(random.Random(44))
+        lhs = tate_pairing(CURVE, P, CURVE.add(Q, q2))
+        rhs = tate_pairing(CURVE, P, Q) * tate_pairing(CURVE, P, q2)
+        assert lhs == rhs
+
+
+class TestAcrossPresets:
+    @pytest.mark.parametrize("preset", ["TEST", "SS256"])
+    def test_bilinear_on_preset(self, preset):
+        params = get_params(preset)
+        curve = Curve(params)
+        rng = random.Random(55)
+        p = curve.random_point(rng)
+        q = curve.random_point(rng)
+        base = tate_pairing(curve, p, q)
+        assert not base.is_one()
+        a, b = 123457, 987653
+        assert (tate_pairing(curve, curve.mul(p, a), curve.mul(q, b))
+                == base ** (a * b % params.r))

@@ -1,0 +1,259 @@
+"""The user-router AKA protocol (Section IV.B): happy path + attacks."""
+
+import pytest
+
+from repro.core.messages import AccessRequest, Beacon
+from repro.errors import (
+    AuthenticationError,
+    CertificateError,
+    InvalidSignature,
+    ProtocolError,
+    PuzzleError,
+    ReplayError,
+    RevokedKeyError,
+)
+
+
+class TestHappyPath:
+    def test_mutual_auth_and_key_agreement(self, fresh_deployment):
+        deployment = fresh_deployment()
+        user_session, router_session = deployment.connect("alice", "MR-1")
+        assert user_session.session_id == router_session.session_id
+        packet = user_session.send(b"up")
+        assert router_session.receive(packet) == b"up"
+        reply = router_session.send(b"down")
+        assert user_session.receive(reply) == b"down"
+
+    def test_three_messages_exactly(self, fresh_deployment):
+        """The paper's minimal-rounds claim: one beacon, one request,
+        one confirm."""
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()                      # M.1
+        request, pending = user.connect_to_router(beacon)  # M.2
+        confirm, _ = router.process_request(request)       # M.3
+        session = user.complete_router_handshake(pending, confirm)
+        assert session is not None
+
+    def test_session_id_from_fresh_dh_values(self, fresh_deployment):
+        """Sessions are identified by (g^r_R, g^r_j) pairs, all fresh."""
+        deployment = fresh_deployment()
+        ids = {deployment.connect("alice", "MR-1")[0].session_id
+               for _ in range(3)}
+        assert len(ids) == 3
+
+    def test_router_logs_authentications(self, fresh_deployment):
+        deployment = fresh_deployment()
+        deployment.connect("alice", "MR-1")
+        log = deployment.routers["MR-1"].auth_log
+        assert len(log) == 1
+        assert log[0].router_id == "MR-1"
+
+    def test_router_never_learns_uid(self, fresh_deployment):
+        """uid_j is never transmitted during protocol execution."""
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _pending = user.connect_to_router(beacon)
+        wire_bytes = request.encode()
+        assert user.identity.uid not in wire_bytes
+        assert user.identity.name.encode() not in wire_bytes
+
+
+class TestBeaconValidation:
+    def test_stale_beacon_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon = deployment.routers["MR-1"].make_beacon()
+        deployment.clock.advance(120.0)   # > ts window
+        with pytest.raises(ReplayError):
+            deployment.users["alice"].connect_to_router(beacon)
+
+    def test_revoked_router_rejected_after_crl_update(self,
+                                                      fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        deployment.operator.revoke_router("MR-1")
+        router.refresh_lists()   # now serving a CRL listing itself
+        beacon = router.make_beacon()
+        with pytest.raises(CertificateError):
+            deployment.users["alice"].connect_to_router(beacon)
+
+    def test_forged_beacon_signature_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon = deployment.routers["MR-1"].make_beacon()
+        forged = Beacon(beacon.router_id, beacon.g, beacon.g_r_router,
+                        beacon.ts1, b"\x01" * 42, beacon.certificate,
+                        beacon.crl, beacon.url, beacon.puzzle)
+        with pytest.raises(AuthenticationError):
+            deployment.users["alice"].connect_to_router(forged)
+
+    def test_certificate_id_mismatch_rejected(self, fresh_deployment):
+        """A phisher replaying another router's cert under its own id."""
+        deployment = fresh_deployment(routers=["MR-1", "MR-2"])
+        beacon1 = deployment.routers["MR-1"].make_beacon()
+        beacon2 = deployment.routers["MR-2"].make_beacon()
+        frankenstein = Beacon("MR-2", beacon2.g, beacon2.g_r_router,
+                              beacon2.ts1, beacon2.signature,
+                              beacon1.certificate,   # wrong cert
+                              beacon2.crl, beacon2.url)
+        with pytest.raises(CertificateError):
+            deployment.users["alice"].connect_to_router(frankenstein)
+
+    def test_expired_certificate_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon = deployment.routers["MR-1"].make_beacon()
+        deployment.clock.advance(40 * 86400.0)
+        fresh_beacon = deployment.routers["MR-1"].make_beacon()
+        with pytest.raises(CertificateError):
+            deployment.users["alice"].connect_to_router(fresh_beacon)
+
+
+class TestRequestValidation:
+    def test_replayed_request_rejected(self, fresh_deployment):
+        """A captured (M.2) replayed later: the g^r_R echo has expired
+        or the ts2 is stale."""
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _ = user.connect_to_router(beacon)
+        router.process_request(request)   # original succeeds
+        deployment.clock.advance(400.0)
+        with pytest.raises(ReplayError):
+            router.process_request(request)
+
+    def test_request_for_unknown_beacon_rejected(self, fresh_deployment):
+        deployment = fresh_deployment(routers=["MR-1", "MR-2"])
+        user = deployment.users["alice"]
+        beacon1 = deployment.routers["MR-1"].make_beacon()
+        request, _ = user.connect_to_router(beacon1)
+        with pytest.raises(ReplayError):
+            deployment.routers["MR-2"].process_request(request)
+
+    def test_forged_group_signature_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _ = user.connect_to_router(beacon)
+        sig = request.group_signature
+        from repro.core.groupsig import GroupSignature
+        forged = AccessRequest(
+            request.g_r_user, request.g_r_router, request.ts2,
+            GroupSignature(sig.r, sig.t1, sig.t2, sig.c,
+                           (sig.s_alpha + 1) % deployment.group.order,
+                           sig.s_x, sig.s_delta))
+        with pytest.raises(InvalidSignature):
+            router.process_request(forged)
+
+    def test_revoked_user_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        bob = deployment.users["bob"]
+        index = bob.credentials["University Z"].index
+        deployment.operator.revoke_user_key(index)
+        router.refresh_lists()
+        beacon = router.make_beacon()
+        request, _ = bob.connect_to_router(beacon)
+        with pytest.raises(RevokedKeyError):
+            router.process_request(request)
+
+    def test_rejection_stats_classified(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _ = user.connect_to_router(beacon)
+        deployment.clock.advance(400.0)
+        with pytest.raises(ReplayError):
+            router.process_request(request)
+        assert router.stats["rejected_replay"] == 1
+        assert router.stats["accepted"] == 0
+
+
+class TestConfirmValidation:
+    def test_tampered_confirm_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, pending = user.connect_to_router(beacon)
+        confirm, _ = router.process_request(request)
+        from repro.core.messages import AccessConfirm
+        tampered = AccessConfirm(confirm.g_r_user, confirm.g_r_router,
+                                 confirm.sealed[:-1]
+                                 + bytes([confirm.sealed[-1] ^ 1]))
+        with pytest.raises(Exception):
+            user.complete_router_handshake(pending, tampered)
+
+    def test_confirm_for_other_session_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        alice, bob = deployment.users["alice"], deployment.users["bob"]
+        beacon = router.make_beacon()
+        request_a, pending_a = alice.connect_to_router(beacon)
+        request_b, pending_b = bob.connect_to_router(beacon)
+        confirm_a, _ = router.process_request(request_a)
+        confirm_b, _ = router.process_request(request_b)
+        with pytest.raises(ProtocolError):
+            alice.complete_router_handshake(pending_a, confirm_b)
+
+
+class TestPuzzlePath:
+    def test_puzzle_required_and_solved(self, fresh_deployment):
+        from repro.core.protocols.dos import DosPolicy
+
+        def factory():
+            policy = DosPolicy(base_difficulty=6, max_difficulty=6,
+                               adaptive=False)
+            policy.forced = True
+            return policy
+
+        deployment = fresh_deployment(dos_policy_factory=factory)
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        assert beacon.puzzle is not None
+        request, pending = user.connect_to_router(beacon)
+        assert request.puzzle_solution is not None
+        confirm, _ = router.process_request(request)
+        user.complete_router_handshake(pending, confirm)
+
+    def test_missing_solution_rejected_cheaply(self, fresh_deployment):
+        from repro import instrument
+        from repro.core.protocols.dos import DosPolicy
+
+        def factory():
+            policy = DosPolicy(base_difficulty=6, max_difficulty=6,
+                               adaptive=False)
+            policy.forced = True
+            return policy
+
+        deployment = fresh_deployment(dos_policy_factory=factory)
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _ = user.connect_to_router(beacon)
+        stripped = AccessRequest(request.g_r_user, request.g_r_router,
+                                 request.ts2, request.group_signature,
+                                 puzzle_solution=None)
+        with instrument.count_operations() as ops:
+            with pytest.raises(PuzzleError):
+                router.process_request(stripped)
+        assert ops.pairings() == 0   # rejected before any pairing
+
+    def test_user_refuses_excessive_difficulty(self, fresh_deployment):
+        from repro.core.protocols.dos import DosPolicy
+
+        def factory():
+            policy = DosPolicy(base_difficulty=30, max_difficulty=30,
+                               adaptive=False)
+            policy.forced = True
+            return policy
+
+        deployment = fresh_deployment(dos_policy_factory=factory)
+        beacon = deployment.routers["MR-1"].make_beacon()
+        with pytest.raises(PuzzleError):
+            deployment.users["alice"].connect_to_router(beacon)

@@ -1,0 +1,161 @@
+"""The user-user AKA protocol (Section IV.C)."""
+
+import pytest
+
+from repro.core.messages import PeerHello, PeerResponse
+from repro.errors import (
+    AuthenticationError,
+    InvalidSignature,
+    ProtocolError,
+    ReplayError,
+    RevokedKeyError,
+)
+
+
+def handshake_parts(deployment, initiator="alice", responder="bob",
+                    i_ctx=None, r_ctx=None):
+    beacon = deployment.routers["MR-1"].make_beacon()
+    engine_i = deployment.users[initiator].peer_engine(i_ctx)
+    engine_r = deployment.users[responder].peer_engine(r_ctx)
+    return beacon, engine_i, engine_r
+
+
+class TestHappyPath:
+    def test_bilateral_anonymous_handshake(self, fresh_deployment):
+        deployment = fresh_deployment()
+        session_i, session_r = deployment.peer_connect(
+            "alice", "bob", "MR-1")
+        packet = session_i.send(b"relay this please")
+        assert session_r.receive(packet) == b"relay this please"
+        back = session_r.send(b"ok")
+        assert session_i.receive(back) == b"ok"
+
+    def test_cross_group_peers_interoperate(self, fresh_deployment):
+        """An employee and a student still authenticate: membership in
+        ANY registered user group suffices."""
+        deployment = fresh_deployment()
+        session_i, session_r = deployment.peer_connect(
+            "alice", "bob", "MR-1",
+            initiator_context="Company X",
+            responder_context="University Z")
+        packet = session_i.send(b"x")
+        assert session_r.receive(packet) == b"x"
+
+    def test_three_messages(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, pending_i = engine_i.initiate(beacon.g)        # M~.1
+        response, pending_r = engine_r.respond(hello, beacon.url)  # M~.2
+        confirm, session_i = engine_i.complete(pending_i, response,
+                                               beacon.url)    # M~.3
+        session_r = engine_r.finalize(pending_r, confirm)
+        assert session_i.session_id == session_r.session_id
+
+    def test_no_identity_in_any_message(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, pending_i = engine_i.initiate(beacon.g)
+        response, pending_r = engine_r.respond(hello, beacon.url)
+        confirm, _ = engine_i.complete(pending_i, response, beacon.url)
+        all_bytes = hello.encode() + response.encode() + confirm.encode()
+        for name in ("alice", "bob"):
+            user = deployment.users[name]
+            assert user.identity.uid not in all_bytes
+            assert user.identity.name.encode() not in all_bytes
+
+
+class TestValidation:
+    def test_stale_hello_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, _ = engine_i.initiate(beacon.g)
+        deployment.clock.advance(100.0)
+        with pytest.raises(ReplayError):
+            engine_r.respond(hello, beacon.url)
+
+    def test_forged_hello_signature_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, _ = engine_i.initiate(beacon.g)
+        sig = hello.group_signature
+        from repro.core.groupsig import GroupSignature
+        forged = PeerHello(hello.g, hello.g_r_initiator, hello.ts1,
+                           GroupSignature(sig.r, sig.t1, sig.t2, sig.c,
+                                          sig.s_alpha, sig.s_x,
+                                          (sig.s_delta + 1)
+                                          % deployment.group.order))
+        with pytest.raises(InvalidSignature):
+            engine_r.respond(forged, beacon.url)
+
+    def test_revoked_initiator_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        index = deployment.users["alice"].credentials["Company X"].index
+        deployment.operator.revoke_user_key(index)
+        deployment.routers["MR-1"].refresh_lists()
+        beacon, engine_i, engine_r = handshake_parts(
+            deployment, i_ctx="Company X")
+        hello, _ = engine_i.initiate(beacon.g)
+        with pytest.raises(RevokedKeyError):
+            engine_r.respond(hello, beacon.url)
+
+    def test_revoked_responder_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        index = deployment.users["bob"].credentials["University Z"].index
+        deployment.operator.revoke_user_key(index)
+        deployment.routers["MR-1"].refresh_lists()
+        beacon, engine_i, engine_r = handshake_parts(
+            deployment, r_ctx="University Z")
+        hello, pending_i = engine_i.initiate(beacon.g)
+        response, _ = engine_r.respond(hello, beacon.url)
+        fresh_url = deployment.routers["MR-1"].url
+        with pytest.raises(RevokedKeyError):
+            engine_i.complete(pending_i, response, fresh_url)
+
+    def test_response_timestamp_window_enforced(self, fresh_deployment):
+        """ts2 - ts1 must be within the acceptable delay window."""
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, pending_i = engine_i.initiate(beacon.g)
+        # A response whose ts2 is far beyond pending.ts1 must fail the
+        # window check before any signature verification is attempted.
+        bogus = PeerResponse(hello.g_r_initiator,
+                             deployment.group.g1,
+                             hello.ts1 + 999.0, hello.group_signature)
+        with pytest.raises(ReplayError):
+            engine_i.complete(pending_i, bogus, beacon.url)
+
+    def test_response_for_wrong_initiator_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, pending_i = engine_i.initiate(beacon.g)
+        response, _ = engine_r.respond(hello, beacon.url)
+        wrong = PeerResponse(response.g_r_responder,
+                             response.g_r_responder, response.ts2,
+                             response.group_signature)
+        with pytest.raises(ProtocolError):
+            engine_i.complete(pending_i, wrong, beacon.url)
+
+    def test_tampered_confirm_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, pending_i = engine_i.initiate(beacon.g)
+        response, pending_r = engine_r.respond(hello, beacon.url)
+        confirm, _ = engine_i.complete(pending_i, response, beacon.url)
+        from repro.core.messages import PeerConfirm
+        tampered = PeerConfirm(confirm.g_r_initiator,
+                               confirm.g_r_responder,
+                               confirm.sealed[:-1]
+                               + bytes([confirm.sealed[-1] ^ 1]))
+        with pytest.raises(Exception):
+            engine_r.finalize(pending_r, tampered)
+
+    def test_role_confusion_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        beacon, engine_i, engine_r = handshake_parts(deployment)
+        hello, pending_i = engine_i.initiate(beacon.g)
+        response, pending_r = engine_r.respond(hello, beacon.url)
+        with pytest.raises(ProtocolError):
+            engine_r.complete(pending_r, response, beacon.url)
+        confirm, _ = engine_i.complete(pending_i, response, beacon.url)
+        with pytest.raises(ProtocolError):
+            engine_i.finalize(pending_i, confirm)

@@ -1,0 +1,125 @@
+"""Executable versions of the scheme's security-game arguments.
+
+These are not reductions -- they are the operational checks a verifier
+of the implementation can run: traceability (every coalition signature
+opens to a coalition member), non-frameability (no signature ever
+matches an innocent member's token), and key-binding (mix-and-match of
+stolen key components yields nothing valid).
+"""
+
+import random
+
+import pytest
+
+from repro.core import groupsig
+from repro.errors import InvalidSignature
+
+
+@pytest.fixture(scope="module")
+def arena(group):
+    rng = random.Random(90210)
+    gpk, master = groupsig.keygen_master(group, rng)
+    keys = [groupsig.issue_member_key(group, master, 50 + i // 3,
+                                      (i // 3, i % 3), rng)
+            for i in range(6)]
+    grt = [(groupsig.RevocationToken(key.a), position)
+           for position, key in enumerate(keys)]
+    return gpk, keys, grt
+
+
+class TestTraceability:
+    def test_every_signature_opens_to_its_signer(self, arena, rng):
+        """Exhaustive over the issued keys: the audit never misses and
+        never mis-attributes."""
+        gpk, keys, grt = arena
+        for position, key in enumerate(keys):
+            message = b"trace-%d" % position
+            signature = groupsig.sign(gpk, key, message, rng=rng)
+            opened = groupsig.open_signature(gpk, message, signature, grt)
+            assert opened == position
+
+    def test_coalition_signatures_stay_inside_coalition(self, arena, rng):
+        """A coalition holding keys {0, 2, 4} can only produce
+        signatures opening to {0, 2, 4}."""
+        gpk, keys, grt = arena
+        coalition = [0, 2, 4]
+        for member in coalition:
+            signature = groupsig.sign(gpk, keys[member], b"coalition",
+                                      rng=rng)
+            opened = groupsig.open_signature(gpk, b"coalition",
+                                             signature, grt)
+            assert opened in coalition
+
+
+class TestNonFrameability:
+    def test_no_cross_matching_ever(self, arena, rng):
+        """Full matrix: sig by key i matches token j iff i == j."""
+        gpk, keys, _grt = arena
+        signatures = [groupsig.sign(gpk, key, b"matrix", rng=rng)
+                      for key in keys]
+        for i, signature in enumerate(signatures):
+            for j, key in enumerate(keys):
+                token = groupsig.RevocationToken(key.a)
+                matched = groupsig.signature_matches_token(
+                    gpk, b"matrix", signature, token)
+                assert matched == (i == j)
+
+    def test_revoking_one_never_blocks_another(self, arena, rng):
+        gpk, keys, _grt = arena
+        url = [groupsig.RevocationToken(keys[0].a)]
+        for key in keys[1:]:
+            signature = groupsig.sign(gpk, key, b"innocent", rng=rng)
+            groupsig.verify(gpk, b"innocent", signature, url=url)
+
+
+class TestKeyBinding:
+    """Stolen key *components* are useless without the matching set."""
+
+    def test_foreign_a_with_own_exponents_fails(self, arena, rng):
+        gpk, keys, _grt = arena
+        frankenstein = groupsig.GroupPrivateKey(
+            a=keys[1].a, grp=keys[0].grp, x=keys[0].x, index=(9, 9))
+        signature = groupsig.sign(gpk, frankenstein, b"franken", rng=rng)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, b"franken", signature)
+
+    def test_own_a_with_foreign_x_fails(self, arena, rng):
+        gpk, keys, _grt = arena
+        frankenstein = groupsig.GroupPrivateKey(
+            a=keys[0].a, grp=keys[0].grp, x=keys[1].x, index=(9, 9))
+        signature = groupsig.sign(gpk, frankenstein, b"franken", rng=rng)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, b"franken", signature)
+
+    def test_wrong_group_component_fails(self, arena, rng):
+        """Members of group A cannot masquerade as group B by swapping
+        grp components -- the A value binds the whole sum."""
+        gpk, keys, _grt = arena
+        cross_group = groupsig.GroupPrivateKey(
+            a=keys[0].a, grp=keys[3].grp, x=keys[0].x, index=(9, 9))
+        signature = groupsig.sign(gpk, cross_group, b"franken", rng=rng)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, b"franken", signature)
+
+    def test_shifted_exponent_sum_fails(self, arena, rng):
+        gpk, keys, _grt = arena
+        shifted = groupsig.GroupPrivateKey(
+            a=keys[0].a, grp=keys[0].grp, x=keys[0].x + 1, index=(9, 9))
+        signature = groupsig.sign(gpk, shifted, b"franken", rng=rng)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, b"franken", signature)
+
+
+class TestRevokedStillAccountable:
+    def test_revoked_key_signatures_still_open(self, arena, rng):
+        """Revocation removes access, not accountability: a revoked
+        key's (rejected) signatures still open to that key."""
+        gpk, keys, grt = arena
+        signature = groupsig.sign(gpk, keys[0], b"post-revocation",
+                                  rng=rng)
+        with pytest.raises(groupsig.RevokedKeyError):
+            groupsig.verify(gpk, b"post-revocation", signature,
+                            url=[groupsig.RevocationToken(keys[0].a)])
+        opened = groupsig.open_signature(gpk, b"post-revocation",
+                                         signature, grt)
+        assert opened == 0

@@ -1,0 +1,110 @@
+"""Data-session tests: the hybrid MAC phase (Section V.C)."""
+
+import pytest
+
+from repro.core.messages import DataPacket
+from repro.core.protocols.session import SecureSession, session_id_from
+from repro.errors import SessionError
+
+
+@pytest.fixture
+def session_pair(fresh_deployment):
+    deployment = fresh_deployment()
+    return deployment.connect("alice", "MR-1")
+
+
+class TestDataExchange:
+    def test_bidirectional(self, session_pair):
+        user, router = session_pair
+        assert router.receive(user.send(b"a")) == b"a"
+        assert user.receive(router.send(b"b")) == b"b"
+
+    def test_many_packets_in_order(self, session_pair):
+        user, router = session_pair
+        for i in range(20):
+            payload = b"pkt-%d" % i
+            assert router.receive(user.send(payload)) == payload
+
+    def test_empty_payload(self, session_pair):
+        user, router = session_pair
+        assert router.receive(user.send(b"")) == b""
+
+    def test_byte_counters(self, session_pair):
+        user, router = session_pair
+        packet = user.send(b"counted")
+        router.receive(packet)
+        assert user.bytes_sent == len(packet.encode())
+        assert router.bytes_received == len(packet.encode())
+
+
+class TestReplayProtection:
+    def test_replayed_packet_rejected(self, session_pair):
+        user, router = session_pair
+        packet = user.send(b"once")
+        router.receive(packet)
+        with pytest.raises(SessionError):
+            router.receive(packet)
+
+    def test_reordered_packet_rejected(self, session_pair):
+        user, router = session_pair
+        first = user.send(b"1")
+        second = user.send(b"2")
+        router.receive(second)
+        with pytest.raises(SessionError):
+            router.receive(first)
+
+    def test_reflected_packet_rejected(self, session_pair):
+        """A packet the user sent, bounced back at the user."""
+        user, _router = session_pair
+        packet = user.send(b"mine")
+        with pytest.raises(SessionError):
+            user.receive(packet)
+
+    def test_cross_session_packet_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        user1, router1 = deployment.connect("alice", "MR-1")
+        user2, router2 = deployment.connect("bob", "MR-1")
+        packet = user1.send(b"for session 1")
+        with pytest.raises(SessionError):
+            router2.receive(packet)
+
+    def test_tampered_payload_rejected(self, session_pair):
+        user, router = session_pair
+        packet = user.send(b"valuable")
+        tampered = DataPacket(packet.session_id, packet.sequence,
+                              packet.sealed[:-1]
+                              + bytes([packet.sealed[-1] ^ 1]))
+        with pytest.raises(SessionError):
+            router.receive(tampered)
+
+    def test_sequence_spoof_rejected(self, session_pair):
+        """Changing the sequence number breaks the AAD binding."""
+        user, router = session_pair
+        packet = user.send(b"seq")
+        spoofed = DataPacket(packet.session_id, packet.sequence + 2,
+                             packet.sealed)
+        with pytest.raises(SessionError):
+            router.receive(spoofed)
+
+
+class TestSessionIdentity:
+    def test_session_id_derivation_symmetric_inputs(self, group):
+        a = group.g1 ** 3
+        b = group.g1 ** 5
+        assert session_id_from(a, b) != session_id_from(b, a)
+        assert len(session_id_from(a, b)) == 16
+
+    def test_distinct_shared_secrets_distinct_keys(self, group):
+        sid = b"\x01" * 16
+        s1 = SecureSession(sid, group.g1 ** 7, initiator=True)
+        s2 = SecureSession(sid, group.g1 ** 8, initiator=False)
+        packet = s1.send(b"x")
+        with pytest.raises(SessionError):
+            s2.receive(packet)
+
+    def test_handshake_seal_open(self, group):
+        sid = b"\x02" * 16
+        shared = group.g1 ** 9
+        a = SecureSession(sid, shared, initiator=True)
+        b = SecureSession(sid, shared, initiator=False)
+        assert b.open_handshake(a.seal_handshake(b"confirm")) == b"confirm"

@@ -1,0 +1,76 @@
+"""Session key ratcheting and keying-material export."""
+
+import pytest
+
+from repro.errors import SessionError
+
+
+@pytest.fixture
+def session_pair(fresh_deployment):
+    return fresh_deployment().connect("alice", "MR-1")
+
+
+class TestRekey:
+    def test_synchronized_rekey_keeps_working(self, session_pair):
+        user, router = session_pair
+        router.receive(user.send(b"gen 0"))
+        assert user.rekey() == 1
+        assert router.rekey() == 1
+        assert router.receive(user.send(b"gen 1")) == b"gen 1"
+        assert user.receive(router.send(b"gen 1 back")) == b"gen 1 back"
+
+    def test_unsynchronized_rekey_severs(self, session_pair):
+        user, router = session_pair
+        user.rekey()
+        packet = user.send(b"from the future")
+        with pytest.raises(SessionError):
+            router.receive(packet)
+
+    def test_old_generation_packets_rejected_after_rekey(self,
+                                                         session_pair):
+        """Forward secrecy within the session: a packet sealed under
+        generation N fails once both sides moved to N+1."""
+        user, router = session_pair
+        stale = user.send(b"old generation")
+        user.rekey()
+        router.rekey()
+        with pytest.raises(SessionError):
+            router.receive(stale)
+
+    def test_many_generations(self, session_pair):
+        user, router = session_pair
+        for generation in range(1, 6):
+            assert user.rekey() == generation
+            assert router.rekey() == generation
+            payload = b"g%d" % generation
+            assert router.receive(user.send(payload)) == payload
+
+    def test_generations_produce_distinct_keys(self, session_pair):
+        user, _router = session_pair
+        first = user.export_key_material(b"probe")
+        user.rekey()
+        second = user.export_key_material(b"probe")
+        assert first != second
+
+
+class TestExport:
+    def test_both_sides_export_identically(self, session_pair):
+        user, router = session_pair
+        assert (user.export_key_material(b"app")
+                == router.export_key_material(b"app"))
+
+    def test_labels_separate(self, session_pair):
+        user, _ = session_pair
+        assert (user.export_key_material(b"a")
+                != user.export_key_material(b"b"))
+
+    def test_length_control(self, session_pair):
+        user, _ = session_pair
+        assert len(user.export_key_material(b"x", length=48)) == 48
+
+    def test_sessions_export_differently(self, fresh_deployment):
+        deployment = fresh_deployment()
+        s1, _ = deployment.connect("alice", "MR-1")
+        s2, _ = deployment.connect("alice", "MR-1")
+        assert (s1.export_key_material(b"app")
+                != s2.export_key_material(b"app"))

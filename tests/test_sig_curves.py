@@ -1,0 +1,75 @@
+"""Tests for the ECDSA Weierstrass curve arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotOnCurveError, ParameterError
+from repro.sig.curves import SECP160R1, SECP256R1, get_curve
+
+scalars160 = st.integers(min_value=1, max_value=SECP160R1.n - 1)
+
+
+class TestDomainParameters:
+    @pytest.mark.parametrize("curve", [SECP160R1, SECP256R1])
+    def test_generator_on_curve(self, curve):
+        assert curve.is_on_curve(curve.generator)
+
+    @pytest.mark.parametrize("curve", [SECP160R1, SECP256R1])
+    def test_generator_order(self, curve):
+        assert curve.scalar_mul(curve.generator, curve.n) is None
+
+    def test_lookup(self):
+        assert get_curve("secp160r1") is SECP160R1
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ParameterError):
+            get_curve("secp127r9")
+
+    def test_sizes(self):
+        assert SECP160R1.coordinate_bytes == 20
+        assert SECP160R1.scalar_bytes == 21   # n is 161 bits
+        assert SECP256R1.scalar_bytes == 32
+
+
+class TestGroupLaw:
+    def test_infinity_identity(self):
+        g = SECP160R1.generator
+        assert SECP160R1.affine_add(g, None) == g
+        assert SECP160R1.affine_add(None, g) == g
+
+    def test_add_inverse(self):
+        g = SECP160R1.generator
+        assert SECP160R1.affine_add(g, SECP160R1.affine_neg(g)) is None
+
+    def test_jacobian_matches_affine(self):
+        g = SECP160R1.generator
+        acc = None
+        for k in range(1, 12):
+            acc = SECP160R1.affine_add(acc, g)
+            assert SECP160R1.scalar_mul(g, k) == acc
+
+    def test_scalar_mul_zero(self):
+        assert SECP160R1.scalar_mul(SECP160R1.generator, 0) is None
+
+    def test_scalar_mul_of_infinity(self):
+        assert SECP160R1.scalar_mul(None, 12345) is None
+
+    def test_scalar_mul_two(self):
+        g = SECP160R1.generator
+        h = SECP160R1.scalar_mul(g, 7)
+        combined = SECP160R1.scalar_mul_two(g, 3, h, 2)
+        assert combined == SECP160R1.scalar_mul(g, 3 + 14)
+
+    @given(scalars160, scalars160)
+    @settings(max_examples=10, deadline=None)
+    def test_property_distributive(self, a, b):
+        g = SECP160R1.generator
+        lhs = SECP160R1.scalar_mul(g, (a + b) % SECP160R1.n)
+        rhs = SECP160R1.affine_add(SECP160R1.scalar_mul(g, a),
+                                   SECP160R1.scalar_mul(g, b))
+        assert lhs == rhs
+
+    def test_require_on_curve_rejects_forged_point(self):
+        with pytest.raises(NotOnCurveError):
+            SECP160R1.require_on_curve((1, 2))

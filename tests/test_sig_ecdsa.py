@@ -1,0 +1,108 @@
+"""Tests for ECDSA-160/256 signing and verification."""
+
+import random
+
+import pytest
+
+from repro.errors import EncodingError, InvalidSignature
+from repro.sig.curves import SECP160R1, SECP256R1
+from repro.sig.ecdsa import (
+    EcdsaPublicKey,
+    decode_signature,
+    ecdsa_generate,
+    encode_signature,
+    signature_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return ecdsa_generate(SECP160R1, rng=random.Random(77))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        sig = keypair.sign(b"hello")
+        assert keypair.public.verify(b"hello", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = keypair.sign(b"hello")
+        assert not keypair.public.verify(b"hellO", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = bytearray(keypair.sign(b"hello"))
+        sig[5] ^= 1
+        assert not keypair.public.verify(b"hello", bytes(sig))
+
+    def test_wrong_key_rejected(self, keypair):
+        other = ecdsa_generate(SECP160R1, rng=random.Random(78))
+        sig = keypair.sign(b"hello")
+        assert not other.public.verify(b"hello", sig)
+
+    def test_empty_message(self, keypair):
+        sig = keypair.sign(b"")
+        assert keypair.public.verify(b"", sig)
+
+    def test_long_message(self, keypair):
+        message = b"m" * 100_000
+        assert keypair.public.verify(message, keypair.sign(message))
+
+    def test_require_valid_raises(self, keypair):
+        with pytest.raises(InvalidSignature):
+            keypair.public.require_valid(b"a", b"\x00" * 42)
+
+    def test_garbage_signature_rejected_without_raising(self, keypair):
+        assert not keypair.public.verify(b"a", b"nonsense")
+        assert not keypair.public.verify(b"a", b"")
+
+    def test_all_zero_signature_rejected(self, keypair):
+        assert not keypair.public.verify(b"a", b"\x00" * 42)
+
+    def test_secp256r1_works_too(self):
+        kp = ecdsa_generate(SECP256R1, rng=random.Random(79))
+        sig = kp.sign(b"modern")
+        assert kp.public.verify(b"modern", sig)
+        assert len(sig) == 64
+
+
+class TestDeterminism:
+    def test_rfc6979_style_determinism(self, keypair):
+        assert keypair.sign(b"same") == keypair.sign(b"same")
+
+    def test_different_messages_different_signatures(self, keypair):
+        assert keypair.sign(b"a") != keypair.sign(b"b")
+
+    def test_keygen_reproducible(self):
+        a = ecdsa_generate(SECP160R1, rng=random.Random(5))
+        b = ecdsa_generate(SECP160R1, rng=random.Random(5))
+        assert a.private == b.private
+
+
+class TestEncoding:
+    def test_signature_size_matches_paper_scale(self, keypair):
+        # ECDSA-160: two 161-bit scalars -> 42 bytes on the wire.
+        assert len(keypair.sign(b"x")) == signature_bytes(SECP160R1) == 42
+
+    def test_signature_codec_roundtrip(self):
+        blob = encode_signature(SECP160R1, 123, 456)
+        assert decode_signature(SECP160R1, blob) == (123, 456)
+
+    def test_bad_signature_length_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_signature(SECP160R1, b"\x00" * 17)
+
+    def test_public_key_roundtrip(self, keypair):
+        blob = keypair.public.encode()
+        decoded = EcdsaPublicKey.decode(SECP160R1, blob)
+        assert decoded == keypair.public
+
+    def test_public_key_off_curve_rejected(self, keypair):
+        blob = bytearray(keypair.public.encode())
+        blob[-1] ^= 1
+        with pytest.raises(EncodingError):
+            EcdsaPublicKey.decode(SECP160R1, bytes(blob))
+
+    def test_public_key_bad_prefix_rejected(self, keypair):
+        blob = b"\x05" + keypair.public.encode()[1:]
+        with pytest.raises(EncodingError):
+            EcdsaPublicKey.decode(SECP160R1, blob)

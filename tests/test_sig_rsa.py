@@ -1,0 +1,65 @@
+"""Tests for the RSA-1024 baseline."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidSignature, ParameterError
+from repro.sig.rsa import rsa_generate
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa_generate(1024, rng=random.Random(99))
+
+
+class TestRsa:
+    def test_roundtrip(self, keypair):
+        sig = keypair.sign(b"hello")
+        assert keypair.public.verify(b"hello", sig)
+
+    def test_signature_is_128_bytes(self, keypair):
+        """The paper's comparison point: RSA-1024 = 128 bytes."""
+        assert len(keypair.sign(b"x")) == 128
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = keypair.sign(b"hello")
+        assert not keypair.public.verify(b"hellO", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = bytearray(keypair.sign(b"hello"))
+        sig[0] ^= 1
+        assert not keypair.public.verify(b"hello", bytes(sig))
+
+    def test_wrong_length_rejected(self, keypair):
+        assert not keypair.public.verify(b"hello", b"\x01" * 64)
+
+    def test_oversize_value_rejected(self, keypair):
+        too_big = (keypair.public.n + 1).to_bytes(128, "big") \
+            if keypair.public.n + 1 < (1 << 1024) else b"\xff" * 128
+        assert not keypair.public.verify(b"hello", too_big)
+
+    def test_require_valid_raises(self, keypair):
+        with pytest.raises(InvalidSignature):
+            keypair.public.require_valid(b"a", b"\x00" * 128)
+
+    def test_modulus_bit_length(self, keypair):
+        assert keypair.public.n.bit_length() == 1024
+
+    def test_crt_consistency(self, keypair):
+        """CRT signing must agree with the plain d-exponentiation."""
+        message = b"crt-check"
+        sig = int.from_bytes(keypair.sign(message), "big")
+        from repro.sig.rsa import _emsa_pkcs1_v15
+        em = int.from_bytes(
+            _emsa_pkcs1_v15(message, keypair.public.modulus_bytes), "big")
+        assert pow(sig, keypair.public.e, keypair.public.n) == em
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            rsa_generate(256)
+
+    def test_reproducible_keygen(self):
+        a = rsa_generate(512, rng=random.Random(3))
+        b = rsa_generate(512, rng=random.Random(3))
+        assert a.public.n == b.public.n

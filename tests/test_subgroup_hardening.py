@@ -1,0 +1,110 @@
+"""Small-subgroup injection attempts against protocol boundaries.
+
+The supersingular curve's full group order is ``p + 1 = h * r`` with a
+large cofactor ``h``; a point can satisfy the curve equation yet lie
+outside the prime-order-r subgroup.  Every externally supplied group
+element (T1/T2 in signatures, the DH values of beacons, requests, and
+peer messages) must be validated, or an attacker could inject
+off-subgroup points.
+"""
+
+import random
+
+import pytest
+
+from repro.core import groupsig
+from repro.core.messages import AccessRequest, Beacon, PeerHello
+from repro.errors import (
+    AuthenticationError,
+    InvalidSignature,
+    ProtocolError,
+)
+from repro.pairing.curve import Point
+from repro.pairing.group import G1Element
+
+
+def off_subgroup_point(group, rng=None):
+    """Find a curve point OUTSIDE the order-r subgroup."""
+    rng = rng or random.Random(1717)
+    curve = group.curve
+    while True:
+        x = rng.randrange(curve.p)
+        try:
+            point = curve.lift_x(x, y_parity=rng.randrange(2))
+        except Exception:
+            continue
+        if not curve.in_subgroup(point):
+            return G1Element(point, group)
+
+
+class TestOffSubgroupPoints:
+    def test_such_points_exist(self, group):
+        """Sanity: the cofactor is nontrivial and findable."""
+        rogue = off_subgroup_point(group)
+        assert group.curve.is_on_curve(rogue.point)
+        assert not group.curve.in_subgroup(rogue.point)
+
+    def test_signature_with_off_subgroup_t1_rejected(self, gpk,
+                                                     member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], b"m", rng=rng)
+        rogue = off_subgroup_point(gpk.group)
+        bad = groupsig.GroupSignature(sig.r, rogue, sig.t2, sig.c,
+                                      sig.s_alpha, sig.s_x, sig.s_delta)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, b"m", bad)
+
+    def test_signature_with_off_subgroup_t2_rejected(self, gpk,
+                                                     member_keys, rng):
+        sig = groupsig.sign(gpk, member_keys["a1"], b"m", rng=rng)
+        rogue = off_subgroup_point(gpk.group)
+        bad = groupsig.GroupSignature(sig.r, sig.t1, rogue, sig.c,
+                                      sig.s_alpha, sig.s_x, sig.s_delta)
+        with pytest.raises(InvalidSignature):
+            groupsig.verify(gpk, b"m", bad)
+
+
+class TestProtocolBoundaries:
+    def test_beacon_with_off_subgroup_dh_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        beacon = router.make_beacon()
+        rogue = off_subgroup_point(deployment.group)
+        # Re-sign so only the subgroup check can catch it.
+        forged = Beacon(beacon.router_id, beacon.g, rogue, beacon.ts1,
+                        b"", beacon.certificate, beacon.crl, beacon.url)
+        forged = Beacon(forged.router_id, forged.g, rogue, forged.ts1,
+                        router.keypair.sign(forged.signed_payload()),
+                        forged.certificate, forged.crl, forged.url)
+        with pytest.raises(ProtocolError):
+            deployment.users["alice"].connect_to_router(forged)
+
+    def test_request_with_off_subgroup_dh_rejected(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        beacon = router.make_beacon()
+        request, _ = user.connect_to_router(beacon)
+        rogue = off_subgroup_point(deployment.group)
+        forged = AccessRequest(rogue, request.g_r_router, request.ts2,
+                               request.group_signature)
+        with pytest.raises(AuthenticationError):
+            router.process_request(forged)
+
+    def test_peer_hello_with_off_subgroup_dh_rejected(self,
+                                                      fresh_deployment):
+        deployment = fresh_deployment()
+        beacon = deployment.routers["MR-1"].make_beacon()
+        initiator = deployment.users["alice"].peer_engine()
+        responder = deployment.users["bob"].peer_engine()
+        hello, _ = initiator.initiate(beacon.g)
+        rogue = off_subgroup_point(deployment.group)
+        forged = PeerHello(hello.g, rogue, hello.ts1,
+                           hello.group_signature)
+        with pytest.raises(ProtocolError):
+            responder.respond(forged, beacon.url)
+
+    def test_legitimate_flows_unaffected(self, fresh_deployment):
+        """Hardening must not break anything legitimate."""
+        deployment = fresh_deployment()
+        deployment.connect("alice", "MR-1")
+        deployment.peer_connect("alice", "bob", "MR-1")

@@ -1,0 +1,96 @@
+"""Tests for encrypted credential wallets."""
+
+import pytest
+
+from repro.core import groupsig
+from repro.core.wallet import open_wallet, seal_wallet
+from repro.errors import EncodingError, SessionError
+
+PASSWORD = b"correct horse battery staple"
+
+
+@pytest.fixture(scope="module")
+def wallet_blob(group, member_keys):
+    credentials = {"Company X": member_keys["a1"],
+                   "University Z": member_keys["b1"]}
+    return seal_wallet(group, credentials, PASSWORD, iterations=100)
+
+
+class TestRoundtrip:
+    def test_open_recovers_credentials(self, group, member_keys,
+                                       wallet_blob):
+        recovered = open_wallet(group, wallet_blob, PASSWORD)
+        assert set(recovered) == {"Company X", "University Z"}
+        assert recovered["Company X"].a == member_keys["a1"].a
+        assert recovered["Company X"].x == member_keys["a1"].x
+        assert recovered["Company X"].index == member_keys["a1"].index
+
+    def test_recovered_credentials_still_sign(self, group, gpk,
+                                              wallet_blob, rng):
+        recovered = open_wallet(group, wallet_blob, PASSWORD)
+        signature = groupsig.sign(gpk, recovered["Company X"],
+                                  b"from the wallet", rng=rng)
+        groupsig.verify(gpk, b"from the wallet", signature)
+
+    def test_empty_wallet(self, group):
+        blob = seal_wallet(group, {}, PASSWORD, iterations=100)
+        assert open_wallet(group, blob, PASSWORD) == {}
+
+    def test_fresh_salts_give_distinct_blobs(self, group, member_keys):
+        credentials = {"Company X": member_keys["a1"]}
+        a = seal_wallet(group, credentials, PASSWORD, iterations=100)
+        b = seal_wallet(group, credentials, PASSWORD, iterations=100)
+        assert a != b
+
+
+class TestRejection:
+    def test_wrong_password(self, group, wallet_blob):
+        with pytest.raises(SessionError):
+            open_wallet(group, wallet_blob, b"wrong password")
+
+    def test_empty_password_refused(self, group, member_keys):
+        with pytest.raises(SessionError):
+            seal_wallet(group, {"X": member_keys["a1"]}, b"")
+
+    def test_tampered_ciphertext(self, group, wallet_blob):
+        tampered = wallet_blob[:-1] + bytes([wallet_blob[-1] ^ 1])
+        with pytest.raises(SessionError):
+            open_wallet(group, tampered, PASSWORD)
+
+    def test_tampered_header_iterations(self, group, wallet_blob):
+        """Weakening the advertised work factor breaks the AAD."""
+        tampered = bytearray(wallet_blob)
+        tampered[8:12] = (1).to_bytes(4, "big")
+        with pytest.raises((SessionError, EncodingError)):
+            open_wallet(group, bytes(tampered), PASSWORD)
+
+    def test_wrong_magic(self, group, wallet_blob):
+        with pytest.raises(EncodingError):
+            open_wallet(group, b"XXXXXXXX" + wallet_blob[8:], PASSWORD)
+
+    def test_preset_mismatch(self, wallet_blob):
+        from repro.pairing import PairingGroup
+        other = PairingGroup("SS256")
+        with pytest.raises(EncodingError):
+            open_wallet(other, wallet_blob, PASSWORD)
+
+    def test_truncated_blob(self, group, wallet_blob):
+        with pytest.raises((EncodingError, SessionError)):
+            open_wallet(group, wallet_blob[:20], PASSWORD)
+
+
+class TestUserIntegration:
+    def test_user_backup_and_restore(self, fresh_deployment):
+        """Back up alice's wallet, wipe her credentials, restore,
+        reconnect."""
+        deployment = fresh_deployment()
+        alice = deployment.users["alice"]
+        blob = seal_wallet(deployment.group, alice.credentials,
+                           PASSWORD, iterations=100)
+        alice.credentials.clear()
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            deployment.connect("alice", "MR-1")
+        alice.credentials.update(
+            open_wallet(deployment.group, blob, PASSWORD))
+        deployment.connect("alice", "MR-1")

@@ -1,0 +1,58 @@
+"""Tests for the Writer/Reader wire codec."""
+
+import pytest
+
+from repro.core.wire import Reader, Writer
+from repro.errors import EncodingError
+
+
+class TestWriterReader:
+    def test_scalar_fields(self):
+        blob = Writer().u8(7).u32(1000).u64(2 ** 40).done()
+        reader = Reader(blob)
+        assert reader.u8() == 7
+        assert reader.u32() == 1000
+        assert reader.u64() == 2 ** 40
+        reader.expect_end()
+
+    def test_var_fields(self):
+        blob = Writer().var(b"abc").var(b"").done()
+        reader = Reader(blob)
+        assert reader.var() == b"abc"
+        assert reader.var() == b""
+        reader.expect_end()
+
+    def test_strings_utf8(self):
+        blob = Writer().string("héllo").done()
+        assert Reader(blob).string() == "héllo"
+
+    def test_timestamps_millisecond_precision(self):
+        blob = Writer().f64(1234.5678).done()
+        assert abs(Reader(blob).f64() - 1234.5678) < 0.001
+
+    def test_truncation_detected(self):
+        blob = Writer().u32(5).done()
+        reader = Reader(blob)
+        reader.u32()
+        with pytest.raises(EncodingError):
+            reader.u8()
+
+    def test_trailing_bytes_detected(self):
+        reader = Reader(b"\x00\x01")
+        reader.u8()
+        with pytest.raises(EncodingError):
+            reader.expect_end()
+
+    def test_var_length_beyond_buffer_rejected(self):
+        blob = Writer().u32(100).raw(b"short").done()
+        with pytest.raises(EncodingError):
+            Reader(blob).var()
+
+    def test_remaining(self):
+        reader = Reader(b"\x00" * 10)
+        reader.raw(3)
+        assert reader.remaining() == 7
+
+    def test_chaining(self):
+        blob = Writer().u8(1).u8(2).u8(3).done()
+        assert blob == b"\x01\x02\x03"

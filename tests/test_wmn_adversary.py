@@ -1,0 +1,134 @@
+"""Adversary node behaviour and the claims of Section V.A."""
+
+import random
+
+import pytest
+
+from repro.wmn.adversary import (
+    DosFlooder,
+    Eavesdropper,
+    OutsiderInjector,
+    ReplayAttacker,
+    RoguePhisher,
+    forge_access_request,
+)
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+
+
+def arena(seed=13, user_count=2, **overrides):
+    defaults = dict(
+        preset="TEST", seed=seed,
+        topology=TopologyConfig(area_side=400.0, router_grid=1,
+                                user_count=user_count, seed=seed,
+                                access_range=400.0),
+        group_sizes=(("Company X", 8),),
+        beacon_interval=5.0)
+    defaults.update(overrides)
+    return Scenario(ScenarioConfig(**defaults))
+
+
+class TestEavesdropper:
+    def test_hears_all_traffic(self):
+        scenario = arena()
+        eve = Eavesdropper("eve", (50.0, 50.0), scenario.loop,
+                           scenario.radio)
+        scenario.run(30.0)
+        kinds = {frame.kind for _t, frame in eve.captured}
+        assert {"M.1", "M.2", "M.3"} <= kinds
+
+    def test_session_identifiers_all_fresh(self):
+        """Every observed session identifier is unique: nothing for the
+        adversary to link (Section V.B)."""
+        scenario = arena(user_count=3)
+        eve = Eavesdropper("eve", (50.0, 50.0), scenario.loop,
+                           scenario.radio)
+        scenario.run(60.0)
+        assert eve.identifier_reuse(scenario.deployment.group) == 0
+        assert len(eve.observed_session_identifiers(
+            scenario.deployment.group)) >= 3
+
+    def test_no_uid_on_the_air(self):
+        scenario = arena()
+        eve = Eavesdropper("eve", (50.0, 50.0), scenario.loop,
+                           scenario.radio)
+        scenario.run(30.0)
+        air = b"".join(frame.payload for _t, frame in eve.captured)
+        for user in scenario.deployment.users.values():
+            assert user.identity.uid not in air
+
+
+class TestOutsiderInjector:
+    def test_forgeries_all_rejected(self):
+        scenario = arena(user_count=0)
+        attacker = OutsiderInjector("mallory", (10.0, 10.0),
+                                    scenario.loop, scenario.radio,
+                                    scenario.deployment.group)
+        scenario.run(40.0)
+        router = next(iter(scenario.sim_routers.values()))
+        assert attacker.injected > 0
+        assert router.metrics["handshakes_completed"] == 0
+        assert router.metrics["handshakes_rejected"] == attacker.injected
+
+    def test_forged_request_is_well_formed(self, fresh_deployment):
+        """The forgery decodes fine and fails only at Eq.2."""
+        from repro.core.messages import AccessRequest
+        from repro.errors import InvalidSignature
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        beacon = router.make_beacon()
+        forged = forge_access_request(deployment.group, beacon,
+                                      deployment.clock.now(),
+                                      random.Random(1))
+        decoded = AccessRequest.decode(deployment.group, forged.encode())
+        with pytest.raises(InvalidSignature):
+            router.process_request(decoded)
+
+
+class TestReplayAttacker:
+    def test_replays_rejected(self):
+        scenario = arena(user_count=2)
+        attacker = ReplayAttacker("replay", (20.0, 20.0), scenario.loop,
+                                  scenario.radio, replay_delay=45.0)
+        scenario.run(120.0)
+        router = next(iter(scenario.sim_routers.values()))
+        assert attacker.replayed > 0
+        # Exactly the legitimate handshakes succeeded; replays failed.
+        assert router.metrics["handshakes_completed"] == 2
+        assert router.metrics["handshakes_rejected"] >= attacker.replayed
+
+
+class TestRoguePhisher:
+    def test_no_user_answers_a_rogue(self):
+        scenario = arena(user_count=3)
+        rogue = RoguePhisher("MR-rogue", (60.0, 60.0), scenario.loop,
+                             scenario.radio, scenario.deployment.group)
+        scenario.run(60.0)
+        assert rogue.victims == set()
+
+    def test_users_still_join_the_real_router(self):
+        scenario = arena(user_count=3)
+        RoguePhisher("MR-rogue", (60.0, 60.0), scenario.loop,
+                     scenario.radio, scenario.deployment.group)
+        scenario.run(60.0)
+        assert scenario.connected_fraction() == 1.0
+
+
+class TestDosFlooder:
+    def test_flooder_throttled_by_puzzles(self):
+        from repro.core.protocols.dos import DosPolicy
+
+        def policy():
+            return DosPolicy(rate_threshold=3.0, window=10.0,
+                             base_difficulty=14, max_difficulty=14,
+                             adaptive=False)
+
+        scenario = arena(user_count=0, dos_policy_factory=policy)
+        router_id = next(iter(scenario.sim_routers))
+        flooder = DosFlooder("flood", (30.0, 30.0), scenario.loop,
+                             scenario.radio, scenario.deployment.group,
+                             router_id, rate=20.0, hash_rate=50_000.0)
+        scenario.run(60.0)
+        # 2^14 / 50k = 0.33s per solve > 0.05s per request: the flood
+        # rate collapses once puzzles activate.
+        assert flooder.puzzle_limited > flooder.sent / 2

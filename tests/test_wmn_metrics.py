@@ -1,0 +1,75 @@
+"""Tests for metric aggregation and the cost model."""
+
+import math
+
+import pytest
+
+from repro.wmn.costmodel import CostModel
+from repro.wmn.metrics import HandshakeStats, mean, merge_counters, percentile
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_is_nan(self):
+        assert math.isnan(mean([]))
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 1) == 1.0
+
+    def test_percentile_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 100) == 9.0
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_handshake_stats_summary(self):
+        stats = HandshakeStats()
+        stats.extend([0.1, 0.2, 0.3, 0.4])
+        summary = stats.summary()
+        assert summary["count"] == 4
+        assert abs(summary["mean"] - 0.25) < 1e-9
+        assert summary["max"] == 0.4
+
+    def test_merge_counters(self):
+        merged = merge_counters([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+        assert merged == {"a": 4, "b": 2, "c": 4}
+
+    def test_merge_empty(self):
+        assert merge_counters([]) == {}
+
+
+class TestCostModel:
+    def test_group_sign_formula(self):
+        cost = CostModel(pairing=0.02, exponentiation=0.002)
+        assert abs(cost.group_sign() - (8 * 0.002 + 2 * 0.02)) < 1e-12
+
+    def test_group_verify_scales_with_url(self):
+        cost = CostModel()
+        assert (cost.group_verify(10) - cost.group_verify(0)
+                == pytest.approx(20 * cost.pairing))
+
+    def test_fast_revocation_constant(self):
+        cost = CostModel()
+        assert (cost.group_verify_fast_revocation()
+                == pytest.approx(6 * cost.exponentiation
+                                 + 5 * cost.pairing))
+
+    def test_fast_variant_wins_beyond_url_1(self):
+        """The cost model reproduces the E3 crossover analytically."""
+        cost = CostModel()
+        assert cost.group_verify(0) < cost.group_verify_fast_revocation()
+        assert cost.group_verify(2) > cost.group_verify_fast_revocation()
+
+    def test_puzzle_solve_exponential(self):
+        cost = CostModel(hash_op=1e-6)
+        assert cost.puzzle_solve(11) == 2 * cost.puzzle_solve(10)
+
+    def test_beacon_costs(self):
+        cost = CostModel()
+        assert cost.beacon_cost() == cost.ecdsa_sign
+        assert cost.beacon_check() == 4 * cost.ecdsa_verify

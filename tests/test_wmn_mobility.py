@@ -1,0 +1,75 @@
+"""Tests for random-waypoint mobility."""
+
+import random
+
+from repro.wmn.mobility import RandomWaypoint
+from repro.wmn.simclock import EventLoop
+
+
+def make_walker(seed=1, speed=(1.0, 1.0), pause=0.0, area=100.0):
+    loop = EventLoop()
+    state = {"pos": (50.0, 50.0)}
+    walker = RandomWaypoint(
+        loop, area_side=area,
+        get_position=lambda: state["pos"],
+        set_position=lambda p: state.__setitem__("pos", p),
+        speed_min=speed[0], speed_max=speed[1], pause=pause,
+        tick=1.0, rng=random.Random(seed))
+    return loop, state, walker
+
+
+class TestRandomWaypoint:
+    def test_position_changes_over_time(self):
+        loop, state, walker = make_walker()
+        start = state["pos"]
+        walker.start()
+        loop.run_until(30.0)
+        assert state["pos"] != start
+
+    def test_stays_inside_area(self):
+        loop, state, walker = make_walker(seed=9, area=100.0)
+        walker.start()
+        positions = []
+        for _ in range(200):
+            loop.run_until(loop.now + 1.0)
+            positions.append(state["pos"])
+        for x, y in positions:
+            assert -1e-9 <= x <= 100.0 and -1e-9 <= y <= 100.0
+
+    def test_speed_bounds_respected(self):
+        loop, state, walker = make_walker(speed=(2.0, 2.0), pause=0.0)
+        walker.start()
+        import math
+        loop.run_until(1.0)
+        previous = state["pos"]
+        for _ in range(50):
+            loop.run_until(loop.now + 1.0)
+            step = math.dist(previous, state["pos"])
+            previous = state["pos"]
+            assert step <= 2.0 + 1e-6
+
+    def test_distance_accumulates(self):
+        loop, _state, walker = make_walker(pause=0.0)
+        walker.start()
+        loop.run_until(50.0)
+        assert walker.distance_travelled > 10.0
+
+    def test_pause_at_waypoints(self):
+        """With an enormous pause, total travel is bounded by the first
+        leg of the walk."""
+        loop, _state, fast = make_walker(seed=3, pause=0.0)
+        fast.start()
+        loop.run_until(300.0)
+        loop2, _state2, lazy = make_walker(seed=3, pause=1e9)
+        lazy.start()
+        loop2.run_until(300.0)
+        assert lazy.distance_travelled <= fast.distance_travelled
+
+    def test_deterministic(self):
+        loop1, state1, w1 = make_walker(seed=7)
+        w1.start()
+        loop1.run_until(25.0)
+        loop2, state2, w2 = make_walker(seed=7)
+        w2.start()
+        loop2.run_until(25.0)
+        assert state1["pos"] == state2["pos"]

@@ -1,0 +1,163 @@
+"""Tests for the radio medium: range, latency, loss, eavesdropping."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.wmn.radio import Frame, RadioMedium, distance
+from repro.wmn.simclock import EventLoop
+
+
+class Sink:
+    """Minimal radio node recording deliveries."""
+
+    def __init__(self, node_id, position):
+        self.node_id = node_id
+        self.position = position
+        self.received = []
+
+    def deliver(self, frame):
+        self.received.append(frame)
+
+
+def make_medium(loss=0.0, bitrate=1e6):
+    loop = EventLoop()
+    medium = RadioMedium(loop, bitrate=bitrate, default_range=100.0,
+                         loss_probability=loss, rng=random.Random(1))
+    return loop, medium
+
+
+class TestDelivery:
+    def test_in_range_receives(self):
+        loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (50.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        medium.transmit(Frame("T", b"hello", src="a"))
+        loop.run_all()
+        assert len(b.received) == 1
+
+    def test_out_of_range_does_not_receive(self):
+        loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (500.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        medium.transmit(Frame("T", b"hello", src="a"))
+        loop.run_all()
+        assert b.received == []
+
+    def test_sender_does_not_hear_itself(self):
+        loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        medium.attach(a)
+        medium.transmit(Frame("T", b"hello", src="a"))
+        loop.run_all()
+        assert a.received == []
+
+    def test_unicast_still_overheard(self):
+        """Eavesdroppers hear unicast frames in range -- the wireless
+        medium leaks everything (threat model, Section III.B)."""
+        loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (10.0, 0.0))
+        eve = Sink("eve", (20.0, 0.0))
+        for node in (a, b, eve):
+            medium.attach(node)
+        medium.transmit(Frame("T", b"secret", src="a", dst="b"))
+        loop.run_all()
+        assert len(b.received) == 1
+        assert len(eve.received) == 1   # overheard
+
+    def test_power_boost_extends_range(self):
+        loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (150.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        medium.transmit(Frame("T", b"x", src="a"))               # 100m
+        medium.transmit(Frame("T", b"x", src="a"), tx_range=200)  # boost
+        loop.run_all()
+        assert len(b.received) == 1
+
+    def test_unknown_sender_rejected(self):
+        _loop, medium = make_medium()
+        with pytest.raises(SimulationError):
+            medium.transmit(Frame("T", b"x", src="ghost"))
+
+    def test_duplicate_attach_rejected(self):
+        _loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        medium.attach(a)
+        with pytest.raises(SimulationError):
+            medium.attach(Sink("a", (1.0, 1.0)))
+
+    def test_detach(self):
+        loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (1.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        medium.detach("b")
+        medium.transmit(Frame("T", b"x", src="a"))
+        loop.run_all()
+        assert b.received == []
+
+
+class TestLatency:
+    def test_serialization_delay_scales_with_size(self):
+        loop, medium = make_medium(bitrate=8e3)   # 1 kB/s
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (10.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        arrivals = []
+        b.deliver = lambda frame: arrivals.append(loop.now)
+        medium.transmit(Frame("T", b"x" * 976, src="a"))   # 1000B frame
+        loop.run_all()
+        assert arrivals and abs(arrivals[0] - 1.0) < 0.01
+
+    def test_frame_size_includes_header(self):
+        frame = Frame("T", b"x" * 100, src="a")
+        assert frame.size == 124
+
+
+class TestLoss:
+    def test_lossless_by_default(self):
+        loop, medium = make_medium(loss=0.0)
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (10.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        for _ in range(20):
+            medium.transmit(Frame("T", b"x", src="a"))
+        loop.run_all()
+        assert len(b.received) == 20
+
+    def test_lossy_channel_drops(self):
+        loop, medium = make_medium(loss=0.5)
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (10.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        for _ in range(100):
+            medium.transmit(Frame("T", b"x", src="a"))
+        loop.run_all()
+        assert 20 < len(b.received) < 80
+        assert medium.frames_dropped == 100 - len(b.received)
+
+
+class TestNeighborhood:
+    def test_neighbors_of(self):
+        _loop, medium = make_medium()
+        a = Sink("a", (0.0, 0.0))
+        b = Sink("b", (50.0, 0.0))
+        c = Sink("c", (500.0, 0.0))
+        for node in (a, b, c):
+            medium.attach(node)
+        assert medium.neighbors_of("a") == ["b"]
+
+    def test_distance(self):
+        assert distance((0.0, 0.0), (3.0, 4.0)) == 5.0

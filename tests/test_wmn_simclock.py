@@ -1,0 +1,108 @@
+"""Tests for the discrete-event loop and simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.wmn.simclock import EventLoop, SimClock
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self):
+        loop = EventLoop()
+        order = []
+        for name in "abc":
+            loop.schedule(1.0, lambda n=name: order.append(n))
+        loop.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run_until(2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        loop.run_until(6.0)
+        assert fired == [1, 5]
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        seen = []
+
+        def outer():
+            seen.append(loop.now)
+            loop.schedule(1.0, lambda: seen.append(loop.now))
+
+        loop.schedule(1.0, outer)
+        loop.run_all()
+        assert seen == [1.0, 2.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        loop = EventLoop(start=100.0)
+        fired = []
+        loop.schedule_at(105.0, lambda: fired.append(loop.now))
+        loop.run_all()
+        assert fired == [105.0]
+
+    def test_schedule_every(self):
+        loop = EventLoop()
+        ticks = []
+        loop.schedule_every(2.0, lambda: ticks.append(loop.now))
+        loop.run_until(7.0)
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+    def test_schedule_every_until(self):
+        loop = EventLoop()
+        ticks = []
+        loop.schedule_every(1.0, lambda: ticks.append(loop.now),
+                            until=3.5)
+        loop.run_until(10.0)
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule_every(0.0, lambda: None)
+
+    def test_event_explosion_guard(self):
+        loop = EventLoop()
+
+        def rescheduler():
+            loop.schedule(0.0, rescheduler)
+
+        loop.schedule(0.0, rescheduler)
+        with pytest.raises(SimulationError):
+            loop.run_until(1.0, max_events=100)
+
+
+class TestSimClock:
+    def test_tracks_loop_time(self):
+        loop = EventLoop(start=50.0)
+        clock = SimClock(loop)
+        assert clock.now() == 50.0
+        loop.schedule(5.0, lambda: None)
+        loop.run_all()
+        assert clock.now() == 55.0
+
+    def test_entities_see_virtual_time(self):
+        """A protocol engine wired to SimClock stamps virtual time."""
+        from repro.core.deployment import Deployment
+        loop = EventLoop(start=1_000_000.0)
+        deployment = Deployment.build(preset="TEST", seed=3,
+                                      clock=SimClock(loop))
+        beacon = deployment.routers["MR-1"].make_beacon()
+        assert beacon.ts1 == 1_000_000.0

@@ -1,0 +1,96 @@
+"""Tests for the three-layer metropolitan topology (Fig. 1 / F1)."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.wmn.topology import TopologyConfig, build_topology, topology_report
+
+
+class TestBuild:
+    def test_router_count(self):
+        topology = build_topology(TopologyConfig(router_grid=3, seed=1))
+        assert len(topology.router_positions) == 9
+
+    def test_gateway_subset(self):
+        topology = build_topology(TopologyConfig(router_grid=4,
+                                                 gateway_fraction=0.25,
+                                                 seed=1))
+        assert len(topology.gateway_ids) == 4
+        assert set(topology.gateway_ids) <= set(topology.router_positions)
+
+    def test_at_least_one_gateway(self):
+        topology = build_topology(TopologyConfig(router_grid=1,
+                                                 gateway_fraction=0.01,
+                                                 seed=1))
+        assert len(topology.gateway_ids) == 1
+
+    def test_users_inside_area(self):
+        config = TopologyConfig(area_side=1000.0, user_count=30, seed=2)
+        topology = build_topology(config)
+        assert len(topology.user_positions) == 30
+        for x, y in topology.user_positions.values():
+            assert 0 <= x <= 1000 and 0 <= y <= 1000
+
+    def test_deterministic(self):
+        a = build_topology(TopologyConfig(seed=5))
+        b = build_topology(TopologyConfig(seed=5))
+        assert a.router_positions == b.router_positions
+        assert a.user_positions == b.user_positions
+
+    def test_zero_routers_rejected(self):
+        with pytest.raises(SimulationError):
+            build_topology(TopologyConfig(router_grid=0))
+
+    def test_backbone_edges_respect_range(self):
+        config = TopologyConfig(backbone_range=900.0, seed=3)
+        topology = build_topology(config)
+        for a, b in topology.backbone.edges:
+            gap = math.dist(topology.router_positions[a],
+                            topology.router_positions[b])
+            assert gap <= 900.0
+
+
+class TestQueries:
+    def test_nearest_router(self):
+        topology = build_topology(TopologyConfig(seed=1))
+        router_id = topology.nearest_router((0.0, 0.0))
+        assert router_id in topology.router_positions
+
+    def test_routers_in_reach(self):
+        topology = build_topology(TopologyConfig(seed=1))
+        some_router = next(iter(topology.router_positions.values()))
+        covering = topology.routers_in_reach_of(some_router)
+        assert covering   # a point at a router is covered by it
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = topology_report(build_topology(TopologyConfig(seed=1)))
+        expected_keys = {"routers", "gateways", "users",
+                         "backbone_connected", "mean_router_degree",
+                         "max_hops_to_gateway", "mean_hops_to_gateway",
+                         "user_coverage_fraction", "area_km2"}
+        assert expected_keys <= set(report)
+
+    def test_default_city_is_connected_and_covered(self):
+        """The default config models a working metro WMN: connected
+        backbone, all users within some router's reach."""
+        report = topology_report(build_topology(TopologyConfig(seed=0)))
+        assert report["backbone_connected"] == 1.0
+        assert report["user_coverage_fraction"] >= 0.9
+
+    def test_sparse_network_detected(self):
+        config = TopologyConfig(router_grid=3, backbone_range=100.0,
+                                seed=1)
+        report = topology_report(build_topology(config))
+        assert report["backbone_connected"] == 0.0
+        assert math.isinf(report["max_hops_to_gateway"])
+
+    def test_denser_grid_fewer_hops(self):
+        sparse = topology_report(build_topology(
+            TopologyConfig(router_grid=2, gateway_fraction=0.3, seed=4)))
+        dense = topology_report(build_topology(
+            TopologyConfig(router_grid=5, gateway_fraction=0.3, seed=4)))
+        assert dense["routers"] > sparse["routers"]

@@ -1,0 +1,133 @@
+"""Tests for the diurnal workload generator."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+from repro.wmn.workload import (
+    CITY_DEFAULT_PROFILE,
+    DiurnalProfile,
+    WorkloadDriver,
+    poisson_arrivals,
+)
+
+
+class TestProfile:
+    def test_default_is_valid(self):
+        profile = DiurnalProfile()
+        assert len(profile.hourly) == 24
+        assert profile.peak == max(CITY_DEFAULT_PROFILE)
+
+    def test_interpolation_continuous(self):
+        profile = DiurnalProfile()
+        at_hour = profile.intensity_at(8 * 3600.0)
+        just_after = profile.intensity_at(8 * 3600.0 + 1.0)
+        assert abs(at_hour - just_after) < 0.01
+
+    def test_wraps_midnight(self):
+        profile = DiurnalProfile()
+        assert profile.intensity_at(0.0) == profile.intensity_at(
+            24 * 3600.0)
+
+    def test_evening_peak_beats_night_trough(self):
+        profile = DiurnalProfile()
+        assert (profile.intensity_at(18 * 3600.0)
+                > 3 * profile.intensity_at(3 * 3600.0))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(hourly=(1.0,) * 23)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(hourly=(0.0,) * 24)
+
+
+class TestPoissonArrivals:
+    def test_arrivals_in_window(self):
+        profile = DiurnalProfile()
+        arrivals = poisson_arrivals(profile, peak_rate=0.5,
+                                    start=1000.0, duration=3600.0,
+                                    rng=random.Random(1))
+        assert all(1000.0 <= t < 4600.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_rate_tracks_profile(self):
+        """Evening-hour arrivals outnumber night-hour arrivals."""
+        profile = DiurnalProfile()
+        rng = random.Random(2)
+        evening = len(poisson_arrivals(profile, 0.5,
+                                       start=18 * 3600.0,
+                                       duration=3600.0, rng=rng))
+        night = len(poisson_arrivals(profile, 0.5,
+                                     start=3 * 3600.0,
+                                     duration=3600.0, rng=rng))
+        assert evening > 2 * night
+
+    def test_deterministic_given_rng(self):
+        profile = DiurnalProfile()
+        a = poisson_arrivals(profile, 0.3, 0.0, 1800.0,
+                             rng=random.Random(7))
+        b = poisson_arrivals(profile, 0.3, 0.0, 1800.0,
+                             rng=random.Random(7))
+        assert a == b
+
+    def test_bad_parameters_rejected(self):
+        profile = DiurnalProfile()
+        with pytest.raises(SimulationError):
+            poisson_arrivals(profile, 0.0, 0.0, 100.0)
+        with pytest.raises(SimulationError):
+            poisson_arrivals(profile, 1.0, 0.0, 0.0)
+
+
+class TestDriver:
+    def _scenario(self):
+        return Scenario(ScenarioConfig(
+            preset="TEST", seed=22,
+            topology=TopologyConfig(area_side=300.0, router_grid=1,
+                                    user_count=6, seed=22,
+                                    access_range=400.0),
+            group_sizes=(("Company X", 8),),
+            beacon_interval=3.0))
+
+    def test_driver_disables_auto_connect(self):
+        scenario = self._scenario()
+        WorkloadDriver(scenario)
+        scenario.run(30.0)
+        assert scenario.connected_fraction() == 0.0
+
+    def test_arrivals_create_sessions(self):
+        scenario = self._scenario()
+        driver = WorkloadDriver(scenario, peak_rate=0.3,
+                                session_duration=30.0,
+                                rng=random.Random(3))
+        scheduled = driver.schedule(duration=300.0)
+        scenario.run(330.0)
+        assert scheduled > 0
+        assert driver.sessions_started > 0
+        metrics = scenario.router_metrics()
+        assert metrics["handshakes_completed"] >= driver.sessions_started
+
+    def test_sessions_end(self):
+        scenario = self._scenario()
+        driver = WorkloadDriver(scenario, peak_rate=0.2,
+                                session_duration=20.0,
+                                rng=random.Random(4))
+        driver.schedule(duration=120.0)
+        scenario.run(200.0)   # past every session's end
+        assert scenario.connected_fraction() == 0.0
+
+    def test_bursts_carry_data(self):
+        scenario = self._scenario()
+        driver = WorkloadDriver(scenario, peak_rate=0.3,
+                                session_duration=40.0, burst_packets=2,
+                                rng=random.Random(5))
+        driver.schedule(duration=200.0)
+        scenario.run(260.0)
+        if driver.bursts_sent == 0:
+            pytest.skip("no session lived long enough to burst")
+        assert (scenario.user_metrics()["data_sent"]
+                >= driver.bursts_sent * 2)
