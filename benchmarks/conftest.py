@@ -5,10 +5,17 @@ paper's Section V (see DESIGN.md's experiment index).  Timings use
 pytest-benchmark; the paper-style rows are printed live (bypassing
 capture) and appended to ``benchmarks/reports/<experiment>.txt`` so
 ``bench_output.txt`` and the repo both carry them.
+
+Alongside each text report the reporter writes a machine-readable
+``BENCH_<experiment>.json`` at the repository root: the rendered tables
+(headers + rows) plus any key/value measurements recorded with
+:meth:`Reporter.record`.  Downstream tooling (and the acceptance check
+on ``bench_engine_speedup``) parses the JSON instead of scraping text.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import sys
@@ -20,19 +27,38 @@ from repro.core.deployment import Deployment
 from repro.pairing import PairingGroup
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 class Reporter:
-    """Accumulates experiment rows; flushes to stdout + a report file."""
+    """Accumulates experiment rows; flushes to stdout + report files.
+
+    Text goes to ``benchmarks/reports/<slug>.txt`` as before; the same
+    content (tables as structured headers/rows, plus explicit
+    :meth:`record` measurements) lands in ``BENCH_<slug>.json`` at the
+    repository root.
+    """
 
     def __init__(self, experiment: str) -> None:
         self.experiment = experiment
         self.lines = [f"== {experiment} =="]
+        self.tables = []
+        self.values = {}
+
+    @property
+    def slug(self) -> str:
+        return self.experiment.split(":")[0].strip()
 
     def row(self, text: str) -> None:
         self.lines.append(text)
 
+    def record(self, key: str, value) -> None:
+        """Store one named measurement for the JSON report."""
+        self.values[key] = value
+
     def table(self, headers, rows) -> None:
+        self.tables.append({"headers": [str(h) for h in headers],
+                            "rows": [[c for c in r] for r in rows]})
         widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
                   for i, h in enumerate(headers)] if rows else \
                  [len(str(h)) for h in headers]
@@ -45,10 +71,16 @@ class Reporter:
     def flush(self) -> None:
         text = "\n".join(self.lines) + "\n"
         os.makedirs(REPORT_DIR, exist_ok=True)
-        path = os.path.join(
-            REPORT_DIR, self.experiment.split(":")[0].strip() + ".txt")
+        path = os.path.join(REPORT_DIR, self.slug + ".txt")
         with open(path, "w") as handle:
             handle.write(text)
+        json_path = os.path.join(REPO_ROOT, f"BENCH_{self.slug}.json")
+        with open(json_path, "w") as handle:
+            json.dump({"experiment": self.experiment,
+                       "tables": self.tables,
+                       "values": self.values}, handle, indent=2,
+                      default=str)
+            handle.write("\n")
         sys.__stdout__.write("\n" + text)
         sys.__stdout__.flush()
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 verification for this repo, plus a quick engine smoke check.
+#
+# Usage:
+#   scripts/tier1.sh          # full tier-1 suite (the gate PRs must pass)
+#   scripts/tier1.sh smoke    # ~10s subset: engine/naive cross-checks only
+#
+# The smoke subset runs the TestSmoke classes, which compare every
+# engine fast path (pairing tables, fixed-base tables, wNAF multi-exp,
+# batch verification) against the naive reference computation.
+
+set -e
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [ "$1" = "smoke" ]; then
+    exec python -m pytest -x -q \
+        tests/test_pairing_precompute.py::TestSmoke \
+        tests/test_groupsig_batch.py::TestSmoke
+fi
+
+exec python -m pytest -x -q

@@ -6,10 +6,12 @@ and key-agreement protocols, and the audit / tracing machinery.
 """
 
 from repro.core.groupsig import (
+    CryptoEngine,
     GroupMasterSecret,
     GroupPublicKey,
     GroupPrivateKey,
     GroupSignature,
+    PeriodRevocationTable,
     RevocationToken,
     issue_member_key,
     keygen_master,
@@ -18,13 +20,16 @@ from repro.core.groupsig import (
     sign,
     signature_matches_token,
     verify,
+    verify_batch,
 )
 
 __all__ = [
+    "CryptoEngine",
     "GroupMasterSecret",
     "GroupPrivateKey",
     "GroupPublicKey",
     "GroupSignature",
+    "PeriodRevocationTable",
     "RevocationToken",
     "issue_member_key",
     "keygen_master",
@@ -33,4 +38,5 @@ __all__ = [
     "sign",
     "signature_matches_token",
     "verify",
+    "verify_batch",
 ]

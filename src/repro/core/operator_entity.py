@@ -194,7 +194,8 @@ class NetworkOperator:
             record.next_member += 1
             index = (record.group_id, j)
             gsk = groupsig.issue_member_key(self.group, self._master,
-                                            record.grp, index, self.rng)
+                                            record.grp, index, self.rng,
+                                            engine=self.gpk.engine)
             token = RevocationToken(gsk.a)
             self._grt.append((token, index))
             self._token_by_index[index] = token

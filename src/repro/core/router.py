@@ -96,6 +96,19 @@ class MeshRouter:
             self.engine.dos_policy.note_request(self.clock.now())
         return self.engine.process_request(request)
 
+    def process_request_batch(self, requests: "list[AccessRequest]"
+                              ) -> "list[object]":
+        """Handle a burst of (M.2) messages through batch verification.
+
+        Each request still counts toward the DoS policy's arrival rate;
+        outcomes mirror :meth:`RouterAuthEngine.process_requests`.
+        """
+        if self.engine.dos_policy is not None:
+            now = self.clock.now()
+            for _ in requests:
+                self.engine.dos_policy.note_request(now)
+        return self.engine.process_requests(requests)
+
     def session(self, session_id: bytes) -> SecureSession:
         try:
             return self.engine.sessions[session_id]

@@ -17,7 +17,9 @@ from repro.mathx.modular import (
     inv_mod,
     jacobi_symbol,
     legendre_symbol,
+    signed_window_digits,
     sqrt_mod_p34,
+    wnaf_digits,
 )
 from repro.mathx.primes import (
     is_probable_prime,
@@ -39,6 +41,8 @@ __all__ = [
     "next_prime",
     "os2ip",
     "random_prime",
+    "signed_window_digits",
     "small_factors",
     "sqrt_mod_p34",
+    "wnaf_digits",
 ]

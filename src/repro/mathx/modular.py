@@ -73,6 +73,60 @@ def sqrt_mod_p34(a: int, p: int) -> int:
     return root
 
 
+def wnaf_digits(scalar: int, width: int) -> "list[int]":
+    """Width-``w`` non-adjacent form of a non-negative scalar.
+
+    Returns little-endian digits, each either zero or odd with
+    ``|digit| < 2^(width-1)``; at most one of any ``width`` consecutive
+    digits is non-zero.  ``sum(d * 2^i) == scalar`` exactly.  Used by
+    the interleaved multi-scalar multiplication and the unitary GT
+    exponentiation in :mod:`repro.pairing`.
+    """
+    if scalar < 0:
+        raise ParameterError("wNAF recoding requires a non-negative scalar")
+    if width < 2:
+        raise ParameterError("wNAF width must be at least 2")
+    modulus = 1 << width
+    half = modulus >> 1
+    digits = []
+    while scalar:
+        if scalar & 1:
+            digit = scalar & (modulus - 1)
+            if digit >= half:
+                digit -= modulus
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
+
+
+def signed_window_digits(scalar: int, width: int) -> "list[int]":
+    """Signed radix-``2^width`` decomposition of a non-negative scalar.
+
+    Returns little-endian digits in ``[-2^(width-1), 2^(width-1) - 1]``
+    with ``sum(d_j * 2^(width*j)) == scalar``.  Unlike wNAF there is one
+    digit per window position, which is what a fixed-base precomputation
+    table indexes by; the signed range halves the table (negative digits
+    reuse the positive entries via point negation).
+    """
+    if scalar < 0:
+        raise ParameterError("signed recoding requires a non-negative scalar")
+    if width < 2:
+        raise ParameterError("window width must be at least 2")
+    modulus = 1 << width
+    half = modulus >> 1
+    digits = []
+    while scalar:
+        digit = scalar & (modulus - 1)
+        if digit >= half:
+            digit -= modulus
+        scalar = (scalar - digit) >> width
+        digits.append(digit)
+    return digits
+
+
 def crt_pair(r_p: int, p: int, r_q: int, q: int) -> int:
     """Combine residues ``r_p mod p`` and ``r_q mod q`` via the CRT.
 

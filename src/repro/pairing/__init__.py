@@ -19,7 +19,9 @@ from repro.pairing.params import (
     get_params,
 )
 from repro.pairing.curve import Curve, Point
+from repro.pairing.precompute import FixedBaseTable, PairingTable
 from repro.pairing.group import (
+    FixedBaseExp,
     G1Element,
     G2Element,
     GTElement,
@@ -28,6 +30,8 @@ from repro.pairing.group import (
 
 __all__ = [
     "Curve",
+    "FixedBaseExp",
+    "FixedBaseTable",
     "Fp2",
     "G1Element",
     "G2Element",
@@ -35,6 +39,7 @@ __all__ = [
     "PRESETS",
     "PairingGroup",
     "PairingParams",
+    "PairingTable",
     "Point",
     "find_parameters",
     "get_params",

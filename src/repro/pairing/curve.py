@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.errors import EncodingError, NotOnCurveError, ParameterError
-from repro.mathx import bytes_to_int, int_to_bytes, sqrt_mod_p34
+from repro.mathx import bytes_to_int, int_to_bytes, sqrt_mod_p34, wnaf_digits
 from repro.pairing.params import PairingParams
 
 
@@ -150,11 +150,7 @@ class Curve:
                 rx, ry, rz = self._jadd(rx, ry, rz, jx, jy, jz)
             jx, jy, jz = self._jdouble(jx, jy, jz)
             scalar >>= 1
-        if rz == 0:
-            return Point.infinity(p)
-        z_inv = pow(rz, -1, p)
-        z_inv_sq = z_inv * z_inv % p
-        return Point(rx * z_inv_sq % p, ry * z_inv_sq * z_inv % p, p)
+        return self._jacobian_to_affine(rx, ry, rz)
 
     def _jdouble(self, x, y, z):
         p = self.p
@@ -195,11 +191,74 @@ class Curve:
         return (nx, ny, nz)
 
     def multi_mul(self, pairs: "list[Tuple[Point, int]]") -> Point:
-        """Return ``sum(k_i * P_i)`` (naive; counted as one multi-exp)."""
-        acc = Point.infinity(self.p)
+        """Return ``sum(k_i * P_i)`` via interleaved width-4 wNAF.
+
+        Scalars are reduced modulo ``r``.  All terms share one Jacobian
+        doubling chain (the dominant cost), with per-point tables of odd
+        multiples; still counted as ONE multi-exponentiation by the
+        instrumentation layer (the counting happens in
+        :meth:`repro.pairing.group.PairingGroup.multi_exp`).
+        """
+        return self.multi_mul_raw([(point, scalar % self.r)
+                                   for point, scalar in pairs])
+
+    def multi_mul_raw(self, pairs: "list[Tuple[Point, int]]",
+                      width: int = 4) -> Point:
+        """Interleaved-wNAF ``sum(k_i * P_i)`` without scalar reduction.
+
+        Exposed separately because batched subgroup screening needs
+        scalars of the form ``delta_i * r`` that must NOT be reduced
+        modulo ``r`` (they would vanish).
+        """
+        p = self.p
+        half_entries = 1 << (width - 2)     # odd multiples 1,3,..,2^(w-1)-1
+        entries = []
+        longest = 0
         for point, scalar in pairs:
-            acc = self.add(acc, self._mul_raw(point, scalar % self.r))
-        return acc
+            if scalar < 0:
+                point, scalar = self.neg(point), -scalar
+            if scalar == 0 or point.is_infinity():
+                continue
+            digits = wnaf_digits(scalar, width)
+            table = self._odd_multiples(point, half_entries)
+            entries.append((digits, table))
+            longest = max(longest, len(digits))
+        if not entries:
+            return Point.infinity(p)
+        rx, ry, rz = 0, 1, 0   # Jacobian infinity
+        for i in range(longest - 1, -1, -1):
+            rx, ry, rz = self._jdouble(rx, ry, rz)
+            for digits, table in entries:
+                if i >= len(digits):
+                    continue
+                digit = digits[i]
+                if digit == 0:
+                    continue
+                if digit > 0:
+                    tx, ty, tz = table[(digit - 1) >> 1]
+                else:
+                    tx, ty, tz = table[(-digit - 1) >> 1]
+                    ty = -ty % p
+                rx, ry, rz = self._jadd(rx, ry, rz, tx, ty, tz)
+        return self._jacobian_to_affine(rx, ry, rz)
+
+    def _odd_multiples(self, point: Point, count: int):
+        """Jacobian tuples ``[1P, 3P, 5P, ...]`` (``count`` entries)."""
+        base = (point.x, point.y, 1)
+        table = [base]
+        if count > 1:
+            twice = self._jdouble(*base)
+            for _ in range(count - 1):
+                table.append(self._jadd(*table[-1], *twice))
+        return table
+
+    def _jacobian_to_affine(self, rx: int, ry: int, rz: int) -> Point:
+        p = self.p
+        if rz == 0:
+            return Point.infinity(p)
+        z_inv = pow(rz, -1, p)
+        z_inv_sq = z_inv * z_inv % p
+        return Point(rx * z_inv_sq % p, ry * z_inv_sq * z_inv % p, p)
 
     def clear_cofactor(self, point: Point) -> Point:
         """Map an arbitrary curve point into the order-``r`` subgroup."""

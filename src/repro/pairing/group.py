@@ -31,7 +31,8 @@ from repro.pairing.hashing import (
     hash_to_scalar,
 )
 from repro.pairing.params import PairingParams, get_params
-from repro.pairing.tate import tate_pairing
+from repro.pairing.precompute import FixedBaseTable, PairingTable
+from repro.pairing.tate import final_exponentiation, miller_loop, tate_pairing
 
 
 class _GroupElement:
@@ -140,6 +141,27 @@ class GTElement:
         return f"GTElement({self.encode().hex()[:16]}...)"
 
 
+class FixedBaseExp:
+    """Precomputed exponentiation for a fixed base element.
+
+    Wraps a :class:`FixedBaseTable` so that ``fixed.exp(k)`` returns the
+    same element (and notes the same single "exp") as ``base ** k``,
+    only faster.  Built via :meth:`PairingGroup.make_fixed_base`.
+    """
+
+    __slots__ = ("element", "_table")
+
+    def __init__(self, element: _GroupElement, table: FixedBaseTable) -> None:
+        self.element = element
+        self._table = table
+
+    def exp(self, exponent: int) -> _GroupElement:
+        """Compute ``base ** exponent``; counted as one exponentiation."""
+        instrument.note("exp")
+        return type(self.element)(self._table.mul(exponent),
+                                  self.element.group)
+
+
 class PairingGroup:
     """Facade bundling parameters, generators, pairing, and hashing.
 
@@ -181,6 +203,62 @@ class PairingGroup:
 
     def gt_identity(self) -> GTElement:
         return GTElement(Fp2.one(self.params.p), self)
+
+    # -- precomputation (engine support) --------------------------------
+    #
+    # Tables trade memory for wall-clock time without changing any
+    # result or any instrumented count: building a table is free in the
+    # abstract cost model (it happens once per fixed system parameter),
+    # while *using* one notes the same operation the naive path would.
+
+    def make_pairing_table(self, element: _GroupElement) -> PairingTable:
+        """Precompute Miller-loop lines for ``e(element, .)``.
+
+        Because this Type-1 pairing is symmetric, the table also
+        evaluates pairings written with ``element`` on the right-hand
+        side.  Building the table is not an instrumented operation.
+        """
+        return PairingTable(self.curve, element.point)
+
+    def make_fixed_base(self, element: _GroupElement) -> FixedBaseExp:
+        """Precompute a fixed-base exponentiation table for ``element``."""
+        return FixedBaseExp(element,
+                            FixedBaseTable(self.curve, element.point))
+
+    def pair_with(self, table: PairingTable,
+                  element: _GroupElement) -> GTElement:
+        """Evaluate ``e(table.point, element)`` via stored lines.
+
+        Counted as one pairing -- identical output and identical
+        instrumented cost to :meth:`pair`, just faster.
+        """
+        instrument.note("pairing")
+        return GTElement(table.pairing(element.point), self)
+
+    def pair_product(self,
+                     terms: Sequence[Tuple[Union[PairingTable, _GroupElement],
+                                           _GroupElement]]) -> GTElement:
+        """Compute ``prod e(lhs_i, rhs_i)`` sharing one final exponentiation.
+
+        Each ``lhs`` may be a :class:`PairingTable` (stored lines) or a
+        plain group element (naive Miller loop).  The final
+        exponentiation is a homomorphism, so exponentiating the product
+        of Miller values once equals the product of full pairings.  Each
+        term is counted as one pairing: the shared tail is a wall-clock
+        optimisation, not a change to the abstract algorithm.
+        """
+        if not terms:
+            raise ParameterError("pair_product of no terms")
+        instrument.note("pairing", len(terms))
+        accum = Fp2.one(self.params.p)
+        for lhs, rhs in terms:
+            if lhs.point.is_infinity() or rhs.point.is_infinity():
+                continue                 # degenerate term pairs to 1
+            if isinstance(lhs, PairingTable):
+                accum = accum * lhs.miller(rhs.point)
+            else:
+                accum = accum * miller_loop(self.curve, lhs.point, rhs.point)
+        return GTElement(final_exponentiation(self.curve, accum), self)
 
     # -- scalars -----------------------------------------------------------
 

@@ -17,23 +17,51 @@ result is wrapped into :class:`~repro.pairing.fields.Fp2` at the end.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 from repro.errors import ParameterError
+from repro.mathx import wnaf_digits
 from repro.pairing.curve import Curve, Point
 from repro.pairing.fields import Fp2
 
-# Cache of (p, r) -> (p^2 - 1) // r final exponents.
-_FINAL_EXPONENTS: Dict[Tuple[int, int], int] = {}
+
+def final_exponentiation(curve: Curve, value: Fp2) -> Fp2:
+    """Raise a Miller-loop output to ``(p^2 - 1) / r``.
+
+    Factored as ``(p - 1) * h`` (the parameters guarantee
+    ``p + 1 = h * r``): the ``p - 1`` part is one Frobenius (conjugation
+    in F_p2) and one inversion, after which the result is *unitary*
+    (norm 1), so the remaining ``h`` exponentiation runs on the unit
+    circle where squaring costs one F_p square plus one F_p multiply and
+    inversion is free (conjugation).  Identical output to the direct
+    ``value ** ((p*p - 1) // r)``, several times faster.
+    """
+    p = curve.p
+    easy = value.conjugate() * value.inverse()      # value^(p-1), unitary
+    return _unitary_pow(easy.a, easy.b, curve.h, p)
 
 
-def _final_exponent(p: int, r: int) -> int:
-    key = (p, r)
-    exponent = _FINAL_EXPONENTS.get(key)
-    if exponent is None:
-        exponent = (p * p - 1) // r
-        _FINAL_EXPONENTS[key] = exponent
-    return exponent
+def _unitary_pow(base_a: int, base_b: int, exponent: int, p: int) -> Fp2:
+    """wNAF exponentiation of a norm-1 Fp2 element (raw-integer loop)."""
+    digits = wnaf_digits(exponent, 4)
+    # Odd powers g, g^3, g^5, g^7; negative digits conjugate for free.
+    square_a = (2 * base_a * base_a - 1) % p
+    square_b = 2 * base_a * base_b % p
+    odd = [(base_a, base_b)]
+    for _ in range(3):
+        prev_a, prev_b = odd[-1]
+        odd.append(((prev_a * square_a - prev_b * square_b) % p,
+                    (prev_a * square_b + prev_b * square_a) % p))
+    result_a, result_b = 1, 0
+    for digit in reversed(digits):
+        # Unitary square: products of norm-1 elements stay norm-1.
+        result_a, result_b = ((2 * result_a * result_a - 1) % p,
+                              2 * result_a * result_b % p)
+        if digit:
+            g_a, g_b = odd[(abs(digit) - 1) >> 1]
+            if digit < 0:
+                g_b = -g_b
+            result_a, result_b = ((result_a * g_a - result_b * g_b) % p,
+                                  (result_a * g_b + result_b * g_a) % p)
+    return Fp2(result_a, result_b, p)
 
 
 def miller_loop(curve: Curve, point_p: Point, point_q: Point) -> Fp2:
@@ -104,4 +132,4 @@ def tate_pairing(curve: Curve, point_p: Point, point_q: Point) -> Fp2:
     if point_p.is_infinity() or point_q.is_infinity():
         return Fp2.one(curve.p)
     raw = miller_loop(curve, point_p, point_q)
-    return raw ** _final_exponent(curve.p, curve.r)
+    return final_exponentiation(curve, raw)

@@ -1,0 +1,187 @@
+"""The engine-threaded verification paths: equivalence and op counts.
+
+Three properties pin the tentpole refactor down:
+
+1. engine-on and engine-off ``verify`` accept/reject identically;
+2. ``verify_batch`` classifies every item exactly as per-item ``verify``
+   would (including bad signatures and revoked signers);
+3. the instrumented operation counts are unchanged by the engine --
+   tables move wall-clock time, never abstract cost.
+"""
+
+import random
+
+import pytest
+
+from repro import instrument
+from repro.core import groupsig
+from repro.errors import InvalidSignature, RevokedKeyError
+
+
+@pytest.fixture(scope="module")
+def signed_batch(gpk, member_keys):
+    """Six valid (message, signature) pairs from three different signers."""
+    rng = random.Random(501)
+    batch = []
+    signers = ["a1", "a2", "b1", "a1", "b2", "a2"]
+    for index, name in enumerate(signers):
+        message = b"batch message %d" % index
+        batch.append((message,
+                      groupsig.sign(gpk, member_keys[name], message,
+                                    rng=rng)))
+    return batch
+
+
+def _tampered(signature):
+    return groupsig.GroupSignature(
+        signature.r, signature.t1, signature.t2, signature.c,
+        signature.s_alpha, signature.s_x + 1, signature.s_delta)
+
+
+class TestEngineEquivalence:
+    def test_valid_signature_both_paths(self, gpk, signed_batch):
+        message, signature = signed_batch[0]
+        groupsig.verify(gpk, message, signature, use_engine=True)
+        groupsig.verify(gpk, message, signature, use_engine=False)
+
+    def test_bad_signature_both_paths(self, gpk, signed_batch):
+        message, signature = signed_batch[0]
+        for use_engine in (True, False):
+            with pytest.raises(InvalidSignature):
+                groupsig.verify(gpk, message, _tampered(signature),
+                                use_engine=use_engine)
+
+    def test_revoked_scan_both_paths(self, gpk, member_keys, signed_batch):
+        url = [groupsig.RevocationToken(member_keys["a1"].a),
+               groupsig.RevocationToken(member_keys["b1"].a),
+               groupsig.RevocationToken(member_keys["b2"].a)]
+        for index, (message, signature) in enumerate(signed_batch):
+            outcomes = set()
+            for use_engine in (True, False):
+                try:
+                    groupsig.verify(gpk, message, signature, url=url,
+                                    use_engine=use_engine)
+                    outcomes.add("ok")
+                except RevokedKeyError:
+                    outcomes.add("revoked")
+            assert len(outcomes) == 1, (index, outcomes)
+
+    def test_engine_counts_match_naive(self, gpk, member_keys):
+        rng = random.Random(77)
+        message = b"count parity"
+        signature = groupsig.sign(gpk, member_keys["a1"], message, rng=rng)
+        url = [groupsig.RevocationToken(member_keys["b1"].a),
+               groupsig.RevocationToken(member_keys["b2"].a),
+               groupsig.RevocationToken(member_keys["a2"].a)]
+        snapshots = []
+        for use_engine in (True, False):
+            with instrument.count_operations() as ops:
+                groupsig.verify(gpk, message, signature, url=url,
+                                use_engine=use_engine)
+            snapshots.append(ops.snapshot())
+        assert snapshots[0] == snapshots[1]
+        assert snapshots[0]["pairing"] == 3 + 2 * len(url)
+
+    def test_period_mode_counts_match_naive(self, gpk, member_keys):
+        rng = random.Random(78)
+        message = b"period count parity"
+        period = b"2026-08"
+        signature = groupsig.sign(gpk, member_keys["a1"], message,
+                                  rng=rng, period=period)
+        # Warm the period cache so the engine path is the cache-hit one.
+        groupsig.verify(gpk, message, signature, period=period)
+        snapshots = []
+        for use_engine in (True, False):
+            with instrument.count_operations() as ops:
+                groupsig.verify(gpk, message, signature, period=period,
+                                use_engine=use_engine)
+            snapshots.append(ops.snapshot())
+        assert snapshots[0] == snapshots[1]
+
+    def test_engine_is_per_gpk_and_bounded(self, gpk):
+        engine = gpk.engine
+        assert engine is gpk.engine          # cached on the instance
+        assert not hasattr(groupsig, "_BASE_PAIRING_CACHE")
+        for index in range(3 * engine.max_periods):
+            engine.generators(b"", 0, b"period-%d" % index)
+        assert len(engine._periods) == engine.max_periods
+
+
+class TestVerifyBatch:
+    def test_all_valid(self, gpk, signed_batch):
+        results = groupsig.verify_batch(gpk, signed_batch)
+        assert results == [None] * len(signed_batch)
+
+    def test_one_bad_signature_rejected(self, gpk, signed_batch):
+        batch = list(signed_batch)
+        batch[2] = (batch[2][0], _tampered(batch[2][1]))
+        results = groupsig.verify_batch(gpk, batch)
+        for index, result in enumerate(results):
+            if index == 2:
+                assert isinstance(result, InvalidSignature)
+            else:
+                assert result is None
+
+    def test_matches_per_item_verify_with_revocation(self, gpk, member_keys,
+                                                     signed_batch):
+        url = [groupsig.RevocationToken(member_keys["a1"].a),
+               groupsig.RevocationToken(member_keys["b2"].a)]
+        batch = list(signed_batch)
+        batch[4] = (batch[4][0], _tampered(batch[4][1]))
+        results = groupsig.verify_batch(gpk, batch, url=url)
+        for (message, signature), result in zip(batch, results):
+            try:
+                groupsig.verify(gpk, message, signature, url=url)
+                assert result is None
+            except (InvalidSignature, RevokedKeyError) as exc:
+                assert type(result) is type(exc)
+
+    def test_period_mode(self, gpk, member_keys):
+        rng = random.Random(93)
+        period = b"epoch-9"
+        url = [groupsig.RevocationToken(member_keys["b1"].a)]
+        batch = []
+        for index, name in enumerate(["a1", "b1", "a2"]):
+            message = b"period batch %d" % index
+            batch.append((message,
+                          groupsig.sign(gpk, member_keys[name], message,
+                                        rng=rng, period=period)))
+        results = groupsig.verify_batch(gpk, batch, url=url, period=period)
+        assert results[0] is None
+        assert isinstance(results[1], RevokedKeyError)
+        assert results[2] is None
+
+    def test_screen_subgroup_same_outcome_for_honest_batch(self, gpk,
+                                                           signed_batch):
+        rng = random.Random(17)
+        batch = list(signed_batch)
+        batch[1] = (batch[1][0], _tampered(batch[1][1]))
+        exact = groupsig.verify_batch(gpk, batch)
+        screened = groupsig.verify_batch(gpk, batch, rng=rng,
+                                         screen_subgroup=True)
+        assert [type(item) for item in exact] == \
+            [type(item) for item in screened]
+
+    def test_empty_batch(self, gpk):
+        assert groupsig.verify_batch(gpk, []) == []
+
+    def test_batch_counts_are_per_item(self, gpk, signed_batch):
+        with instrument.count_operations() as ops:
+            groupsig.verify_batch(gpk, signed_batch[:3])
+        assert ops.pairings() == 3 * 3
+        assert ops.exponentiations() == 3 * 6
+
+
+class TestSmoke:
+    """~10s subset exercised by scripts/tier1.sh."""
+
+    def test_batch_and_engine_agree(self, gpk, member_keys):
+        rng = random.Random(5)
+        message = b"smoke"
+        good = groupsig.sign(gpk, member_keys["a1"], message, rng=rng)
+        groupsig.verify(gpk, message, good, use_engine=True)
+        groupsig.verify(gpk, message, good, use_engine=False)
+        results = groupsig.verify_batch(
+            gpk, [(message, good), (message, _tampered(good))])
+        assert results[0] is None
+        assert isinstance(results[1], InvalidSignature)

@@ -1,0 +1,150 @@
+"""Randomized cross-checks of the precomputation layer.
+
+Every fast path introduced by the engine refactor -- interleaved-wNAF
+multi-scalar multiplication, the unitary final exponentiation, fixed-base
+exponentiation tables, and fixed-argument pairing tables -- is compared
+here against the naive reference computation on random inputs.  The
+``TestSmoke`` class at the bottom is the subset ``scripts/tier1.sh`` runs
+as its quick cross-check.
+"""
+
+import random
+
+import pytest
+
+from repro.pairing.curve import Curve, Point
+from repro.pairing.params import PRESETS
+from repro.pairing.precompute import FixedBaseTable, PairingTable
+from repro.pairing.tate import final_exponentiation, miller_loop, tate_pairing
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return Curve(PRESETS["TEST"])
+
+
+@pytest.fixture(scope="module")
+def module_rng():
+    return random.Random(0xEC0DE)
+
+
+def _random_point(curve, rng):
+    point = curve.random_point(rng)
+    assert curve.in_subgroup(point)
+    return point
+
+
+class TestMultiMul:
+    def test_matches_sum_of_single_muls(self, curve, module_rng):
+        for trial in range(20):
+            size = module_rng.randrange(1, 5)
+            pairs = [(_random_point(curve, module_rng),
+                      module_rng.randrange(-2 * curve.r, 2 * curve.r))
+                     for _ in range(size)]
+            expected = Point.infinity(curve.p)
+            for point, scalar in pairs:
+                expected = curve.add(expected,
+                                     curve.mul(point, scalar % curve.r))
+            assert curve.multi_mul(pairs) == expected, trial
+
+    def test_empty_and_zero_terms(self, curve, module_rng):
+        point = _random_point(curve, module_rng)
+        assert curve.multi_mul([]).is_infinity()
+        assert curve.multi_mul([(point, 0)]).is_infinity()
+        assert curve.multi_mul(
+            [(Point.infinity(curve.p), 5)]).is_infinity()
+
+    def test_raw_keeps_unreduced_scalars(self, curve, module_rng):
+        # multi_mul_raw must NOT reduce mod r: multiples of r vanish.
+        point = _random_point(curve, module_rng)
+        assert curve.multi_mul_raw([(point, 7 * curve.r)]).is_infinity()
+        assert curve.multi_mul_raw(
+            [(point, curve.r + 3)]) == curve.mul(point, 3)
+
+    def test_cancelling_terms(self, curve, module_rng):
+        point = _random_point(curve, module_rng)
+        k = module_rng.randrange(1, curve.r)
+        assert curve.multi_mul([(point, k), (point, -k)]).is_infinity()
+
+
+class TestFinalExponentiation:
+    def test_matches_direct_power(self, curve, module_rng):
+        exponent = (curve.p * curve.p - 1) // curve.r
+        for _ in range(5):
+            p1 = _random_point(curve, module_rng)
+            p2 = _random_point(curve, module_rng)
+            raw = miller_loop(curve, p1, p2)
+            assert final_exponentiation(curve, raw) == raw ** exponent
+
+
+class TestFixedBaseTable:
+    def test_matches_curve_mul(self, curve, module_rng):
+        base = _random_point(curve, module_rng)
+        table = FixedBaseTable(curve, base)
+        for _ in range(20):
+            k = module_rng.randrange(0, 3 * curve.r)
+            assert table.mul(k) == curve.mul(base, k % curve.r)
+
+    def test_edge_scalars(self, curve, module_rng):
+        base = _random_point(curve, module_rng)
+        table = FixedBaseTable(curve, base)
+        assert table.mul(0).is_infinity()
+        assert table.mul(curve.r).is_infinity()
+        assert table.mul(1) == base
+        assert table.mul(curve.r - 1) == curve.neg(base)
+
+    def test_infinity_base(self, curve):
+        table = FixedBaseTable(curve, Point.infinity(curve.p))
+        assert table.mul(12345).is_infinity()
+
+
+class TestPairingTable:
+    def test_matches_tate_pairing(self, curve, module_rng):
+        for trial in range(8):
+            p1 = _random_point(curve, module_rng)
+            p2 = _random_point(curve, module_rng)
+            table = PairingTable(curve, p1)
+            assert table.pairing(p2) == tate_pairing(curve, p1, p2), trial
+
+    def test_symmetric_swap(self, curve, module_rng):
+        # e(P, Q) == e(Q, P): a table for P evaluates pairings written
+        # with P on either side -- the identity the engine's revocation
+        # scan relies on.
+        for _ in range(4):
+            p1 = _random_point(curve, module_rng)
+            p2 = _random_point(curve, module_rng)
+            table = PairingTable(curve, p1)
+            assert table.pairing(p2) == tate_pairing(curve, p2, p1)
+
+    def test_degenerate_points(self, curve, module_rng):
+        point = _random_point(curve, module_rng)
+        infinity = Point.infinity(curve.p)
+        assert PairingTable(curve, point).pairing(infinity).is_one()
+        assert PairingTable(curve, infinity).pairing(point).is_one()
+
+    def test_bilinear_through_table(self, curve, module_rng):
+        point = _random_point(curve, module_rng)
+        other = _random_point(curve, module_rng)
+        a = module_rng.randrange(2, curve.r)
+        table = PairingTable(curve, point)
+        assert (table.pairing(curve.mul(other, a))
+                == table.pairing(other) ** a)
+
+
+class TestSmoke:
+    """~10s subset exercised by scripts/tier1.sh."""
+
+    def test_table_and_multiexp_agree_with_naive(self, curve):
+        rng = random.Random(42)
+        p1 = _random_point(curve, rng)
+        p2 = _random_point(curve, rng)
+        table = PairingTable(curve, p1)
+        assert table.pairing(p2) == tate_pairing(curve, p1, p2)
+        assert table.pairing(p2) == tate_pairing(curve, p2, p1)
+        fixed = FixedBaseTable(curve, p1)
+        k = rng.randrange(1, curve.r)
+        assert fixed.mul(k) == curve.mul(p1, k)
+        pairs = [(p1, rng.randrange(1, curve.r)),
+                 (p2, rng.randrange(1, curve.r))]
+        expected = curve.add(curve.mul(*pairs[0]), curve.mul(*pairs[1]))
+        assert curve.multi_mul(pairs) == expected

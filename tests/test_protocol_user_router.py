@@ -173,6 +173,72 @@ class TestRequestValidation:
         assert router.stats["accepted"] == 0
 
 
+class TestBatchProcessing:
+    def test_mixed_batch_classified_like_sequential(self, fresh_deployment):
+        """process_request_batch: accepts, forgeries, and revoked users
+        land exactly where sequential processing puts them."""
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        alice = deployment.users["alice"]
+        bob = deployment.users["bob"]
+        index = bob.credentials["University Z"].index
+        deployment.operator.revoke_user_key(index)
+        router.refresh_lists()
+
+        requests = []
+        pendings = []
+        for user in (alice, alice):
+            beacon = router.make_beacon()
+            request, pending = user.connect_to_router(beacon)
+            requests.append(request)
+            pendings.append(pending)
+        beacon = router.make_beacon()
+        forged_src, _ = alice.connect_to_router(beacon)
+        sig = forged_src.group_signature
+        from repro.core.groupsig import GroupSignature
+        requests.append(AccessRequest(
+            forged_src.g_r_user, forged_src.g_r_router, forged_src.ts2,
+            GroupSignature(sig.r, sig.t1, sig.t2, sig.c,
+                           (sig.s_alpha + 1) % deployment.group.order,
+                           sig.s_x, sig.s_delta)))
+        beacon = router.make_beacon()
+        revoked_request, _ = bob.connect_to_router(beacon)
+        requests.append(revoked_request)
+
+        outcomes = router.process_request_batch(requests)
+        assert len(outcomes) == 4
+        for pending, outcome in zip(pendings, outcomes[:2]):
+            confirm, router_session = outcome
+            user_session = alice.complete_router_handshake(pending, confirm)
+            assert user_session.session_id == router_session.session_id
+        assert isinstance(outcomes[2], InvalidSignature)
+        assert isinstance(outcomes[3], RevokedKeyError)
+        assert router.stats["accepted"] == 2
+        assert router.stats["rejected_signature"] == 1
+        assert router.stats["rejected_revoked"] == 1
+        assert router.stats["requests"] == 4
+
+    def test_batch_precheck_failures_skip_verification(self,
+                                                       fresh_deployment):
+        deployment = fresh_deployment(routers=["MR-1", "MR-2"])
+        alice = deployment.users["alice"]
+        other_beacon = deployment.routers["MR-2"].make_beacon()
+        stray, _ = alice.connect_to_router(other_beacon)
+        router = deployment.routers["MR-1"]
+        beacon = router.make_beacon()
+        good, pending = alice.connect_to_router(beacon)
+        outcomes = router.process_request_batch([stray, good])
+        assert isinstance(outcomes[0], ReplayError)
+        confirm, _session = outcomes[1]
+        assert alice.complete_router_handshake(pending, confirm) is not None
+        assert router.stats["rejected_replay"] == 1
+        assert router.stats["accepted"] == 1
+
+    def test_empty_batch(self, fresh_deployment):
+        deployment = fresh_deployment()
+        assert deployment.routers["MR-1"].process_request_batch([]) == []
+
+
 class TestConfirmValidation:
     def test_tampered_confirm_rejected(self, fresh_deployment):
         deployment = fresh_deployment()
