@@ -1,0 +1,25 @@
+#!/bin/sh
+# Static gates for this repo.
+#
+# 1. Everything must byte-compile (catches syntax errors in files the
+#    test run never imports).
+# 2. Wall-clock discipline: repro.core.clock.SystemClock is the single
+#    permitted time.time() call site.  Everything else takes a Clock so
+#    experiments run on ManualClock and stay deterministic; a stray
+#    time.time() silently breaks replay/freshness tests under time
+#    travel.
+
+set -e
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src tests benchmarks
+
+violations=$(grep -rn "time\.time()" src --include='*.py' \
+             | grep -v "repro/core/clock.py" || true)
+if [ -n "$violations" ]; then
+    echo "lint: time.time() outside repro/core/clock.py:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+echo "lint: OK"

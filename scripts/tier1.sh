@@ -3,11 +3,12 @@
 #
 # Usage:
 #   scripts/tier1.sh          # full tier-1 suite (the gate PRs must pass)
-#   scripts/tier1.sh smoke    # ~10s subset: engine/naive cross-checks only
+#   scripts/tier1.sh smoke    # ~15s subset: engine/pool cross-checks only
 #
 # The smoke subset runs the TestSmoke classes, which compare every
 # engine fast path (pairing tables, fixed-base tables, wNAF multi-exp,
-# batch verification) against the naive reference computation.
+# batch verification, the multi-process verifier pool) against the
+# naive reference computation.
 
 set -e
 cd "$(dirname "$0")/.."
@@ -16,7 +17,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 if [ "$1" = "smoke" ]; then
     exec python -m pytest -x -q \
         tests/test_pairing_precompute.py::TestSmoke \
-        tests/test_groupsig_batch.py::TestSmoke
+        tests/test_groupsig_batch.py::TestSmoke \
+        tests/test_verifier_pool.py::TestSmoke
 fi
 
 exec python -m pytest -x -q

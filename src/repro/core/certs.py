@@ -26,6 +26,15 @@ from repro.pairing.group import PairingGroup
 from repro.sig.curves import WeierstrassCurve
 from repro.sig.ecdsa import EcdsaPublicKey
 
+#: How far ahead of the verifier's clock an ``issued_at`` may sit before
+#: the artifact is rejected as future-dated.  Staleness is computed as
+#: ``now - issued_at``; without this bound a future-dated list has
+#: *negative* staleness and passes every freshness check until its
+#: forged issue time plus one period -- letting whoever obtains one
+#: (say, from an operator with a skewed clock) stretch the phishing
+#: window E7 bounds.  Two minutes generously covers honest clock skew.
+MAX_CLOCK_SKEW = 120.0
+
 
 @dataclass(frozen=True)
 class RouterCertificate:
@@ -107,15 +116,25 @@ class CertificateRevocationList:
         return cls(version, issued_at, update_period, revoked, signature)
 
     def validate(self, operator_key: EcdsaPublicKey, now: float,
-                 max_staleness: float = None) -> None:
-        """Check NO's signature and freshness.
+                 max_staleness: float = None,
+                 max_skew: float = MAX_CLOCK_SKEW) -> None:
+        """Check NO's signature, freshness, and issue-time plausibility.
 
         ``max_staleness`` defaults to one update period: a list older
         than that means the presenter failed to fetch the periodic
         update -- the tell that unmasks revoked phishing routers.
+        ``max_skew`` bounds how far ``issued_at`` may sit *ahead* of
+        ``now``; beyond it the list is future-dated and rejected (its
+        staleness would be negative, passing every check until the
+        forged issue time).
         """
         if not operator_key.verify(self.signed_payload(), self.signature):
             raise CertificateError("CRL has a bad NO signature")
+        if self.issued_at - now > max_skew:
+            raise CertificateError(
+                f"CRL future-dated: issued_at is "
+                f"{self.issued_at - now:.1f}s ahead of now "
+                f"(skew allowance {max_skew:.1f}s)")
         limit = self.update_period if max_staleness is None else max_staleness
         if now - self.issued_at > limit:
             raise CertificateError(
@@ -165,9 +184,14 @@ class UserRevocationList:
         return cls(version, issued_at, update_period, tokens, signature)
 
     def validate(self, operator_key: EcdsaPublicKey, now: float,
-                 max_staleness: float = None) -> None:
+                 max_staleness: float = None,
+                 max_skew: float = MAX_CLOCK_SKEW) -> None:
         if not operator_key.verify(self.signed_payload(), self.signature):
             raise CertificateError("URL has a bad NO signature")
+        if self.issued_at - now > max_skew:
+            raise CertificateError(
+                f"URL future-dated: issued_at is "
+                f"{self.issued_at - now:.1f}s ahead of now")
         limit = self.update_period if max_staleness is None else max_staleness
         if now - self.issued_at > limit:
             raise CertificateError("URL stale")

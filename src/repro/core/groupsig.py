@@ -582,9 +582,9 @@ def _scan_url(gpk: GroupPublicKey, signature: GroupSignature,
     u_hat, v_hat = context.u_hat, context.v_hat
     if engine is None or len(url) < 2:
         # The tag rewrite only pays for itself from the second token on.
-        for token in url:
+        for token_index, token in enumerate(url):
             if _token_encoded(group, signature, token, u_hat, v_hat):
-                raise RevokedKeyError("signer's key appears in the URL")
+                raise _revoked_error(token_index)
         return
     curve = group.curve
     u_table = context.u_table
@@ -595,10 +595,23 @@ def _scan_url(gpk: GroupPublicKey, signature: GroupSignature,
     else:
         t1_side = tate_pairing(curve, signature.t1.point, v_hat.point)
     tau = u_table.pairing(signature.t2.point) * t1_side.inverse()
-    for token in url:
+    for token_index, token in enumerate(url):
         instrument.note("pairing", 2)
         if u_table.pairing(token.a.point) == tau:
-            raise RevokedKeyError("signer's key appears in the URL")
+            raise _revoked_error(token_index)
+
+
+def _revoked_error(token_index: int) -> RevokedKeyError:
+    """Build the Eq.3 match error, recording *which* token matched.
+
+    ``token_index`` lets callers (the operator's audit trail, the
+    parallel verification pool's identity checks) confirm that two scans
+    opened the same revocation entry, not merely that both rejected.
+    """
+    error = RevokedKeyError(
+        f"signer's key appears in the URL (token {token_index})")
+    error.token_index = token_index
+    return error
 
 
 def _token_encoded(group: PairingGroup, signature: GroupSignature,
@@ -698,6 +711,45 @@ def verify_batch(gpk: GroupPublicKey,
         except (InvalidSignature, RevokedKeyError) as exc:
             results[index] = exc
     return results
+
+
+def verify_one(gpk: GroupPublicKey, message: bytes,
+               signature: GroupSignature,
+               url: Sequence[RevocationToken] = (),
+               period: Optional[bytes] = None,
+               check_revocation: bool = True,
+               use_engine: bool = True) -> Optional[Exception]:
+    """Classify one item exactly as default-mode :func:`verify_batch`.
+
+    Returns ``None`` / :class:`InvalidSignature` /
+    :class:`RevokedKeyError` instead of raising, and runs the checks in
+    the batch path's order: structural and subgroup rejection happen
+    *before* generator derivation, so a degenerate signature records
+    zero operations (:func:`verify` derives generators first and counts
+    2 hash_to_group + 2 psi even on such input).  The verifier pool's
+    workers use this to stay count-identical with the serial batch.
+    """
+    group = gpk.group
+    engine = gpk.engine if use_engine else None
+    t1, t2 = signature.t1, signature.t2
+    if t1.is_identity() or t2.is_identity():
+        return InvalidSignature("degenerate T1/T2")
+    curve = group.curve
+    if not (curve.in_subgroup(t1.point) and curve.in_subgroup(t2.point)):
+        return InvalidSignature("T1/T2 outside the prime-order subgroup")
+    if engine is not None:
+        context = engine.generators(message, signature.r, period)
+    else:
+        u_hat, v_hat, u, v = derive_generators(gpk, message, signature.r,
+                                               period)
+        context = GeneratorContext(u_hat, v_hat, u, v)
+    try:
+        _verify_spk(gpk, message, signature, context, engine)
+        if check_revocation and url:
+            _scan_url(gpk, signature, url, context, engine)
+    except (InvalidSignature, RevokedKeyError) as exc:
+        return exc
+    return None
 
 
 def signature_matches_token(gpk: GroupPublicKey, message: bytes,

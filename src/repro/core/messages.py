@@ -22,6 +22,7 @@ Every class is a frozen dataclass with canonical ``encode`` /
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
@@ -33,7 +34,7 @@ from repro.core.certs import (
 from repro.core.groupsig import GroupSignature
 from repro.core.wire import Reader, Writer
 from repro.crypto.puzzles import Puzzle, PuzzleSolution
-from repro.errors import EncodingError
+from repro.errors import EncodingError, ReproError
 from repro.pairing.group import G1Element, PairingGroup
 from repro.sig.curves import WeierstrassCurve
 
@@ -48,6 +49,25 @@ def _encode_opt(writer: Writer, blob: Optional[bytes]) -> None:
 
 def _decode_opt(reader: Reader) -> Optional[bytes]:
     return reader.var() if reader.u8() else None
+
+
+@contextmanager
+def _decoding(what: str):
+    """Normalize every decode failure to :class:`EncodingError`.
+
+    Message decoders nest component decoders (certificates, lists,
+    puzzles) whose own error types -- or a stray ``ValueError`` /
+    ``IndexError`` from arithmetic on attacker bytes -- must not leak
+    to the caller: network-facing code dispatches on ``EncodingError``
+    to drop malformed frames, and anything else would escape that
+    handler.
+    """
+    try:
+        yield
+    except EncodingError:
+        raise
+    except (ReproError, ValueError, IndexError, OverflowError) as exc:
+        raise EncodingError(f"malformed {what}: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -83,22 +103,23 @@ class Beacon:
     @classmethod
     def decode(cls, group: PairingGroup, curve: WeierstrassCurve,
                data: bytes) -> "Beacon":
-        reader = Reader(data)
-        if reader.raw(3) != b"M.1":
-            raise EncodingError("not a beacon")
-        router_id = reader.string()
-        g = group.decode_g1(reader.var())
-        g_r = group.decode_g1(reader.var())
-        ts1 = reader.f64()
-        puzzle_blob = _decode_opt(reader)
-        signature = reader.var()
-        certificate = RouterCertificate.decode(curve, reader.var())
-        crl = CertificateRevocationList.decode(reader.var())
-        url = UserRevocationList.decode(group, reader.var())
-        reader.expect_end()
-        puzzle = Puzzle.decode(puzzle_blob) if puzzle_blob else None
-        return cls(router_id, g, g_r, ts1, signature, certificate,
-                   crl, url, puzzle)
+        with _decoding("beacon"):
+            reader = Reader(data)
+            if reader.raw(3) != b"M.1":
+                raise EncodingError("not a beacon")
+            router_id = reader.string()
+            g = group.decode_g1(reader.var())
+            g_r = group.decode_g1(reader.var())
+            ts1 = reader.f64()
+            puzzle_blob = _decode_opt(reader)
+            signature = reader.var()
+            certificate = RouterCertificate.decode(curve, reader.var())
+            crl = CertificateRevocationList.decode(reader.var())
+            url = UserRevocationList.decode(group, reader.var())
+            reader.expect_end()
+            puzzle = Puzzle.decode(puzzle_blob) if puzzle_blob else None
+            return cls(router_id, g, g_r, ts1, signature, certificate,
+                       crl, url, puzzle)
 
 
 @dataclass(frozen=True)
@@ -132,18 +153,19 @@ class AccessRequest:
 
     @classmethod
     def decode(cls, group: PairingGroup, data: bytes) -> "AccessRequest":
-        reader = Reader(data)
-        if reader.raw(3) != b"M.2":
-            raise EncodingError("not an access request")
-        g_r_user = group.decode_g1(reader.var())
-        g_r_router = group.decode_g1(reader.var())
-        ts2 = reader.f64()
-        signature = GroupSignature.decode(group, reader.var())
-        solution_blob = _decode_opt(reader)
-        reader.expect_end()
-        solution = (PuzzleSolution.decode(solution_blob)
-                    if solution_blob else None)
-        return cls(g_r_user, g_r_router, ts2, signature, solution)
+        with _decoding("access request"):
+            reader = Reader(data)
+            if reader.raw(3) != b"M.2":
+                raise EncodingError("not an access request")
+            g_r_user = group.decode_g1(reader.var())
+            g_r_router = group.decode_g1(reader.var())
+            ts2 = reader.f64()
+            signature = GroupSignature.decode(group, reader.var())
+            solution_blob = _decode_opt(reader)
+            reader.expect_end()
+            solution = (PuzzleSolution.decode(solution_blob)
+                        if solution_blob else None)
+            return cls(g_r_user, g_r_router, ts2, signature, solution)
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.verifier_pool import VerifierPool
 
 from repro.core import groupsig
 from repro.core.certs import CertificateRevocationList, UserRevocationList
@@ -30,7 +33,7 @@ from repro.core.groupsig import GroupPrivateKey, GroupPublicKey
 from repro.core.messages import AccessConfirm, AccessRequest, Beacon
 from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.session import SecureSession, session_id_from
-from repro.core.wire import Writer
+from repro.core.wire import Writer, quantize_ts
 from repro.crypto import puzzles
 from repro.errors import (
     AuthenticationError,
@@ -109,8 +112,13 @@ class RouterAuthEngine:
     # -- M.1 ----------------------------------------------------------------
 
     def make_beacon(self) -> Beacon:
-        """Build and sign a fresh beacon (M.1); remembers r_R for later."""
-        now = self.clock.now()
+        """Build and sign a fresh beacon (M.1); remembers r_R for later.
+
+        ``ts1`` is quantized to wire precision at creation so the
+        broadcast object, its signed payload, and any decoded copy all
+        carry the identical timestamp (see :func:`repro.core.wire.quantize_ts`).
+        """
+        now = quantize_ts(self.clock.now())
         self._expire_outstanding(now)
         r_router = self.group.random_scalar(self.rng)
         g = self.group.random_g1(self.rng)
@@ -224,7 +232,8 @@ class RouterAuthEngine:
 
         return self._accept(request, r_router, now)
 
-    def process_requests(self, requests: "list[AccessRequest]"
+    def process_requests(self, requests: "list[AccessRequest]",
+                         pool: "Optional[VerifierPool]" = None
                          ) -> "list[object]":
         """Batch counterpart of :meth:`process_request` (M.2 fan-in).
 
@@ -238,6 +247,14 @@ class RouterAuthEngine:
         exception instance the sequential path would have raised.
         Stats and the auth log are updated exactly as if each request
         had been processed individually.
+
+        ``pool`` opts in to multi-core verification through a
+        :class:`~repro.core.verifier_pool.VerifierPool`.  The pool is
+        consulted only when its worker-side snapshot still matches this
+        router's gpk and *current* URL (the URL rotates every update
+        period); otherwise the batch silently takes the serial path.
+        Either way the outcomes and instrumented operation counts are
+        identical -- the pool buys wall-clock time only.
         """
         now = self.clock.now()
         outcomes: "list[object]" = [None] * len(requests)
@@ -257,7 +274,11 @@ class RouterAuthEngine:
 
         if batch:
             url = self.url_provider()
-            errors = groupsig.verify_batch(self.gpk, batch, url=url.tokens)
+            if pool is not None and pool.matches(self.gpk, url.tokens):
+                errors = pool.verify_batch(batch)
+            else:
+                errors = groupsig.verify_batch(self.gpk, batch,
+                                               url=url.tokens)
             for position, error in zip(positions, errors):
                 if error is None:
                     outcomes[position] = self._accept(
@@ -317,7 +338,7 @@ class UserAuthEngine:
 
         r_user = self.group.random_scalar(self.rng)
         g_r_user = beacon.g ** r_user
-        ts2 = now
+        ts2 = quantize_ts(now)   # match what the wire will carry
         request = AccessRequest(g_r_user=g_r_user,
                                 g_r_router=beacon.g_r_router, ts2=ts2,
                                 group_signature=None)  # placeholder

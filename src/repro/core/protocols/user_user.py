@@ -23,7 +23,7 @@ from repro.core.clock import Clock, SystemClock
 from repro.core.groupsig import GroupPrivateKey, GroupPublicKey
 from repro.core.messages import PeerConfirm, PeerHello, PeerResponse
 from repro.core.protocols.session import SecureSession, session_id_from
-from repro.core.wire import Writer
+from repro.core.wire import Writer, quantize_ts
 from repro.errors import AuthenticationError, ProtocolError, ReplayError
 from repro.pairing.group import G1Element, PairingGroup
 
@@ -59,8 +59,16 @@ class PeerAuthEngine:
 
     def initiate(self, g: G1Element
                  ) -> Tuple[PeerHello, PendingPeerSession]:
-        """Build the local broadcast (M~.1) using the beacon's base g."""
-        now = self.clock.now()
+        """Build the local broadcast (M~.1) using the beacon's base g.
+
+        ``ts1`` is quantized to the wire's millisecond precision *before*
+        it enters the message or the pending state: the signed payload
+        encodes the quantized value anyway, and the ``ts2 - ts1``
+        window check in :meth:`complete` compares the stored ``ts1``
+        against a wire-decoded ``ts2`` -- mixing raw and quantized
+        floats there can flip the sign of a sub-millisecond difference.
+        """
+        now = quantize_ts(self.clock.now())
         r_local = self.group.random_scalar(self.rng)
         g_r_local = g ** r_local
         hello = PeerHello(g=g, g_r_initiator=g_r_local, ts1=now,
@@ -77,8 +85,13 @@ class PeerAuthEngine:
 
     def respond(self, hello: PeerHello, url: UserRevocationList
                 ) -> Tuple[PeerResponse, PendingPeerSession]:
-        """Validate a received (M~.1) and answer with (M~.2)."""
-        now = self.clock.now()
+        """Validate a received (M~.1) and answer with (M~.2).
+
+        ``ts2`` is wire-quantized at creation (see :meth:`initiate`) so
+        the responder's pending state and the initiator's decoded copy
+        agree exactly.
+        """
+        now = quantize_ts(self.clock.now())
         if abs(now - hello.ts1) > self.ts_window:
             raise ReplayError("peer hello ts1 outside acceptance window")
         if hello.g.is_identity() or hello.g_r_initiator.is_identity():

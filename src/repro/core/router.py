@@ -13,7 +13,7 @@ serving its last-fetched CRL, which goes stale after one update period
 from __future__ import annotations
 
 import random
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.certs import (
     CertificateRevocationList,
@@ -27,6 +27,9 @@ from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.session import SecureSession
 from repro.core.protocols.user_router import RouterAuthEngine
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.verifier_pool import VerifierPool
 
 
 class MeshRouter:
@@ -96,18 +99,22 @@ class MeshRouter:
             self.engine.dos_policy.note_request(self.clock.now())
         return self.engine.process_request(request)
 
-    def process_request_batch(self, requests: "list[AccessRequest]"
+    def process_request_batch(self, requests: "list[AccessRequest]",
+                              pool: "Optional[VerifierPool]" = None
                               ) -> "list[object]":
         """Handle a burst of (M.2) messages through batch verification.
 
         Each request still counts toward the DoS policy's arrival rate;
         outcomes mirror :meth:`RouterAuthEngine.process_requests`.
+        ``pool`` opts the group-signature verification into a
+        :class:`~repro.core.verifier_pool.VerifierPool`; a pool whose
+        snapshot no longer matches this router's URL is ignored.
         """
         if self.engine.dos_policy is not None:
             now = self.clock.now()
             for _ in requests:
                 self.engine.dos_policy.note_request(now)
-        return self.engine.process_requests(requests)
+        return self.engine.process_requests(requests, pool=pool)
 
     def session(self, session_id: bytes) -> SecureSession:
         try:

@@ -9,9 +9,28 @@ raw, variable fields with a 4-byte big-endian length prefix.
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 from repro.errors import EncodingError
+
+#: Maximum encodable timestamp, seconds: the millisecond count must fit
+#: a u64.  (That is ~584 million years past the epoch; the bound exists
+#: so the range check below is canonical, not because it is reachable.)
+MAX_TIMESTAMP = ((1 << 64) - 1) / 1000.0
+
+
+def quantize_ts(value: float) -> float:
+    """Round a timestamp to the wire's millisecond precision.
+
+    ``Writer.f64``/``Reader.f64`` transport timestamps as integral
+    milliseconds, so any float that travels the wire comes back as
+    ``quantize_ts(value)``.  Protocol state that is later compared
+    against wire-decoded timestamps (pending-handshake ``ts1``/``ts2``)
+    must store this quantized form, or sub-millisecond residue can flip
+    the sign of window checks like ``ts2 - ts1 >= 0``.
+    """
+    return int(round(value * 1000)) / 1000.0
 
 
 class Writer:
@@ -25,18 +44,41 @@ class Writer:
         self._parts.append(bytes(data))
         return self
 
+    def _uint(self, value: int, width: int) -> "Writer":
+        """Range-checked unsigned field; canonical big-endian bytes."""
+        if not isinstance(value, int):
+            raise EncodingError(
+                f"u{width * 8} field requires an int, got "
+                f"{type(value).__name__}")
+        if value < 0 or value >> (8 * width):
+            raise EncodingError(
+                f"value {value} out of range for a u{width * 8} field")
+        return self.raw(value.to_bytes(width, "big"))
+
     def u8(self, value: int) -> "Writer":
-        return self.raw(value.to_bytes(1, "big"))
+        return self._uint(value, 1)
 
     def u32(self, value: int) -> "Writer":
-        return self.raw(value.to_bytes(4, "big"))
+        return self._uint(value, 4)
 
     def u64(self, value: int) -> "Writer":
-        return self.raw(value.to_bytes(8, "big"))
+        return self._uint(value, 8)
 
     def f64(self, value: float) -> "Writer":
-        """Timestamps travel as milliseconds in a u64."""
-        return self.u64(int(round(value * 1000)) & ((1 << 64) - 1))
+        """Timestamps travel as milliseconds in a u64.
+
+        Negative and non-finite timestamps are rejected: masking a
+        negative millisecond count into a u64 would silently round-trip
+        ``-1.5`` as ``1.8446744073709548e+16`` and defeat every
+        downstream freshness check.
+        """
+        if not math.isfinite(value):
+            raise EncodingError(f"non-finite timestamp {value!r}")
+        if value < 0:
+            raise EncodingError(f"negative timestamp {value!r}")
+        if value > MAX_TIMESTAMP:
+            raise EncodingError(f"timestamp {value!r} overflows the wire")
+        return self.u64(int(round(value * 1000)))
 
     def var(self, data: bytes) -> "Writer":
         """Append a length-prefixed variable field."""

@@ -6,10 +6,12 @@ import pytest
 
 from repro.core import groupsig
 from repro.core.certs import (
+    MAX_CLOCK_SKEW,
     CertificateRevocationList,
     RouterCertificate,
     UserRevocationList,
 )
+from repro.core.clock import ManualClock
 from repro.errors import CertificateError
 from repro.sig.curves import SECP160R1
 from repro.sig.ecdsa import ecdsa_generate
@@ -114,6 +116,60 @@ class TestCrl:
     def test_garbage_rejected(self):
         with pytest.raises(CertificateError):
             CertificateRevocationList.decode(b"XYZ garbage")
+
+
+class TestFutureDating:
+    """A future-dated list must not pass freshness forever (negative
+    staleness used to satisfy ``now - issued_at <= limit`` trivially)."""
+
+    def test_future_dated_crl_rejected(self, operator_key):
+        clock = ManualClock(1000.0)
+        crl = make_crl(operator_key,
+                       issued_at=clock.now() + MAX_CLOCK_SKEW + 1.0)
+        with pytest.raises(CertificateError, match="future-dated"):
+            crl.validate(operator_key.public, now=clock.now())
+
+    def test_future_dated_crl_within_skew_accepted(self, operator_key):
+        clock = ManualClock(1000.0)
+        crl = make_crl(operator_key,
+                       issued_at=clock.now() + MAX_CLOCK_SKEW - 1.0)
+        crl.validate(operator_key.public, now=clock.now())
+
+    def test_future_dated_crl_accepted_once_time_catches_up(self,
+                                                            operator_key):
+        clock = ManualClock(1000.0)
+        issued_at = clock.now() + MAX_CLOCK_SKEW + 50.0
+        crl = make_crl(operator_key, issued_at=issued_at)
+        with pytest.raises(CertificateError):
+            crl.validate(operator_key.public, now=clock.now())
+        clock.advance(MAX_CLOCK_SKEW + 50.0)
+        crl.validate(operator_key.public, now=clock.now())
+
+    def test_future_dated_url_rejected(self, operator_key):
+        clock = ManualClock(5000.0)
+        issued_at = clock.now() + MAX_CLOCK_SKEW + 1.0
+        url = UserRevocationList(0, issued_at, 600.0, (), b"")
+        url = UserRevocationList(0, issued_at, 600.0, (),
+                                 operator_key.sign(url.signed_payload()))
+        with pytest.raises(CertificateError, match="future-dated"):
+            url.validate(operator_key.public, now=clock.now())
+
+    def test_skew_override(self, operator_key):
+        clock = ManualClock(1000.0)
+        crl = make_crl(operator_key, issued_at=clock.now() + 500.0)
+        with pytest.raises(CertificateError):
+            crl.validate(operator_key.public, now=clock.now())
+        crl.validate(operator_key.public, now=clock.now(), max_skew=1000.0)
+
+    def test_max_staleness_override_does_not_bypass_skew(self,
+                                                         operator_key):
+        """The old bypass: huge max_staleness must not admit a
+        future-dated list."""
+        clock = ManualClock(1000.0)
+        crl = make_crl(operator_key, issued_at=clock.now() + 10_000.0)
+        with pytest.raises(CertificateError, match="future-dated"):
+            crl.validate(operator_key.public, now=clock.now(),
+                         max_staleness=1e9)
 
 
 class TestUrl:

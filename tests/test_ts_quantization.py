@@ -1,0 +1,106 @@
+"""Regression tests: wire millisecond quantization vs pending state.
+
+``Writer.f64`` rounds timestamps to milliseconds, so a message's
+timestamp changes (by < 1ms) when it crosses the wire.  Handshake state
+that is later compared against wire-decoded timestamps must store the
+quantized value: ``PeerAuthEngine.complete`` checks ``0 <= ts2 - ts1``,
+and a raw local ``ts1`` with sub-millisecond residue can flip that
+difference negative for a perfectly honest peer.
+"""
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.messages import AccessRequest, Beacon, PeerHello, PeerResponse
+from repro.core.wire import quantize_ts
+from repro.sig.curves import SECP160R1
+
+#: A clock reading with sub-millisecond residue that rounds *down* on
+#: the wire: quantize_ts(100.0004) == 100.0 < 100.0004.
+BOUNDARY = 100.0004
+
+
+class TestPeerHandshakeBoundary:
+    def test_user_user_handshake_across_the_wire(self, fresh_deployment):
+        """The full M~.1 - M~.3 exchange, every message re-decoded from
+        bytes, at a sub-millisecond clock reading.  Before the fix the
+        initiator stored raw ts1 = 100.0004 and received wire ts2 =
+        100.000, so ts2 - ts1 = -0.0004 tripped the window check."""
+        deployment = fresh_deployment(clock=ManualClock(BOUNDARY))
+        group = deployment.group
+        beacon = deployment.routers["MR-1"].make_beacon()
+        engine_i = deployment.users["alice"].peer_engine()
+        engine_r = deployment.users["bob"].peer_engine()
+
+        hello, pending_i = engine_i.initiate(beacon.g)
+        hello_wire = PeerHello.decode(group, hello.encode())
+        response, pending_r = engine_r.respond(hello_wire, beacon.url)
+        response_wire = PeerResponse.decode(group, response.encode())
+        confirm, session_i = engine_i.complete(pending_i, response_wire,
+                                               beacon.url)
+        session_r = engine_r.finalize(pending_r, confirm)
+        assert session_i.session_id == session_r.session_id
+
+    def test_pending_state_matches_wire(self, fresh_deployment):
+        deployment = fresh_deployment(clock=ManualClock(BOUNDARY))
+        beacon = deployment.routers["MR-1"].make_beacon()
+        engine_i = deployment.users["alice"].peer_engine()
+        hello, pending = engine_i.initiate(beacon.g)
+        decoded = PeerHello.decode(deployment.group, hello.encode())
+        assert pending.ts1 == decoded.ts1 == hello.ts1
+        assert pending.ts1 == quantize_ts(BOUNDARY)
+
+    def test_responder_pending_matches_wire(self, fresh_deployment):
+        deployment = fresh_deployment(clock=ManualClock(BOUNDARY))
+        beacon = deployment.routers["MR-1"].make_beacon()
+        engine_i = deployment.users["alice"].peer_engine()
+        engine_r = deployment.users["bob"].peer_engine()
+        hello, _ = engine_i.initiate(beacon.g)
+        response, pending_r = engine_r.respond(hello, beacon.url)
+        decoded = PeerResponse.decode(deployment.group, response.encode())
+        assert pending_r.ts2 == decoded.ts2 == response.ts2
+
+
+class TestRouterHandshakeBoundary:
+    def test_user_router_handshake_across_the_wire(self, fresh_deployment):
+        deployment = fresh_deployment(clock=ManualClock(BOUNDARY))
+        group = deployment.group
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+
+        beacon = router.make_beacon()
+        beacon_wire = Beacon.decode(group, SECP160R1, beacon.encode())
+        request, pending = user.connect_to_router(beacon_wire)
+        request_wire = AccessRequest.decode(group, request.encode())
+        confirm, router_session = router.process_request(request_wire)
+        user_session = user.complete_router_handshake(pending, confirm)
+        assert user_session.session_id == router_session.session_id
+
+    def test_beacon_ts1_is_wire_exact(self, fresh_deployment):
+        deployment = fresh_deployment(clock=ManualClock(BOUNDARY))
+        beacon = deployment.routers["MR-1"].make_beacon()
+        decoded = Beacon.decode(deployment.group, SECP160R1,
+                                beacon.encode())
+        assert beacon.ts1 == decoded.ts1 == quantize_ts(BOUNDARY)
+
+    def test_access_request_ts2_is_wire_exact(self, fresh_deployment):
+        deployment = fresh_deployment(clock=ManualClock(BOUNDARY))
+        router = deployment.routers["MR-1"]
+        request, _ = deployment.users["alice"].connect_to_router(
+            router.make_beacon())
+        decoded = AccessRequest.decode(deployment.group, request.encode())
+        assert request.ts2 == decoded.ts2 == quantize_ts(BOUNDARY)
+
+
+class TestQuantizeHelper:
+    @pytest.mark.parametrize("raw,expected", [
+        (100.0004, 100.0),
+        (100.0006, 100.001),
+        (0.0, 0.0),
+        (1_000_000.0, 1_000_000.0),
+    ])
+    def test_rounding(self, raw, expected):
+        assert quantize_ts(raw) == expected
+
+    def test_idempotent(self):
+        assert quantize_ts(quantize_ts(123.4567)) == quantize_ts(123.4567)

@@ -1,0 +1,226 @@
+"""VerifierPool: bit-identical to serial verification, only parallel.
+
+The contract under test (see the module docstring of
+:mod:`repro.core.verifier_pool`):
+
+* accept/reject outcomes match :func:`groupsig.verify_batch` exactly,
+  including error type, message, and the opened revocation
+  ``token_index``;
+* instrumented operation counts replayed by the pool equal the serial
+  counts;
+* serial mode (``processes=0``), a dead pool, and a stale snapshot all
+  degrade to the serial path without changing results.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import instrument
+from repro.core import groupsig
+from repro.core.verifier_pool import VerifierPool, snapshot_fingerprint
+from repro.errors import InvalidSignature, RevokedKeyError
+
+
+@pytest.fixture(scope="module")
+def url_tokens(member_keys):
+    """Three tokens; a2 sits at index 1, b1 at index 2."""
+    return (groupsig.RevocationToken(member_keys["b2"].a),
+            groupsig.RevocationToken(member_keys["a2"].a),
+            groupsig.RevocationToken(member_keys["b1"].a))
+
+
+@pytest.fixture(scope="module")
+def mixed_batch(gpk, member_keys):
+    """Ten items spanning every outcome class.
+
+    Indices 2 and 7 sign with revoked keys (a2, b1), index 4 is
+    tampered, index 8 degenerate (identity T1); the rest are valid.
+    """
+    rng = random.Random(90210)
+    signers = ["a1", "b2", "a2", "a1", "b2", "b2", "a1", "b1", "a1", "b2"]
+    batch = []
+    for index, name in enumerate(signers):
+        message = b"pool message %d" % index
+        signature = groupsig.sign(gpk, member_keys[name], message, rng=rng)
+        if index == 4:
+            signature = dataclasses.replace(signature,
+                                            s_x=signature.s_x + 1)
+        if index == 8:
+            signature = dataclasses.replace(
+                signature, t1=signature.t1 / signature.t1)
+        batch.append((message, signature))
+    return batch
+
+
+def outcome_key(result):
+    """Comparable digest of one verify outcome."""
+    if result is None:
+        return ("ok",)
+    return (type(result).__name__, str(result),
+            getattr(result, "token_index", None))
+
+
+def run_both(gpk, url_tokens, batch, pool, **kwargs):
+    """(serial results+ops, pool results+ops) for one batch."""
+    with instrument.count_operations() as serial_ops:
+        serial = groupsig.verify_batch(gpk, batch, url=url_tokens, **kwargs)
+    with instrument.count_operations() as pool_ops:
+        pooled = pool.verify_batch(batch, **kwargs)
+    return (serial, serial_ops.snapshot()), (pooled, pool_ops.snapshot())
+
+
+class TestSmoke:
+    def test_serial_mode_identity(self, gpk, url_tokens, mixed_batch):
+        with VerifierPool(gpk, url_tokens, processes=0) as pool:
+            assert not pool.is_parallel
+            (serial, serial_ops), (pooled, pool_ops) = run_both(
+                gpk, url_tokens, mixed_batch, pool)
+        assert [outcome_key(r) for r in pooled] == \
+            [outcome_key(r) for r in serial]
+        assert pool_ops == serial_ops
+
+    def test_worker_pool_identity(self, gpk, url_tokens, mixed_batch):
+        with VerifierPool(gpk, url_tokens, processes=2,
+                          chunk_size=3) as pool:
+            (serial, serial_ops), (pooled, pool_ops) = run_both(
+                gpk, url_tokens, mixed_batch, pool)
+        assert [outcome_key(r) for r in pooled] == \
+            [outcome_key(r) for r in serial]
+        assert pool_ops == serial_ops
+
+
+class TestOutcomeDetail:
+    def test_revocation_index_matches_serial(self, gpk, url_tokens,
+                                             mixed_batch):
+        serial = groupsig.verify_batch(gpk, mixed_batch, url=url_tokens)
+        with VerifierPool(gpk, url_tokens, processes=2,
+                          chunk_size=4) as pool:
+            pooled = pool.verify_batch(mixed_batch)
+        for index in (2, 7):
+            assert isinstance(serial[index], RevokedKeyError)
+            assert isinstance(pooled[index], RevokedKeyError)
+            assert (pooled[index].token_index
+                    == serial[index].token_index)
+        assert serial[2].token_index == 1   # a2's token position
+        assert serial[7].token_index == 2   # b1's token position
+        assert isinstance(pooled[4], InvalidSignature)
+        assert isinstance(pooled[8], InvalidSignature)
+        assert "degenerate" in str(pooled[8])
+
+    def test_period_mode_identity(self, gpk, url_tokens, mixed_batch):
+        period = b"epoch-0042"
+        with VerifierPool(gpk, url_tokens, processes=2,
+                          chunk_size=3) as pool:
+            (serial, serial_ops), (pooled, pool_ops) = run_both(
+                gpk, url_tokens, mixed_batch, pool, period=period)
+        assert [outcome_key(r) for r in pooled] == \
+            [outcome_key(r) for r in serial]
+        assert pool_ops == serial_ops
+
+    def test_check_revocation_off(self, gpk, url_tokens, mixed_batch):
+        with VerifierPool(gpk, url_tokens, processes=0) as pool:
+            (serial, _), (pooled, _) = run_both(
+                gpk, url_tokens, mixed_batch, pool, check_revocation=False)
+        assert [outcome_key(r) for r in pooled] == \
+            [outcome_key(r) for r in serial]
+        assert all(not isinstance(r, RevokedKeyError) for r in pooled)
+
+    def test_empty_batch(self, gpk, url_tokens):
+        with VerifierPool(gpk, url_tokens, processes=0) as pool:
+            assert pool.verify_batch([]) == []
+
+
+class TestDegradedModes:
+    def test_dead_pool_falls_back_serially(self, gpk, url_tokens,
+                                           mixed_batch):
+        pool = VerifierPool(gpk, url_tokens, processes=2, chunk_size=3)
+        try:
+            assert pool.is_parallel
+            # Kill the workers behind the pool's back; submissions now
+            # fail and every chunk must take the in-process path.
+            pool._pool.terminate()
+            pool._pool.join()
+            serial = groupsig.verify_batch(gpk, mixed_batch,
+                                           url=url_tokens)
+            pooled = pool.verify_batch(mixed_batch)
+        finally:
+            pool.close()
+        assert [outcome_key(r) for r in pooled] == \
+            [outcome_key(r) for r in serial]
+        assert pool.serial_fallbacks > 0
+
+    def test_close_is_idempotent(self, gpk, url_tokens):
+        pool = VerifierPool(gpk, url_tokens, processes=2)
+        pool.close()
+        pool.close()
+        assert not pool.is_parallel
+
+    def test_bad_parameters_rejected(self, gpk, url_tokens):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            VerifierPool(gpk, url_tokens, processes=0, chunk_size=0)
+        with pytest.raises(ParameterError):
+            VerifierPool(gpk, url_tokens, processes=-1)
+
+    def test_fingerprint_tracks_snapshot(self, gpk, url_tokens):
+        with VerifierPool(gpk, url_tokens, processes=0) as pool:
+            assert pool.matches(gpk, url_tokens)
+            assert not pool.matches(gpk, url_tokens[:1])
+        assert (snapshot_fingerprint(gpk, url_tokens)
+                != snapshot_fingerprint(gpk, url_tokens[:1]))
+
+
+class TestRouterIntegration:
+    @staticmethod
+    def _requests(deployment, count=5):
+        router = deployment.routers["MR-1"]
+        users = [deployment.users["alice"], deployment.users["bob"]]
+        requests = []
+        for index in range(count):
+            beacon = router.make_beacon()
+            request, _ = users[index % 2].connect_to_router(beacon)
+            if index == 3:
+                request = dataclasses.replace(
+                    request, group_signature=dataclasses.replace(
+                        request.group_signature,
+                        s_x=request.group_signature.s_x + 1))
+            requests.append(request)
+        return router, requests
+
+    def test_batch_with_pool_matches_serial(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router, requests = self._requests(deployment)
+        url = router.url
+        serial = router.process_request_batch(requests)
+        stats_after_serial = dict(router.engine.stats)
+        with VerifierPool(router.engine.gpk, url.tokens,
+                          processes=2, chunk_size=2) as pool:
+            pooled = router.process_request_batch(requests, pool=pool)
+        # Same classification per slot, same stats increments.
+        for left, right in zip(serial, pooled):
+            assert isinstance(left, tuple) == isinstance(right, tuple)
+            if not isinstance(left, tuple):
+                assert outcome_key(left) == outcome_key(right)
+        delta = {key: router.engine.stats[key] - stats_after_serial[key]
+                 for key in stats_after_serial}
+        assert delta["requests"] == len(requests)
+        assert delta["accepted"] == sum(
+            1 for item in serial if isinstance(item, tuple))
+
+    def test_stale_pool_is_ignored(self, fresh_deployment, monkeypatch):
+        deployment = fresh_deployment()
+        router, requests = self._requests(deployment, count=2)
+        stale_tokens = (groupsig.RevocationToken(
+            deployment.group.random_g1(random.Random(5))),)
+        with VerifierPool(router.engine.gpk, stale_tokens,
+                          processes=0) as pool:
+            assert not pool.matches(router.engine.gpk, router.url.tokens)
+
+            def explode(*args, **kwargs):  # pragma: no cover - guard
+                raise AssertionError("stale pool must not be consulted")
+
+            monkeypatch.setattr(pool, "verify_batch", explode)
+            outcomes = router.process_request_batch(requests, pool=pool)
+        assert all(isinstance(item, tuple) for item in outcomes)

@@ -1,8 +1,10 @@
 """Tests for the Writer/Reader wire codec."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.wire import Reader, Writer
+from repro.core.wire import MAX_TIMESTAMP, Reader, Writer, quantize_ts
 from repro.errors import EncodingError
 
 
@@ -56,3 +58,80 @@ class TestWriterReader:
     def test_chaining(self):
         blob = Writer().u8(1).u8(2).u8(3).done()
         assert blob == b"\x01\x02\x03"
+
+
+class TestIntegerRanges:
+    """Out-of-range values must raise EncodingError, never OverflowError."""
+
+    @pytest.mark.parametrize("field,limit", [
+        ("u8", 1 << 8), ("u32", 1 << 32), ("u64", 1 << 64)])
+    def test_too_large_rejected(self, field, limit):
+        with pytest.raises(EncodingError):
+            getattr(Writer(), field)(limit)
+        with pytest.raises(EncodingError):
+            getattr(Writer(), field)(1 << 80)
+
+    @pytest.mark.parametrize("field", ["u8", "u32", "u64"])
+    def test_negative_rejected(self, field):
+        with pytest.raises(EncodingError):
+            getattr(Writer(), field)(-1)
+
+    @pytest.mark.parametrize("field,limit", [
+        ("u8", 1 << 8), ("u32", 1 << 32), ("u64", 1 << 64)])
+    def test_boundary_values_roundtrip(self, field, limit):
+        blob = getattr(Writer(), field)(0)
+        blob = getattr(blob, field)(limit - 1).done()
+        reader = Reader(blob)
+        assert getattr(reader, field)() == 0
+        assert getattr(reader, field)() == limit - 1
+        reader.expect_end()
+
+    def test_non_int_rejected(self):
+        with pytest.raises(EncodingError):
+            Writer().u32(1.5)
+
+
+class TestTimestampEncoding:
+    """f64 rejects negative/non-finite values instead of wrapping."""
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(EncodingError):
+            Writer().f64(-1.5)
+
+    def test_sub_millisecond_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            Writer().f64(-0.0004)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_non_finite_rejected(self, value):
+        with pytest.raises(EncodingError):
+            Writer().f64(value)
+
+    def test_beyond_wire_range_rejected(self):
+        with pytest.raises(EncodingError):
+            Writer().f64(MAX_TIMESTAMP * 2)
+
+    def test_negative_zero_is_zero(self):
+        assert Reader(Writer().f64(-0.0).done()).f64() == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=2 ** 40,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200)
+    def test_roundtrip_is_quantization(self, value):
+        """decode(encode(t)) == quantize_ts(t) for every legal t."""
+        decoded = Reader(Writer().f64(value).done()).f64()
+        assert decoded == quantize_ts(value)
+        # Half-millisecond quantization error, plus float-grid slack
+        # that grows with magnitude (ulp(value * 1000) / 1000).
+        assert abs(decoded - value) <= 0.0005 + value * 1e-12
+        # Idempotent: a decoded timestamp re-encodes to the same bytes.
+        assert Reader(Writer().f64(decoded).done()).f64() == decoded
+
+    @given(st.integers(min_value=0, max_value=1 << 50))
+    @settings(max_examples=200)
+    def test_millisecond_boundary_roundtrip(self, millis):
+        """Any exactly-representable wire value re-encodes bit-identically."""
+        blob = Writer().u64(millis).done()
+        value = Reader(blob).f64()
+        assert Writer().f64(value).done() == blob

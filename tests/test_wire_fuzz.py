@@ -18,7 +18,8 @@ from repro.core.messages import (
     DataPacket,
     PeerHello,
 )
-from repro.errors import ReproError
+from repro.core.wire import Writer
+from repro.errors import EncodingError, ReproError
 from repro.sig.curves import SECP160R1
 
 
@@ -89,6 +90,84 @@ class TestGarbageRejection:
         # that decode to the same request.
         assert decoded.encode() in (original, bytes(mutated))
         assert decoded.signed_payload() == request.signed_payload()
+
+
+class TestEncodingErrorOnly:
+    """The network-facing decoders dispatch on :class:`EncodingError`
+    specifically -- a :class:`CertificateError` / :class:`PuzzleError`
+    leaking out of a *nested* component decoder (or a bare ValueError /
+    IndexError from arithmetic on attacker bytes) would escape the
+    drop-malformed-frame handler."""
+
+    @given(st.binary(min_size=0, max_size=600))
+    @settings(max_examples=80)
+    def test_random_bytes_raise_encoding_error(self, deployment, blob):
+        group = deployment.group
+        for decode in (
+                lambda b: GroupSignature.decode(group, b),
+                lambda b: Beacon.decode(group, SECP160R1, b),
+                lambda b: AccessRequest.decode(group, b)):
+            with pytest.raises(EncodingError):
+                decode(blob)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=255))
+    @settings(max_examples=80, deadline=None)
+    def test_mutated_beacon_raises_encoding_error(self, deployment,
+                                                  position, value):
+        """Beacon nests certificate, CRL, URL, and puzzle decoders; a
+        mutation landing inside any of them must still surface as an
+        EncodingError."""
+        original = deployment.routers["MR-1"].make_beacon().encode()
+        mutated = bytearray(original)
+        mutated[position % len(mutated)] ^= value
+        try:
+            Beacon.decode(deployment.group, SECP160R1, bytes(mutated))
+        except EncodingError:
+            pass
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=255))
+    @settings(max_examples=80, deadline=None)
+    def test_mutated_request_raises_encoding_error(self, deployment,
+                                                   position, value):
+        request, _ = deployment.users["alice"].connect_to_router(
+            deployment.routers["MR-1"].make_beacon())
+        mutated = bytearray(request.encode())
+        mutated[position % len(mutated)] ^= value
+        try:
+            AccessRequest.decode(deployment.group, bytes(mutated))
+        except EncodingError:
+            pass
+
+
+class TestWriterRangeChecks:
+    """Out-of-range integer fields must fail at *encode* time with
+    :class:`EncodingError`, not leak ``int.to_bytes``'s OverflowError."""
+
+    @pytest.mark.parametrize("field,limit", [
+        ("u8", 1 << 8), ("u32", 1 << 32), ("u64", 1 << 64)])
+    def test_too_large_raises_encoding_error(self, field, limit):
+        with pytest.raises(EncodingError):
+            getattr(Writer(), field)(limit)
+
+    @pytest.mark.parametrize("field", ["u8", "u32", "u64"])
+    def test_negative_raises_encoding_error(self, field):
+        with pytest.raises(EncodingError):
+            getattr(Writer(), field)(-1)
+
+    @given(st.integers())
+    @settings(max_examples=120)
+    def test_never_overflow_error(self, value):
+        for field, limit in (("u8", 1 << 8), ("u32", 1 << 32),
+                             ("u64", 1 << 64)):
+            try:
+                blob = getattr(Writer(), field)(value).done()
+            except EncodingError:
+                assert not 0 <= value < limit
+            else:
+                assert 0 <= value < limit
+                assert int.from_bytes(blob, "big") == value
 
 
 class TestTruncation:
