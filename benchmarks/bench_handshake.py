@@ -46,6 +46,13 @@ def test_e4_rounds_and_bytes(reporter, test_deployment):
     report.row(f"group signature within M.2/M~.1/M~.2: {sig_bytes} B "
                f"(TEST preset)")
     report.row("rounds: 3 per protocol (paper: minimal for mutual auth)")
+    # Machine-readable sizes for the regression gate: fully determined
+    # by the wire format and the TEST parameter set, so exact-match.
+    for _proto, label, size, _sender in rows:
+        slug = label.split()[0].replace("~", "t").replace(".", "_")
+        report.record(f"bytes_{slug}", size)
+    report.record("bytes_group_signature", sig_bytes)
+    report.record("rounds_per_protocol", 3)
 
     # Shape claims: exactly 3 messages each; the user's uplink cost in
     # M.2 is dominated by the group signature.

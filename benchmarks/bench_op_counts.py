@@ -33,6 +33,8 @@ def test_e2_operation_count_table(reporter, ss512_scheme):
                  f"{exp_sign.pairings} pair",
                  f"{sign.exponentiations} exp + {sign.pairings} pair",
                  f"{sign.wall_seconds * 1000:.1f} ms"))
+    report.record("sign_exp", sign.exponentiations)
+    report.record("sign_pair", sign.pairings)
     for url_size in (0, 1, 5, 10):
         measured = measure_verify_cost(gpk, keys[0],
                                        url=decoys[:url_size], rng=rng)
@@ -45,6 +47,8 @@ def test_e2_operation_count_table(reporter, ss512_scheme):
                      f"{measured.wall_seconds * 1000:.1f} ms"))
         assert measured.pairings == expected.pairings
         assert measured.exponentiations == expected.exponentiations
+        report.record(f"verify_url{url_size}_exp", measured.exponentiations)
+        report.record(f"verify_url{url_size}_pair", measured.pairings)
     fast = measure_fast_verify_cost(gpk, keys[0], decoys, rng=rng)
     exp_fast = expected_fast_verify_cost()
     rows.append(("verify (fast revocation, any |URL|)",
@@ -53,6 +57,8 @@ def test_e2_operation_count_table(reporter, ss512_scheme):
                  f"{fast.exponentiations} exp + {fast.pairings} pair",
                  f"{fast.wall_seconds * 1000:.1f} ms"))
     assert (fast.exponentiations, fast.pairings) == (6, 5)
+    report.record("fast_verify_exp", fast.exponentiations)
+    report.record("fast_verify_pair", fast.pairings)
     report.table(("operation", "paper", "measured", "wall (SS512)"), rows)
 
     assert (sign.exponentiations, sign.pairings) == (8, 2)

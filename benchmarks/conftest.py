@@ -69,12 +69,19 @@ class Reporter:
             self.row(fmt.format(*[str(c) for c in r]))
 
     def flush(self) -> None:
+        # BENCH_OUTPUT_DIR redirects both artifacts (the regression
+        # gate runs benches into a scratch dir and diffs against the
+        # committed baselines, which must stay untouched).
+        out_dir = os.environ.get("BENCH_OUTPUT_DIR")
+        report_dir = (os.path.join(out_dir, "reports") if out_dir
+                      else REPORT_DIR)
+        json_root = out_dir if out_dir else REPO_ROOT
         text = "\n".join(self.lines) + "\n"
-        os.makedirs(REPORT_DIR, exist_ok=True)
-        path = os.path.join(REPORT_DIR, self.slug + ".txt")
+        os.makedirs(report_dir, exist_ok=True)
+        path = os.path.join(report_dir, self.slug + ".txt")
         with open(path, "w") as handle:
             handle.write(text)
-        json_path = os.path.join(REPO_ROOT, f"BENCH_{self.slug}.json")
+        json_path = os.path.join(json_root, f"BENCH_{self.slug}.json")
         with open(json_path, "w") as handle:
             json.dump({"experiment": self.experiment,
                        "tables": self.tables,

@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh BENCH_*.json runs vs committed baselines.
+
+Each committed ``BENCH_<slug>.json`` at the repo root is a baseline.
+The gate re-runs the benchmarks that produce a chosen subset of them
+into a scratch directory (``BENCH_OUTPUT_DIR`` redirects the reporter,
+so the committed files are never touched), then diffs the ``values``
+dicts metric by metric under per-metric tolerance rules:
+
+* ``exact``      -- value must match the baseline bit for bit
+                    (operation counts, wire byte sizes, round counts).
+* ``min_ratio``  -- fresh value must be at least ``ratio`` times the
+                    baseline (speedups: generous floors absorb host
+                    noise while still catching a lost optimization).
+* ``max_ratio``  -- fresh value must stay under ``ratio`` times the
+                    baseline (latencies, if ever gated).
+
+Modes:
+
+* ``--smoke``  -- E4 only: TEST-preset message sizes, deterministic
+  and fast (seconds).  This is the CI pull-request gate.
+* default      -- E4 plus E2 (SS512 operation counts; slower).
+
+Exit status is non-zero when any gated metric regresses beyond its
+tolerance, when a fresh value for a gated metric is missing, or when
+the bench run itself fails.  ``--fresh-dir`` skips the bench run and
+diffs existing JSON in that directory (used by the unit tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: slug -> pytest node ids that (re)generate BENCH_<slug>.json.
+BENCH_TARGETS: Dict[str, List[str]] = {
+    "E4": ["benchmarks/bench_handshake.py::test_e4_rounds_and_bytes"],
+    "E2": ["benchmarks/bench_op_counts.py::test_e2_operation_count_table"],
+}
+
+#: slug -> metric -> rule.  A rule is ``{"kind": "exact"}`` or
+#: ``{"kind": "min_ratio"|"max_ratio", "ratio": float}``.  Metrics not
+#: listed here are reported as informational, never gated.
+GATES: Dict[str, Dict[str, dict]] = {
+    "E4": {
+        "bytes_M_1": {"kind": "exact"},
+        "bytes_M_2": {"kind": "exact"},
+        "bytes_M_3": {"kind": "exact"},
+        "bytes_Mt_1": {"kind": "exact"},
+        "bytes_Mt_2": {"kind": "exact"},
+        "bytes_Mt_3": {"kind": "exact"},
+        "bytes_group_signature": {"kind": "exact"},
+        "rounds_per_protocol": {"kind": "exact"},
+    },
+    "E2": {
+        "sign_exp": {"kind": "exact"},
+        "sign_pair": {"kind": "exact"},
+        "verify_url0_exp": {"kind": "exact"},
+        "verify_url0_pair": {"kind": "exact"},
+        "verify_url1_exp": {"kind": "exact"},
+        "verify_url1_pair": {"kind": "exact"},
+        "verify_url5_exp": {"kind": "exact"},
+        "verify_url5_pair": {"kind": "exact"},
+        "verify_url10_exp": {"kind": "exact"},
+        "verify_url10_pair": {"kind": "exact"},
+        "fast_verify_exp": {"kind": "exact"},
+        "fast_verify_pair": {"kind": "exact"},
+    },
+}
+
+
+def check_metric(name: str, rule: dict, baseline, fresh) -> Optional[str]:
+    """One metric under one rule; returns a failure message or None."""
+    if fresh is None:
+        return f"{name}: missing from fresh run (baseline {baseline!r})"
+    kind = rule["kind"]
+    if kind == "exact":
+        if fresh != baseline:
+            return f"{name}: expected {baseline!r}, got {fresh!r}"
+        return None
+    if kind not in ("min_ratio", "max_ratio"):
+        raise ValueError(f"unknown gate kind {kind!r} for {name}")
+    ratio = float(rule["ratio"])
+    baseline = float(baseline)
+    fresh = float(fresh)
+    if kind == "min_ratio":
+        floor = baseline * ratio
+        if fresh < floor:
+            return (f"{name}: {fresh:.4g} below floor {floor:.4g} "
+                    f"({ratio:g}x baseline {baseline:.4g})")
+        return None
+    ceiling = baseline * ratio
+    if fresh > ceiling:
+        return (f"{name}: {fresh:.4g} above ceiling {ceiling:.4g} "
+                f"({ratio:g}x baseline {baseline:.4g})")
+    return None
+
+
+def compare(slug: str, baseline: dict, fresh: dict,
+            gates: Optional[Dict[str, dict]] = None) -> dict:
+    """Diff one experiment's values; returns a JSON-able result dict."""
+    gates = GATES.get(slug, {}) if gates is None else gates
+    base_values = baseline.get("values", {})
+    fresh_values = fresh.get("values", {})
+    failures = []
+    checked = []
+    for name, rule in sorted(gates.items()):
+        if name not in base_values:
+            # A gate with no committed baseline is a config error, not
+            # a silent pass.
+            failures.append(f"{name}: gated but absent from baseline")
+            continue
+        checked.append(name)
+        message = check_metric(name, rule, base_values[name],
+                               fresh_values.get(name))
+        if message is not None:
+            failures.append(message)
+    informational = {name: {"baseline": base_values.get(name),
+                            "fresh": fresh_values.get(name)}
+                     for name in sorted(set(base_values) | set(fresh_values))
+                     if name not in gates}
+    return {"experiment": slug, "ok": not failures, "checked": checked,
+            "failures": failures, "informational": informational}
+
+
+def load_json(path: str) -> Optional[dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def run_benches(slugs: List[str], out_dir: str) -> int:
+    """Regenerate the selected BENCH files into ``out_dir``."""
+    nodes = [node for slug in slugs for node in BENCH_TARGETS[slug]]
+    env = dict(os.environ)
+    env["BENCH_OUTPUT_DIR"] = out_dir
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "--benchmark-disable",
+         *nodes], cwd=REPO_ROOT, env=env)
+    return proc.returncode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff fresh benchmark output against committed "
+                    "BENCH_*.json baselines.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast gate: E4 (TEST preset) only")
+    parser.add_argument("--fresh-dir", default=None,
+                        help="diff existing BENCH_*.json in this directory "
+                             "instead of running the benchmarks")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="write the full comparison result here")
+    args = parser.parse_args(argv)
+
+    slugs = ["E4"] if args.smoke else ["E4", "E2"]
+    results = []
+    exit_code = 0
+
+    with tempfile.TemporaryDirectory(prefix="bench-gate-") as scratch:
+        fresh_dir = args.fresh_dir or scratch
+        if args.fresh_dir is None:
+            rc = run_benches(slugs, fresh_dir)
+            if rc != 0:
+                print(f"bench-gate: benchmark run failed (exit {rc})",
+                      file=sys.stderr)
+                exit_code = rc or 1
+        for slug in slugs:
+            baseline = load_json(os.path.join(REPO_ROOT,
+                                              f"BENCH_{slug}.json"))
+            fresh = load_json(os.path.join(fresh_dir, f"BENCH_{slug}.json"))
+            if baseline is None:
+                results.append({"experiment": slug, "ok": False,
+                                "failures": ["no committed baseline"]})
+                exit_code = exit_code or 1
+                continue
+            if fresh is None:
+                results.append({"experiment": slug, "ok": False,
+                                "failures": ["no fresh BENCH json produced"]})
+                exit_code = exit_code or 1
+                continue
+            result = compare(slug, baseline, fresh)
+            results.append(result)
+            if not result["ok"]:
+                exit_code = exit_code or 1
+
+    summary = {"ok": exit_code == 0, "mode": "smoke" if args.smoke
+               else "full", "results": results}
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    for result in results:
+        status = "OK" if result["ok"] else "FAIL"
+        checked = len(result.get("checked", []))
+        print(f"bench-gate: {result['experiment']}: {status} "
+              f"({checked} gated metrics)")
+        for failure in result["failures"]:
+            print(f"  regression: {failure}", file=sys.stderr)
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

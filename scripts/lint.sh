@@ -8,6 +8,12 @@
 #    experiments run on ManualClock and stay deterministic; a stray
 #    time.time() silently breaks replay/freshness tests under time
 #    travel.
+# 3. Output discipline: the library never prints.  __main__.py is the
+#    CLI and owns stdout; everything else returns strings (see
+#    repro/obs/report.py) so callers and tests stay capture-clean.
+# 4. Repo hygiene: no bytecode in the index.  __pycache__/*.pyc churn
+#    on every run and bloat diffs; .gitignore keeps new ones out, this
+#    gate keeps them from ever coming back.
 
 set -e
 cd "$(dirname "$0")/.."
@@ -19,6 +25,22 @@ violations=$(grep -rn "time\.time()" src --include='*.py' \
 if [ -n "$violations" ]; then
     echo "lint: time.time() outside repro/core/clock.py:" >&2
     echo "$violations" >&2
+    exit 1
+fi
+
+# Word-boundary match so e.g. fingerprint( does not trip the gate.
+prints=$(grep -rnE '(^|[^a-zA-Z0-9_.])print\(' src/repro --include='*.py' \
+         | grep -v "repro/__main__.py" || true)
+if [ -n "$prints" ]; then
+    echo "lint: print() in library code (only __main__.py may print):" >&2
+    echo "$prints" >&2
+    exit 1
+fi
+
+bytecode=$(git ls-files | grep -E '(\.pyc$|__pycache__/)' || true)
+if [ -n "$bytecode" ]; then
+    echo "lint: committed bytecode (run: git rm -r --cached <paths>):" >&2
+    echo "$bytecode" >&2
     exit 1
 fi
 

@@ -2,8 +2,9 @@
 # Tier-1 verification for this repo, plus a quick engine smoke check.
 #
 # Usage:
-#   scripts/tier1.sh          # full tier-1 suite (the gate PRs must pass)
-#   scripts/tier1.sh smoke    # ~15s subset: engine/pool cross-checks only
+#   scripts/tier1.sh                      # full tier-1 suite (the gate)
+#   scripts/tier1.sh smoke                # ~15s subset: engine/pool checks
+#   scripts/tier1.sh [smoke] --junit X    # also write a JUnit XML report
 #
 # The smoke subset runs the TestSmoke classes, which compare every
 # engine fast path (pairing tables, fixed-base tables, wNAF multi-exp,
@@ -14,11 +15,24 @@ set -e
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-if [ "$1" = "smoke" ]; then
-    exec python -m pytest -x -q \
+mode=""
+junit=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        smoke) mode="smoke"; shift ;;
+        --junit)
+            [ $# -ge 2 ] || { echo "tier1.sh: --junit needs a path" >&2
+                              exit 2; }
+            junit="--junit-xml=$2"; shift 2 ;;
+        *) echo "tier1.sh: unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$mode" = "smoke" ]; then
+    exec python -m pytest -x -q ${junit:+"$junit"} \
         tests/test_pairing_precompute.py::TestSmoke \
         tests/test_groupsig_batch.py::TestSmoke \
         tests/test_verifier_pool.py::TestSmoke
 fi
 
-exec python -m pytest -x -q
+exec python -m pytest -x -q ${junit:+"$junit"}

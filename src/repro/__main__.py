@@ -6,10 +6,18 @@ Pass a preset name to run on stronger parameters::
 
     python -m repro            # TEST parameters (instant)
     python -m repro SS512      # ~80-bit security (a few seconds)
+
+The ``obs-report`` subcommand instead runs a short instrumented
+workload and dumps the collected metrics::
+
+    python -m repro obs-report                    # JSON snapshot
+    python -m repro obs-report --format prom      # Prometheus text
+    python -m repro obs-report --preset SS512 --handshakes 8
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -18,8 +26,27 @@ from repro.core.audit import audit_by_session
 from repro.errors import RevokedKeyError
 
 
+def _obs_report(argv) -> int:
+    from repro.obs.report import FORMATS, render_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs-report",
+        description="Run a short instrumented workload and print its "
+                    "metrics snapshot.")
+    parser.add_argument("--format", choices=FORMATS, default="json")
+    parser.add_argument("--preset", default="TEST")
+    parser.add_argument("--handshakes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    print(render_report(fmt=args.format, preset=args.preset,
+                        handshakes=args.handshakes, seed=args.seed))
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "obs-report":
+        return _obs_report(argv[1:])
     preset = argv[0] if argv else "TEST"
     print(f"PEACE demo on the {preset} parameter set")
     start = time.perf_counter()

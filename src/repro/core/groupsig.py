@@ -46,7 +46,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro import instrument
+from repro import instrument, obs
 from repro.errors import (
     EncodingError,
     InvalidSignature,
@@ -324,18 +324,28 @@ class CryptoEngine:
 
     # -- fixed-parameter tables -----------------------------------------
 
+    def _build_table(self, base) -> PairingTable:
+        """Build one pairing table, reporting the build to the obs layer."""
+        reg = obs.active()
+        start = reg.clock() if reg is not None else 0.0
+        table = self.group.make_pairing_table(base)
+        if reg is not None:
+            reg.counter("engine.table_build_total")
+            reg.observe("engine.table_build_seconds", reg.clock() - start)
+        return table
+
     @property
     def g2_table(self) -> PairingTable:
         with self._lock:
             if self._g2_table is None:
-                self._g2_table = self.group.make_pairing_table(self.gpk.g2)
+                self._g2_table = self._build_table(self.gpk.g2)
             return self._g2_table
 
     @property
     def w_table(self) -> PairingTable:
         with self._lock:
             if self._w_table is None:
-                self._w_table = self.group.make_pairing_table(self.gpk.w)
+                self._w_table = self._build_table(self.gpk.w)
             return self._w_table
 
     def g1_exp(self, exponent: int) -> G1Element:
@@ -364,11 +374,13 @@ class CryptoEngine:
         with self._lock:
             cached = self._base
         if cached is None:
+            obs.counter("engine.base_pairing_miss_total")
             value = self.group.pair(self.gpk.g1, self.gpk.g2)
             with self._lock:
                 if self._base is None:
                     self._base = value
             return value
+        obs.counter("engine.base_pairing_hit_total")
         if count_on_hit:
             instrument.note("pairing")
         return cached
@@ -392,14 +404,16 @@ class CryptoEngine:
             if context is not None:
                 self._periods.move_to_end(key)
         if context is not None:
+            obs.counter("engine.period_cache_hit_total")
             instrument.note("hash_to_group", 2)
             instrument.note("psi", 2)
             return context
+        obs.counter("engine.period_cache_miss_total")
         u_hat, v_hat, u, v = derive_generators(self.gpk, message, r, period)
         context = GeneratorContext(
             u_hat, v_hat, u, v,
-            u_table=self.group.make_pairing_table(u_hat),
-            v_table=self.group.make_pairing_table(v_hat))
+            u_table=self._build_table(u_hat),
+            v_table=self._build_table(v_hat))
         with self._lock:
             self._periods[key] = context
             self._periods.move_to_end(key)
@@ -440,6 +454,8 @@ def sign(gpk: GroupPublicKey, gsk: GroupPrivateKey, message: bytes,
     rng = rng or random.SystemRandom()
     order = group.order
     engine = gpk.engine if use_engine else None
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
 
     r = group.random_scalar(rng)
     _u_hat, _v_hat, u, v = derive_generators(gpk, message, r, period)
@@ -468,12 +484,35 @@ def sign(gpk: GroupPublicKey, gsk: GroupPrivateKey, message: bytes,
     s_alpha = (r_alpha + c * alpha) % order
     s_x = (r_x + c * gsk.exponent_sum) % order
     s_delta = (r_delta + c * delta) % order
+    if reg is not None:
+        reg.counter("groupsig.sign_total")
+        reg.observe("groupsig.sign_seconds", reg.clock() - start)
     return GroupSignature(r, t1, t2, c, s_alpha, s_x, s_delta)
 
 
 # ---------------------------------------------------------------------------
 # Verify (paper step 3.2) and revocation (Eq.3 / step 3.3)
 # ---------------------------------------------------------------------------
+
+
+def _note_verify_outcome(reg, start: float, error: Optional[Exception]
+                         ) -> None:
+    """Record one verification's outcome counter + latency histogram.
+
+    Shared by every verification entry point (:func:`verify`,
+    :func:`verify_one`, :func:`verify_batch`) so the metric names are
+    identical whichever path classified the signature.
+    """
+    if reg is None:
+        return
+    if error is None:
+        outcome = "accept"
+    elif isinstance(error, RevokedKeyError):
+        outcome = "reject_revoked"
+    else:
+        outcome = "reject_invalid"
+    reg.counter(f"groupsig.verify_{outcome}_total")
+    reg.observe("groupsig.verify_seconds", reg.clock() - start)
 
 
 def verify(gpk: GroupPublicKey, message: bytes, signature: GroupSignature,
@@ -499,27 +538,34 @@ def verify(gpk: GroupPublicKey, message: bytes, signature: GroupSignature,
     """
     group = gpk.group
     engine = gpk.engine if use_engine else None
-    if engine is not None:
-        context = engine.generators(message, signature.r, period)
-    else:
-        u_hat, v_hat, u, v = derive_generators(gpk, message, signature.r,
-                                               period)
-        context = GeneratorContext(u_hat, v_hat, u, v)
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
+    try:
+        if engine is not None:
+            context = engine.generators(message, signature.r, period)
+        else:
+            u_hat, v_hat, u, v = derive_generators(gpk, message,
+                                                   signature.r, period)
+            context = GeneratorContext(u_hat, v_hat, u, v)
 
-    t1, t2 = signature.t1, signature.t2
-    if t1.is_identity() or t2.is_identity():
-        raise InvalidSignature("degenerate T1/T2")
-    # Small-subgroup hardening: decoded points satisfy the curve
-    # equation, but the curve's cofactor is large; T1/T2 must lie in
-    # the prime-order subgroup or the SPK algebra is off-group.
-    curve = group.curve
-    if not (curve.in_subgroup(t1.point) and curve.in_subgroup(t2.point)):
-        raise InvalidSignature("T1/T2 outside the prime-order subgroup")
+        t1, t2 = signature.t1, signature.t2
+        if t1.is_identity() or t2.is_identity():
+            raise InvalidSignature("degenerate T1/T2")
+        # Small-subgroup hardening: decoded points satisfy the curve
+        # equation, but the curve's cofactor is large; T1/T2 must lie in
+        # the prime-order subgroup or the SPK algebra is off-group.
+        curve = group.curve
+        if not (curve.in_subgroup(t1.point) and curve.in_subgroup(t2.point)):
+            raise InvalidSignature("T1/T2 outside the prime-order subgroup")
 
-    _verify_spk(gpk, message, signature, context, engine, precomputed)
+        _verify_spk(gpk, message, signature, context, engine, precomputed)
 
-    if check_revocation and url:
-        _scan_url(gpk, signature, url, context, engine)
+        if check_revocation and url:
+            _scan_url(gpk, signature, url, context, engine)
+    except (InvalidSignature, RevokedKeyError) as exc:
+        _note_verify_outcome(reg, start, exc)
+        raise
+    _note_verify_outcome(reg, start, None)
 
 
 def _verify_spk(gpk: GroupPublicKey, message: bytes,
@@ -533,6 +579,8 @@ def _verify_spk(gpk: GroupPublicKey, message: bytes,
     """
     group = gpk.group
     order = group.order
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
     u, v = context.u, context.v
     t1, t2, c = signature.t1, signature.t2, signature.c
     s_alpha, s_x, s_delta = (signature.s_alpha, signature.s_x,
@@ -557,6 +605,8 @@ def _verify_spk(gpk: GroupPublicKey, message: bytes,
     r3 = group.multi_exp([(t1, s_x), (u, -s_delta % order)])
 
     expected = _challenge(gpk, message, signature.r, t1, t2, r1, r2, r3)
+    if reg is not None:
+        reg.observe("groupsig.spk_seconds", reg.clock() - start)
     if expected != c:
         raise InvalidSignature("challenge mismatch (Eq.2 failed)")
 
@@ -580,25 +630,37 @@ def _scan_url(gpk: GroupPublicKey, signature: GroupSignature,
     """
     group = gpk.group
     u_hat, v_hat = context.u_hat, context.v_hat
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
+    hit: Optional[int] = None
     if engine is None or len(url) < 2:
         # The tag rewrite only pays for itself from the second token on.
         for token_index, token in enumerate(url):
             if _token_encoded(group, signature, token, u_hat, v_hat):
-                raise _revoked_error(token_index)
-        return
-    curve = group.curve
-    u_table = context.u_table
-    if u_table is None:
-        u_table = group.make_pairing_table(u_hat)
-    if context.v_table is not None:
-        t1_side = context.v_table.pairing(signature.t1.point)
+                hit = token_index
+                break
     else:
-        t1_side = tate_pairing(curve, signature.t1.point, v_hat.point)
-    tau = u_table.pairing(signature.t2.point) * t1_side.inverse()
-    for token_index, token in enumerate(url):
-        instrument.note("pairing", 2)
-        if u_table.pairing(token.a.point) == tau:
-            raise _revoked_error(token_index)
+        curve = group.curve
+        u_table = context.u_table
+        if u_table is None:
+            u_table = group.make_pairing_table(u_hat)
+        if context.v_table is not None:
+            t1_side = context.v_table.pairing(signature.t1.point)
+        else:
+            t1_side = tate_pairing(curve, signature.t1.point, v_hat.point)
+        tau = u_table.pairing(signature.t2.point) * t1_side.inverse()
+        for token_index, token in enumerate(url):
+            instrument.note("pairing", 2)
+            if u_table.pairing(token.a.point) == tau:
+                hit = token_index
+                break
+    if reg is not None:
+        examined = len(url) if hit is None else hit + 1
+        reg.counter("groupsig.scan_tokens_total", examined)
+        reg.counter("groupsig.scan_total")
+        reg.observe("groupsig.scan_seconds", reg.clock() - start)
+    if hit is not None:
+        raise _revoked_error(hit)
 
 
 def _revoked_error(token_index: int) -> RevokedKeyError:
@@ -657,6 +719,8 @@ def verify_batch(gpk: GroupPublicKey,
     """
     group = gpk.group
     engine = gpk.engine if use_engine else None
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
     results: List[Optional[Exception]] = [None] * len(batch)
 
     live: List[int] = []
@@ -710,6 +774,17 @@ def verify_batch(gpk: GroupPublicKey,
                 _scan_url(gpk, signature, url, context, engine)
         except (InvalidSignature, RevokedKeyError) as exc:
             results[index] = exc
+    if reg is not None:
+        reg.counter("groupsig.verify_batch_total")
+        reg.counter("groupsig.verify_batch_items_total", len(batch))
+        reg.observe("groupsig.verify_batch_seconds", reg.clock() - start)
+        for error in results:
+            if error is None:
+                reg.counter("groupsig.verify_accept_total")
+            elif isinstance(error, RevokedKeyError):
+                reg.counter("groupsig.verify_reject_revoked_total")
+            else:
+                reg.counter("groupsig.verify_reject_invalid_total")
     return results
 
 
@@ -731,6 +806,20 @@ def verify_one(gpk: GroupPublicKey, message: bytes,
     """
     group = gpk.group
     engine = gpk.engine if use_engine else None
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
+    error = _classify_one(gpk, message, signature, url, period,
+                          check_revocation, engine, group)
+    _note_verify_outcome(reg, start, error)
+    return error
+
+
+def _classify_one(gpk: GroupPublicKey, message: bytes,
+                  signature: GroupSignature,
+                  url: Sequence[RevocationToken],
+                  period: Optional[bytes], check_revocation: bool,
+                  engine: Optional["CryptoEngine"],
+                  group: PairingGroup) -> Optional[Exception]:
     t1, t2 = signature.t1, signature.t2
     if t1.is_identity() or t2.is_identity():
         return InvalidSignature("degenerate T1/T2")

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.verifier_pool import VerifierPool
 
+from repro import obs
 from repro.core import groupsig
 from repro.core.certs import CertificateRevocationList, UserRevocationList
 from repro.core.clock import Clock, SystemClock
@@ -109,6 +110,17 @@ class RouterAuthEngine:
                       "rejected_replay": 0, "rejected_signature": 0,
                       "rejected_revoked": 0, "rejected_puzzle": 0}
 
+    def _bump(self, key: str) -> None:
+        """Increment one protocol stat, mirrored into the obs registry.
+
+        The local ``stats`` dict keeps its exact historical behaviour
+        (tests and benchmarks read it); the ambient registry gets the
+        same event as ``router.<key>_total`` so a deployment-wide
+        report can aggregate across routers.
+        """
+        self.stats[key] += 1
+        obs.counter(f"router.{key}_total")
+
     # -- M.1 ----------------------------------------------------------------
 
     def make_beacon(self) -> Beacon:
@@ -135,7 +147,7 @@ class RouterAuthEngine:
                         beacon.ts1, signature, beacon.certificate,
                         beacon.crl, beacon.url, beacon.puzzle)
         self._outstanding[g_r_router.encode()] = (r_router, g, now, puzzle)
-        self.stats["beacons"] += 1
+        self._bump("beacons")
         return beacon
 
     def _expire_outstanding(self, now: float) -> None:
@@ -155,11 +167,11 @@ class RouterAuthEngine:
         """
         record = self._outstanding.get(request.g_r_router.encode())
         if record is None:
-            self.stats["rejected_replay"] += 1
+            self._bump("rejected_replay")
             raise ReplayError("unknown or expired g^r_R echo")
         r_router, _g, _issued, puzzle = record
         if abs(now - request.ts2) > self.ts_window:
-            self.stats["rejected_replay"] += 1
+            self._bump("rejected_replay")
             raise ReplayError("ts2 outside the acceptance window")
 
         # DoS defense: while under suspected attack the router requires
@@ -167,7 +179,7 @@ class RouterAuthEngine:
         # puzzle-free beacon is rejected cheaply rather than verified.
         if (puzzle is None and self.dos_policy is not None
                 and self.dos_policy.under_attack(now)):
-            self.stats["rejected_puzzle"] += 1
+            self._bump("rejected_puzzle")
             raise PuzzleError(
                 "puzzle required while under attack; re-request a beacon")
         # Verify the puzzle BEFORE any pairing operation.
@@ -175,13 +187,13 @@ class RouterAuthEngine:
             if request.puzzle_solution is None or not puzzles.verify_solution(
                     puzzle, request.puzzle_binding(),
                     request.puzzle_solution):
-                self.stats["rejected_puzzle"] += 1
+                self._bump("rejected_puzzle")
                 raise PuzzleError("missing or wrong puzzle solution")
 
         if (request.g_r_user.is_identity()
                 or not self.group.curve.in_subgroup(
                     request.g_r_user.point)):
-            self.stats["rejected_signature"] += 1
+            self._bump("rejected_signature")
             raise AuthenticationError(
                 "g^r_j degenerate or outside the subgroup")
         return r_router
@@ -205,7 +217,7 @@ class RouterAuthEngine:
             router_id=self.router_id, session_id=session_id,
             signed_payload=request.signed_payload(),
             group_signature=request.group_signature, timestamp=now))
-        self.stats["accepted"] += 1
+        self._bump("accepted")
         return confirm, session
 
     def process_request(self, request: AccessRequest
@@ -216,21 +228,29 @@ class RouterAuthEngine:
         rejection -- the attack benchmarks classify failures by type.
         """
         now = self.clock.now()
-        self.stats["requests"] += 1
-        r_router = self._precheck(request, now)
+        self._bump("requests")
+        reg = obs.active()
+        start = reg.clock() if reg is not None else 0.0
+        with obs.timer("router.precheck_seconds"):
+            r_router = self._precheck(request, now)
 
         url = self.url_provider()
         try:
-            groupsig.verify(self.gpk, request.signed_payload(),
-                            request.group_signature, url=url.tokens)
+            with obs.timer("router.verify_seconds"):
+                groupsig.verify(self.gpk, request.signed_payload(),
+                                request.group_signature, url=url.tokens)
         except groupsig.RevokedKeyError:
-            self.stats["rejected_revoked"] += 1
+            self._bump("rejected_revoked")
             raise
         except groupsig.InvalidSignature:
-            self.stats["rejected_signature"] += 1
+            self._bump("rejected_signature")
             raise
 
-        return self._accept(request, r_router, now)
+        with obs.timer("router.accept_seconds"):
+            outcome = self._accept(request, r_router, now)
+        if reg is not None:
+            reg.observe("router.handshake_seconds", reg.clock() - start)
+        return outcome
 
     def process_requests(self, requests: "list[AccessRequest]",
                          pool: "Optional[VerifierPool]" = None
@@ -257,12 +277,14 @@ class RouterAuthEngine:
         identical -- the pool buys wall-clock time only.
         """
         now = self.clock.now()
+        reg = obs.active()
+        start = reg.clock() if reg is not None else 0.0
         outcomes: "list[object]" = [None] * len(requests)
         r_routers: Dict[int, int] = {}
         batch = []
         positions = []
         for index, request in enumerate(requests):
-            self.stats["requests"] += 1
+            self._bump("requests")
             try:
                 r_routers[index] = self._precheck(request, now)
             except (ReplayError, PuzzleError, AuthenticationError) as exc:
@@ -284,11 +306,14 @@ class RouterAuthEngine:
                     outcomes[position] = self._accept(
                         requests[position], r_routers[position], now)
                 elif isinstance(error, groupsig.RevokedKeyError):
-                    self.stats["rejected_revoked"] += 1
+                    self._bump("rejected_revoked")
                     outcomes[position] = error
                 else:
-                    self.stats["rejected_signature"] += 1
+                    self._bump("rejected_signature")
                     outcomes[position] = error
+        if reg is not None:
+            reg.counter("router.batch_requests_total", len(requests))
+            reg.observe("router.batch_seconds", reg.clock() - start)
         return outcomes
 
 
@@ -316,6 +341,8 @@ class UserAuthEngine:
                        ) -> Tuple[AccessRequest, PendingUserSession]:
         """Step 2 of Section IV.B: full beacon validation, then M.2."""
         now = self.clock.now()
+        reg = obs.active()
+        start = reg.clock() if reg is not None else 0.0
         if abs(now - beacon.ts1) > self.ts_window:
             raise ReplayError("beacon ts1 outside the acceptance window")
         beacon.certificate.validate(self.operator_key, now)
@@ -335,6 +362,8 @@ class UserAuthEngine:
         if not (curve.in_subgroup(beacon.g.point)
                 and curve.in_subgroup(beacon.g_r_router.point)):
             raise ProtocolError("beacon DH values outside the subgroup")
+        if reg is not None:
+            reg.observe("user.beacon_validate_seconds", reg.clock() - start)
 
         r_user = self.group.random_scalar(self.rng)
         g_r_user = beacon.g ** r_user
@@ -360,6 +389,9 @@ class UserAuthEngine:
         pending = PendingUserSession(
             router_id=beacon.router_id, r_user=r_user, g_r_user=g_r_user,
             g_r_router=beacon.g_r_router, session=session)
+        if reg is not None:
+            reg.counter("user.requests_built_total")
+            reg.observe("user.process_beacon_seconds", reg.clock() - start)
         return request, pending
 
     # -- validate M.3 ------------------------------------------------------
@@ -367,14 +399,16 @@ class UserAuthEngine:
     def complete(self, pending: PendingUserSession,
                  confirm: AccessConfirm) -> SecureSession:
         """Step 3.4 receipt: open E_K(MR_k, g^r_j, g^r_R), check contents."""
-        if (confirm.g_r_user != pending.g_r_user
-                or confirm.g_r_router != pending.g_r_router):
-            raise ProtocolError("confirm echoes the wrong DH values")
-        payload = pending.session.open_handshake(confirm.sealed)
-        expected = (Writer().string(pending.router_id)
-                    .var(pending.g_r_user.encode())
-                    .var(pending.g_r_router.encode())
-                    .done())
-        if payload != expected:
-            raise AuthenticationError("confirm payload mismatch")
+        with obs.timer("user.complete_seconds"):
+            if (confirm.g_r_user != pending.g_r_user
+                    or confirm.g_r_router != pending.g_r_router):
+                raise ProtocolError("confirm echoes the wrong DH values")
+            payload = pending.session.open_handshake(confirm.sealed)
+            expected = (Writer().string(pending.router_id)
+                        .var(pending.g_r_user.encode())
+                        .var(pending.g_r_router.encode())
+                        .done())
+            if payload != expected:
+                raise AuthenticationError("confirm payload mismatch")
+        obs.counter("user.handshakes_completed_total")
         return pending.session

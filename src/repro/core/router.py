@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Optional, Tuple
 
+from repro import obs
 from repro.core.certs import (
     CertificateRevocationList,
     RouterCertificate,
@@ -64,8 +65,10 @@ class MeshRouter:
         (a revoked router can no longer obtain fresh lists)."""
         if self._cut_off:
             return
-        self._crl = self.operator.issue_crl()
-        self._url = self.operator.issue_url()
+        with obs.timer("router.list_refresh_seconds"):
+            self._crl = self.operator.issue_crl()
+            self._url = self.operator.issue_url()
+        obs.counter("router.list_refresh_total")
 
     def sever_operator_channel(self) -> None:
         """Called when NO revokes this router: no more fresh lists."""

@@ -39,7 +39,7 @@ import os
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import instrument
+from repro import instrument, obs
 from repro.core import groupsig
 from repro.core.groupsig import (
     GroupPublicKey,
@@ -243,6 +243,8 @@ class VerifierPool:
         """
         if not batch:
             return []
+        reg = obs.active()
+        batch_start = reg.clock() if reg is not None else 0.0
         chunks: List[List[Tuple[int, bytes, GroupSignature]]] = []
         for start in range(0, len(batch), self.chunk_size):
             chunks.append([(index, message, signature)
@@ -258,30 +260,50 @@ class VerifierPool:
                 for event, amount in ops.items():
                     instrument.note(event, amount)
 
-        def run_serial(chunk) -> None:
-            self.serial_fallbacks += 1
+        def finish_batch() -> List[Optional[Exception]]:
+            if reg is not None:
+                reg.counter("pool.batches_total")
+                reg.counter("pool.batch_items_total", len(batch))
+                reg.observe("pool.batch_seconds",
+                            reg.clock() - batch_start)
+                reg.gauge("pool.serial_fallbacks", self.serial_fallbacks)
+            return results
+
+        def run_serial(chunk, fallback: bool = True) -> None:
+            if fallback:
+                self.serial_fallbacks += 1
+            start = reg.clock() if reg is not None else 0.0
             absorb(_run_chunk(self.gpk, self.tokens, chunk, period,
                               check_revocation))
+            if reg is not None:
+                kind = "fallback" if fallback else "serial"
+                reg.counter(f"pool.chunks_{kind}_total")
+                reg.observe("pool.chunk_seconds", reg.clock() - start)
 
         if self._pool is None:
             for chunk in chunks:
-                absorb(_run_chunk(self.gpk, self.tokens, chunk, period,
-                                  check_revocation))
-            return results
+                run_serial(chunk, fallback=False)
+            return finish_batch()
 
-        pending: "deque" = deque()  # (chunk, AsyncResult), oldest first
+        pending: "deque" = deque()  # (chunk, handle, submitted_at)
         pool_healthy = True
         remaining = iter(chunks)
 
         def collect_oldest() -> None:
             nonlocal pool_healthy
-            chunk, handle = pending.popleft()
+            chunk, handle, submitted = pending.popleft()
             try:
                 absorb(handle.get(self.task_timeout))
+                if reg is not None:
+                    reg.counter("pool.chunks_parallel_total")
+                    reg.observe("pool.chunk_seconds",
+                                reg.clock() - submitted)
             except Exception:
                 # Timeout or a dead/poisoned worker: this chunk (and,
                 # via pool_healthy, the rest of the batch) runs here.
                 pool_healthy = False
+                if reg is not None:
+                    reg.counter("pool.chunk_failures_total")
                 run_serial(chunk)
 
         for chunk in remaining:
@@ -296,15 +318,18 @@ class VerifierPool:
             except Exception:
                 # Pool already closed/terminated under us.
                 pool_healthy = False
+                if reg is not None:
+                    reg.counter("pool.submit_failures_total")
                 run_serial(chunk)
                 continue
-            pending.append((chunk, handle))
+            pending.append((chunk, handle,
+                            reg.clock() if reg is not None else 0.0))
             if len(pending) >= self.max_inflight:
                 collect_oldest()
         while pending:
             if pool_healthy:
                 collect_oldest()
             else:
-                chunk, handle = pending.popleft()
+                chunk, _handle, _submitted = pending.popleft()
                 run_serial(chunk)
-        return results
+        return finish_batch()

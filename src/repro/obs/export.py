@@ -1,0 +1,93 @@
+"""Snapshot exporters: JSON and Prometheus text exposition format.
+
+Both operate on the plain-data snapshot (``registry.snapshot()`` or
+any merge of snapshots), never on a live registry, so exporting is
+race-free and works on snapshots shipped across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def to_json(snapshot: Dict[str, object], indent: int = 2) -> str:
+    """Render a snapshot as JSON (NaN/inf-free, diff-friendly keys)."""
+
+    def clean(value):
+        if isinstance(value, float) and not math.isfinite(value):
+            return None
+        if isinstance(value, dict):
+            return {k: clean(v) for k, v in sorted(value.items())}
+        if isinstance(value, (list, tuple)):
+            return [clean(v) for v in value]
+        return value
+
+    return json.dumps(clean(snapshot), indent=indent, sort_keys=True)
+
+
+def _sanitize(name: str, namespace: str) -> str:
+    metric = _NAME_OK.sub("_", name)
+    return f"{namespace}_{metric}" if namespace else metric
+
+
+def _format_value(value: float) -> str:
+    if value != value:                    # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    formatted = repr(float(value))
+    return formatted
+
+
+def to_prometheus(snapshot: Dict[str, object],
+                  namespace: str = "repro") -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms emit the standard
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Spans are aggregated per name into a counter of
+    occurrences and a total-duration counter (span-level detail stays
+    in the JSON export; Prometheus is for aggregates).
+    """
+    lines = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _sanitize(name, namespace)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _sanitize(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        metric = _sanitize(name, namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f'{metric}_sum {_format_value(hist["sum"])}')
+        lines.append(f'{metric}_count {hist["count"]}')
+
+    span_totals: Dict[str, list] = {}
+    for record in snapshot.get("spans", {}).get("records", ()):
+        entry = span_totals.setdefault(str(record["name"]), [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(record["duration"])
+    for name, (count, total) in sorted(span_totals.items()):
+        metric = _sanitize(f"span_{name}", namespace)
+        lines.append(f"# TYPE {metric}_total counter")
+        lines.append(f"{metric}_total {count}")
+        lines.append(f"# TYPE {metric}_seconds_total counter")
+        lines.append(f"{metric}_seconds_total {_format_value(total)}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

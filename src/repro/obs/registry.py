@@ -1,0 +1,318 @@
+"""The metrics registry: counters, gauges, histograms, timers, spans.
+
+See the package docstring for the contract.  Everything here is pure
+Python with no imports from higher layers, so any module in the
+package may report into the ambient registry.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.spans import SpanLog, _OpenSpan
+
+#: Default histogram bucket upper bounds (seconds).  Geometric-ish
+#: 1-2.5-5 ladder from 100 microseconds to 10 seconds: wide enough for
+#: a TEST-preset sign (~ms) and an SS512 revocation scan (~100 ms)
+#: to land mid-range, cheap enough (17 buckets) to merge constantly.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _as_callable(clock) -> Callable[[], float]:
+    """Accept a ``Clock``-like (has ``.now()``), a callable, or None."""
+    if clock is None:
+        return time.perf_counter
+    now = getattr(clock, "now", None)
+    if now is not None and callable(now):
+        return now
+    if callable(clock):
+        return clock
+    raise TypeError("clock must expose .now() or be callable")
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max sidecars.
+
+    ``bounds`` are inclusive upper bounds; one implicit overflow bucket
+    (``+Inf``) catches the rest, so ``len(counts) == len(bounds) + 1``
+    and the bucket layout is mergeable iff the bounds match.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                 ) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError("histogram bounds must be sorted and unique")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "sum": self.sum, "count": self.count,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None}
+
+    def merge(self, snap: Dict[str, object]) -> None:
+        if list(snap["bounds"]) != list(self.bounds):
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(snap["counts"]):
+            self.counts[i] += int(c)
+        self.sum += float(snap["sum"])
+        self.count += int(snap["count"])
+        if snap.get("min") is not None:
+            self.min = min(self.min, float(snap["min"]))
+        if snap.get("max") is not None:
+            self.max = max(self.max, float(snap["max"]))
+
+
+class MetricsRegistry:
+    """Thread-safe collector for one observation session.
+
+    ``clock`` drives timers and span timestamps: pass a
+    :class:`repro.core.clock.Clock` (anything with ``.now()``) or a
+    bare callable; ``None`` means wall-clock ``time.perf_counter``.
+    """
+
+    def __init__(self, clock=None,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 max_spans: int = 2048) -> None:
+        self.clock: Callable[[], float] = _as_callable(clock)
+        self.default_buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans = SpanLog(max_spans=max_spans)
+
+    # -- updates --------------------------------------------------------
+
+    def counter(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the monotonically increasing ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the last-write-wins level ``name``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        """Record one sample into the histogram ``name``.
+
+        The bucket layout is fixed at the histogram's first
+        observation; a later conflicting ``buckets`` argument is
+        ignored (layout churn would break merging).
+        """
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(buckets or self.default_buckets)
+                self._histograms[name] = histogram
+            histogram.observe(value)
+
+    @contextmanager
+    def timer(self, name: str,
+              buckets: Optional[Sequence[float]] = None):
+        """Time a ``with`` block into the histogram ``name``."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.observe(name, self.clock() - start, buckets=buckets)
+
+    def span(self, name: str, **attrs: object) -> _OpenSpan:
+        """Open a trace span (context manager) named ``name``."""
+        return self._spans.span(self.clock, name, **attrs)
+
+    # -- reads ----------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram_snapshot(self, name: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.snapshot() if histogram else None
+
+    def spans(self):
+        """Finished :class:`~repro.obs.spans.SpanRecord` list, oldest first."""
+        return self._spans.records()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of everything collected so far."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: h.snapshot()
+                               for name, h in self._histograms.items()},
+                "spans": self._spans.snapshot(),
+            }
+
+    # -- merging --------------------------------------------------------
+
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add, gauges last-write-win, histograms merge
+        bucket-wise (the layouts must match), spans concatenate under
+        the bound.  This is how per-process and per-node observations
+        aggregate into one report.
+        """
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(snap.get("gauges", {}))
+            for name, histogram_snap in snap.get("histograms", {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = Histogram(histogram_snap["bounds"])
+                    self._histograms[name] = histogram
+                histogram.merge(histogram_snap)
+        self._spans.merge_snapshot(snap.get("spans", {}))
+
+
+def merge_snapshots(snaps: Iterable[Dict[str, object]],
+                    clock=None) -> MetricsRegistry:
+    """Build one registry holding the union of ``snaps``."""
+    registry = MetricsRegistry(clock=clock)
+    for snap in snaps:
+        registry.merge_snapshot(snap)
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# The ambient registry (the hot-path hook surface)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` (collection disabled).
+
+    This is THE hot-path hook: instrumented code does
+    ``reg = obs.active()`` once, then guards every further touch with
+    ``if reg is not None`` -- so the disabled path costs one call and
+    one comparison per instrumented site.
+    """
+    return _ACTIVE
+
+
+def install(registry: Optional[MetricsRegistry]
+            ) -> Optional[MetricsRegistry]:
+    """Make ``registry`` ambient; returns the previous one (restorable)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+def uninstall() -> None:
+    """Disable collection (idempotent)."""
+    install(None)
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None, clock=None):
+    """Install a registry for the dynamic extent; yields it.
+
+    With no argument a fresh :class:`MetricsRegistry` is created.  The
+    previously installed registry (if any) is restored on exit, so
+    scopes nest the way :func:`repro.instrument.count_operations` does.
+    """
+    registry = registry if registry is not None \
+        else MetricsRegistry(clock=clock)
+    previous = install(registry)
+    try:
+        yield registry
+    finally:
+        install(previous)
+
+
+# -- no-op-safe conveniences (for warm paths, not inner loops) ----------
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def counter(name: str, amount: float = 1) -> None:
+    """Ambient counter add; no-op when collection is disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.counter(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Ambient gauge set; no-op when collection is disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.gauge(name, value)
+
+
+def observe(name: str, value: float,
+            buckets: Optional[Sequence[float]] = None) -> None:
+    """Ambient histogram sample; no-op when collection is disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.observe(name, value, buckets=buckets)
+
+
+def span(name: str, **attrs: object):
+    """Ambient trace span; a shared do-nothing manager when disabled."""
+    registry = _ACTIVE
+    if registry is None:
+        return _NULL_SPAN
+    return registry.span(name, **attrs)
+
+
+@contextmanager
+def timer(name: str):
+    """Ambient timer; near-free when disabled (no clock reads)."""
+    registry = _ACTIVE
+    if registry is None:
+        yield
+        return
+    start = registry.clock()
+    try:
+        yield
+    finally:
+        registry.observe(name, registry.clock() - start)

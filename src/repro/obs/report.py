@@ -1,0 +1,81 @@
+"""Build an observability report from a short representative workload.
+
+This is the library half of the ``python -m repro obs-report`` CLI
+(:mod:`repro.__main__` owns the actual printing -- nothing in the
+package body writes to stdout).  It runs a small but end-to-end
+workload -- deployment setup, a handful of anonymous user-router
+handshakes including a batch, session data, and a revocation rejection
+-- under a fresh :class:`~repro.obs.registry.MetricsRegistry`, then
+renders the collected metrics in the requested exporter format.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import obs
+
+#: Formats understood by :func:`render_report`.
+FORMATS = ("json", "prom")
+
+
+def collect_demo_metrics(preset: str = "TEST", handshakes: int = 4,
+                         registry: Optional["obs.MetricsRegistry"] = None,
+                         seed: int = 7) -> "obs.MetricsRegistry":
+    """Run the representative workload; return the filled registry."""
+    from repro.core.deployment import Deployment   # deferred: heavy import
+    from repro.errors import RevokedKeyError
+
+    registry = registry or obs.MetricsRegistry()
+    with obs.collecting(registry):
+        with registry.span("obs-report.setup", preset=preset):
+            deployment = Deployment.build(
+                preset=preset, seed=seed,
+                groups={"Company X": 4, "University Z": 4},
+                users=[("alice", ["Company X"]),
+                       ("bob", ["University Z"])],
+                routers=["MR-1"])
+        router = deployment.routers["MR-1"]
+        names = ["alice", "bob"]
+        for index in range(max(1, handshakes)):
+            user = deployment.users[names[index % len(names)]]
+            with registry.span("obs-report.handshake", n=index):
+                beacon = router.make_beacon()
+                request, pending = user.connect_to_router(beacon)
+                confirm, router_session = router.process_request(request)
+                session = user.complete_router_handshake(pending, confirm)
+            router_session.receive(session.send(b"obs probe %d" % index))
+        # One batch through the router's batch path, then a revocation
+        # rejection so the reject counters are non-trivial.
+        beacons = [router.make_beacon() for _ in range(2)]
+        batch = [deployment.users[names[i % 2]]
+                 .connect_to_router(beacons[i])[0]
+                 for i in range(2)]
+        router.process_request_batch(batch)
+        index = deployment.users["bob"].credentials["University Z"].index
+        deployment.operator.revoke_user_key(index)
+        router.refresh_lists()
+        try:
+            deployment.connect("bob", "MR-1")
+        except RevokedKeyError:
+            pass
+    return registry
+
+
+def render_snapshot(snapshot, fmt: str = "json") -> str:
+    """Render an already-collected snapshot in ``fmt``."""
+    if fmt == "json":
+        return obs.to_json(snapshot)
+    if fmt == "prom":
+        return obs.to_prometheus(snapshot)
+    raise ValueError(f"unknown report format {fmt!r}; pick from {FORMATS}")
+
+
+def render_report(fmt: str = "json", preset: str = "TEST",
+                  handshakes: int = 4, seed: int = 7) -> str:
+    """Collect the demo workload's metrics and render them."""
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown report format {fmt!r}; pick from {FORMATS}")
+    registry = collect_demo_metrics(preset=preset, handshakes=handshakes,
+                                    seed=seed)
+    return render_snapshot(registry.snapshot(), fmt)

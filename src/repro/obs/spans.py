@@ -1,0 +1,123 @@
+"""Lightweight trace spans for the observability registry.
+
+A span is one timed region with a name, optional attributes, and a
+parent (the span that was open on the same thread when it started).
+Spans answer "what did *this particular* handshake spend its time on"
+where histograms only answer "what do handshakes cost in aggregate".
+
+The recorder is bounded: once ``max_spans`` records accumulate, new
+spans are counted but dropped (``dropped`` in the snapshot), so a
+long-running router cannot leak memory through tracing.  Parent links
+are tracked per thread; records from different threads or processes
+merge by concatenation under the same bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as plain data (snapshot/merge friendly)."""
+
+    name: str
+    start: float
+    duration: float
+    parent: Optional[str]
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "start": self.start,
+                "duration": self.duration, "parent": self.parent,
+                "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
+        return cls(name=str(data["name"]), start=float(data["start"]),
+                   duration=float(data["duration"]),
+                   parent=data.get("parent"),
+                   attrs=tuple(sorted(dict(data.get("attrs", {})).items())))
+
+
+class _OpenSpan:
+    """Context manager for one live span; created by :class:`SpanLog`."""
+
+    __slots__ = ("_log", "_clock", "name", "attrs", "_start", "_parent")
+
+    def __init__(self, log: "SpanLog", clock, name: str,
+                 attrs: Tuple[Tuple[str, str], ...]) -> None:
+        self._log = log
+        self._clock = clock
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._parent: Optional[str] = None
+
+    def __enter__(self) -> "_OpenSpan":
+        stack = self._log._stack()
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = self._clock()
+        stack = self._log._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._log.record(SpanRecord(
+            name=self.name, start=self._start,
+            duration=end - self._start, parent=self._parent,
+            attrs=self.attrs))
+
+
+class SpanLog:
+    """Bounded, thread-safe store of finished :class:`SpanRecord`\\ s."""
+
+    def __init__(self, max_spans: int = 2048) -> None:
+        self.max_spans = max_spans
+        self._records: List[SpanRecord] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, clock, name: str, **attrs: object) -> _OpenSpan:
+        encoded = tuple(sorted((k, str(v)) for k, v in attrs.items()))
+        return _OpenSpan(self, clock, name, encoded)
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= self.max_spans:
+                self._dropped += 1
+            else:
+                self._records.append(record)
+
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {"records": [r.to_dict() for r in self._records],
+                    "dropped": self._dropped}
+
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        records = [SpanRecord.from_dict(d) for d in snap.get("records", ())]
+        dropped = int(snap.get("dropped", 0))
+        with self._lock:
+            self._dropped += dropped
+            for record in records:
+                if len(self._records) >= self.max_spans:
+                    self._dropped += 1
+                else:
+                    self._records.append(record)

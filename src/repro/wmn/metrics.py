@@ -1,10 +1,19 @@
-"""Metric aggregation across simulator nodes."""
+"""Metric aggregation across simulator nodes.
+
+Delay samples and per-node counters accumulate locally (simulation
+results must not depend on whether observability is on); the
+``publish``/``counters_to_registry`` helpers push finished aggregates
+onto a :mod:`repro.obs` registry so simulator output and the crypto
+layer's metrics land in one snapshot.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro import obs
 
 
 def mean(values: Sequence[float]) -> float:
@@ -47,6 +56,15 @@ class HandshakeStats:
             "max": max(self.samples) if self.samples else math.nan,
         }
 
+    def publish(self, registry: Optional["obs.MetricsRegistry"] = None,
+                name: str = "wmn.auth_delay_seconds") -> None:
+        """Observe every sample into ``registry`` (default: ambient)."""
+        registry = registry if registry is not None else obs.active()
+        if registry is None:
+            return
+        for value in self.samples:
+            registry.observe(name, value)
+
 
 def merge_counters(counters: Iterable[Dict[str, float]]) -> Dict[str, float]:
     """Key-wise sum of node metric dictionaries."""
@@ -55,3 +73,18 @@ def merge_counters(counters: Iterable[Dict[str, float]]) -> Dict[str, float]:
         for key, value in counter.items():
             total[key] = total.get(key, 0) + value
     return total
+
+
+def counters_to_registry(counters: Dict[str, float], prefix: str,
+                         registry: Optional["obs.MetricsRegistry"] = None
+                         ) -> None:
+    """Publish a merged counter dict as ``<prefix>.<key>`` gauges.
+
+    Gauges, not counters: node dicts are cumulative totals, and
+    re-publishing after another ``run()`` must overwrite, not double.
+    """
+    registry = registry if registry is not None else obs.active()
+    if registry is None:
+        return
+    for key, value in counters.items():
+        registry.gauge(f"{prefix}.{key}", float(value))

@@ -20,6 +20,7 @@ import random
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.messages import (
     AccessConfirm,
     AccessRequest,
@@ -406,6 +407,8 @@ class SimUser(SimNode):
         delay = self.loop.now - self._attempt_started
         self.auth_delays.append(delay)
         self.metrics["auth_delay_sum"] += delay
+        obs.counter("wmn.handshakes_total")
+        obs.observe("wmn.auth_delay_seconds", delay)
         self._pending = None
         if self.data_interval is not None:
             self.loop.schedule_every(self.data_interval, self._send_data,

@@ -17,7 +17,11 @@ from repro.core.deployment import Deployment
 from repro.core.protocols.dos import DosPolicy
 from repro.core.router import MeshRouter
 from repro.wmn.costmodel import CostModel
-from repro.wmn.metrics import HandshakeStats, merge_counters
+from repro.wmn.metrics import (
+    HandshakeStats,
+    counters_to_registry,
+    merge_counters,
+)
 from repro.wmn.backbone import BackboneNetwork, UplinkDirectory
 from repro.wmn.mobility import RandomWaypoint
 from repro.wmn.nodes import SimMeshRouter, SimUser
@@ -148,3 +152,22 @@ class Scenario:
         if not users:
             return 0.0
         return sum(1 for u in users if u.state == "connected") / len(users)
+
+    def publish_metrics(self, registry=None) -> None:
+        """Push simulator aggregates onto a :mod:`repro.obs` registry.
+
+        Node counters become ``wmn.router.<key>`` / ``wmn.user.<key>``
+        gauges; handshake delays land in the shared
+        ``wmn.auth_delay_seconds`` histogram (the same series the live
+        nodes feed when a registry is installed during ``run()``).
+        Safe to call repeatedly -- gauges overwrite, they never double.
+        """
+        from repro import obs
+        registry = registry if registry is not None else obs.active()
+        if registry is None:
+            return
+        counters_to_registry(self.router_metrics(), "wmn.router", registry)
+        counters_to_registry(self.user_metrics(), "wmn.user", registry)
+        registry.gauge("wmn.connected_fraction", self.connected_fraction())
+        if registry.histogram_snapshot("wmn.auth_delay_seconds") is None:
+            self.handshake_stats().publish(registry)

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.errors import SimulationError
 
 #: Relative hourly intensity of a residential metro network: quiet
@@ -126,6 +127,7 @@ class WorkloadDriver:
                                     day_anchor=self.day_anchor)
         for when in arrivals:
             loop.schedule_at(when, self._start_session)
+        obs.counter("wmn.arrivals_total", len(arrivals))
         return len(arrivals)
 
     def _start_session(self) -> None:
@@ -138,6 +140,7 @@ class WorkloadDriver:
         user = self.rng.choice(idle)
         user.auto_connect = True     # picks up the next beacon
         self.sessions_started += 1
+        obs.counter("wmn.sessions_started_total")
         self.scenario.loop.schedule(self.session_duration / 2,
                                     lambda: self._burst(user))
 
@@ -153,3 +156,4 @@ class WorkloadDriver:
         for _ in range(self.burst_packets):
             user._send_data()
         self.bursts_sent += 1
+        obs.counter("wmn.bursts_total")

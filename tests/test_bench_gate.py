@@ -1,0 +1,140 @@
+"""Unit tests for scripts/bench_gate.py (tolerance logic + exit codes).
+
+The gate's compare logic is exercised on synthetic baselines; the
+end-to-end path (actually re-running benches) runs in CI via
+``bench_gate.py --smoke`` and is deliberately not repeated here.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "scripts", "bench_gate.py"))
+bench_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_gate)
+
+
+class TestCheckMetric:
+    def test_exact_pass_and_fail(self):
+        rule = {"kind": "exact"}
+        assert bench_gate.check_metric("m", rule, 131, 131) is None
+        assert "expected 131" in bench_gate.check_metric("m", rule, 131, 140)
+
+    def test_exact_is_type_strict_enough_for_counts(self):
+        rule = {"kind": "exact"}
+        assert bench_gate.check_metric("m", rule, 3, 3.0) is None  # == holds
+
+    def test_missing_fresh_value_fails(self):
+        message = bench_gate.check_metric("m", {"kind": "exact"}, 5, None)
+        assert "missing" in message
+
+    def test_min_ratio(self):
+        rule = {"kind": "min_ratio", "ratio": 0.5}
+        assert bench_gate.check_metric("speedup", rule, 4.0, 2.1) is None
+        assert bench_gate.check_metric("speedup", rule, 4.0, 1.9) is not None
+
+    def test_max_ratio(self):
+        rule = {"kind": "max_ratio", "ratio": 1.5}
+        assert bench_gate.check_metric("lat", rule, 1.0, 1.4) is None
+        assert bench_gate.check_metric("lat", rule, 1.0, 1.6) is not None
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            bench_gate.check_metric("m", {"kind": "median"}, 1, 1)
+
+
+class TestCompare:
+    BASE = {"values": {"bytes_M_2": 132, "speedup": 4.0, "note": "x"}}
+    GATES = {"bytes_M_2": {"kind": "exact"},
+             "speedup": {"kind": "min_ratio", "ratio": 0.5}}
+
+    def test_all_pass(self):
+        fresh = {"values": {"bytes_M_2": 132, "speedup": 3.0}}
+        result = bench_gate.compare("X", self.BASE, fresh, self.GATES)
+        assert result["ok"]
+        assert sorted(result["checked"]) == ["bytes_M_2", "speedup"]
+        assert result["failures"] == []
+
+    def test_regression_reported(self):
+        fresh = {"values": {"bytes_M_2": 140, "speedup": 3.0}}
+        result = bench_gate.compare("X", self.BASE, fresh, self.GATES)
+        assert not result["ok"]
+        assert len(result["failures"]) == 1
+        assert "bytes_M_2" in result["failures"][0]
+
+    def test_ungated_metrics_are_informational(self):
+        fresh = {"values": {"bytes_M_2": 132, "speedup": 3.0, "note": "y"}}
+        result = bench_gate.compare("X", self.BASE, fresh, self.GATES)
+        assert result["ok"]
+        assert result["informational"]["note"] == {"baseline": "x",
+                                                   "fresh": "y"}
+
+    def test_gate_without_baseline_is_an_error(self):
+        gates = dict(self.GATES, phantom={"kind": "exact"})
+        fresh = {"values": {"bytes_M_2": 132, "speedup": 3.0}}
+        result = bench_gate.compare("X", self.BASE, fresh, gates)
+        assert not result["ok"]
+        assert any("absent from baseline" in f for f in result["failures"])
+
+    def test_default_gates_cover_committed_baselines(self):
+        """Every gated metric exists in its committed BENCH file."""
+        for slug, gates in bench_gate.GATES.items():
+            path = os.path.join(bench_gate.REPO_ROOT, f"BENCH_{slug}.json")
+            with open(path) as handle:
+                values = json.load(handle)["values"]
+            missing = sorted(set(gates) - set(values))
+            assert not missing, f"{slug}: gates without baseline {missing}"
+
+
+class TestMainExitCodes:
+    def _write(self, directory, slug, values):
+        path = os.path.join(directory, f"BENCH_{slug}.json")
+        with open(path, "w") as handle:
+            json.dump({"experiment": slug, "tables": [],
+                       "values": values}, handle)
+
+    def _baseline_values(self, slug):
+        path = os.path.join(bench_gate.REPO_ROOT, f"BENCH_{slug}.json")
+        with open(path) as handle:
+            return json.load(handle)["values"]
+
+    def test_smoke_pass_with_identical_fresh_values(self, tmp_path):
+        self._write(str(tmp_path), "E4", self._baseline_values("E4"))
+        out = tmp_path / "gate.json"
+        code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path),
+                                "--json", str(out)])
+        assert code == 0
+        summary = json.loads(out.read_text())
+        assert summary["ok"] and summary["mode"] == "smoke"
+
+    def test_smoke_fails_on_regressed_metric(self, tmp_path):
+        values = dict(self._baseline_values("E4"))
+        values["bytes_M_2"] = values["bytes_M_2"] + 8   # "grew the wire"
+        self._write(str(tmp_path), "E4", values)
+        out = tmp_path / "gate.json"
+        code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path),
+                                "--json", str(out)])
+        assert code != 0
+        summary = json.loads(out.read_text())
+        assert not summary["ok"]
+        failures = summary["results"][0]["failures"]
+        assert any("bytes_M_2" in f for f in failures)
+
+    def test_missing_fresh_file_fails(self, tmp_path):
+        code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path)])
+        assert code != 0
+
+    def test_full_mode_checks_both_experiments(self, tmp_path):
+        self._write(str(tmp_path), "E4", self._baseline_values("E4"))
+        self._write(str(tmp_path), "E2", self._baseline_values("E2"))
+        out = tmp_path / "gate.json"
+        code = bench_gate.main(["--fresh-dir", str(tmp_path),
+                                "--json", str(out)])
+        assert code == 0
+        summary = json.loads(out.read_text())
+        assert [r["experiment"] for r in summary["results"]] == ["E4", "E2"]
