@@ -19,7 +19,8 @@ Modes:
 
 * ``--smoke``  -- E4 only: TEST-preset message sizes, deterministic
   and fast (seconds).  This is the CI pull-request gate.
-* default      -- E4 plus E2 (SS512 operation counts; slower).
+* default      -- E4 plus E2 (SS512 operation counts; slower) plus the
+  virtual-time handshake-loss sweep (exact completion counts).
 
 Exit status is non-zero when any gated metric regresses beyond its
 tolerance, when a fresh value for a gated metric is missing, or when
@@ -43,6 +44,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_TARGETS: Dict[str, List[str]] = {
     "E4": ["benchmarks/bench_handshake.py::test_e4_rounds_and_bytes"],
     "E2": ["benchmarks/bench_op_counts.py::test_e2_operation_count_table"],
+    "handshake_loss": [
+        "benchmarks/bench_handshake_loss.py::test_handshake_loss_sweep"],
 }
 
 #: slug -> metric -> rule.  A rule is ``{"kind": "exact"}`` or
@@ -72,6 +75,15 @@ GATES: Dict[str, Dict[str, dict]] = {
         "verify_url10_pair": {"kind": "exact"},
         "fast_verify_exp": {"kind": "exact"},
         "fast_verify_pair": {"kind": "exact"},
+    },
+    # The loss sweep runs entirely in virtual time on seeded RNGs, so
+    # completion / attempt / retransmit counts are bit-deterministic;
+    # median delays stay informational (float formatting only).
+    "handshake_loss": {
+        f"{metric}_loss{loss}_retry_{mode}": {"kind": "exact"}
+        for metric in ("completed", "attempts", "retransmits")
+        for loss in (0, 5, 15, 30)
+        for mode in ("off", "on")
     },
 }
 
@@ -163,7 +175,7 @@ def main(argv=None) -> int:
                         help="write the full comparison result here")
     args = parser.parse_args(argv)
 
-    slugs = ["E4"] if args.smoke else ["E4", "E2"]
+    slugs = ["E4"] if args.smoke else ["E4", "E2", "handshake_loss"]
     results = []
     exit_code = 0
 

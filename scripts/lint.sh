@@ -28,6 +28,19 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
+# Replayable chaos: the fault-injection package must be a pure
+# function of (plan seed, virtual clock).  Stronger than the global
+# time.time() gate above -- repro.faults may not import the wall-clock
+# module at all (monotonic(), perf_counter(), sleep() would all smuggle
+# host timing into fault decisions and break replay).
+wallclock=$(grep -rnE '(^|[^a-zA-Z0-9_.])(import time|from time import)' \
+            src/repro/faults --include='*.py' || true)
+if [ -n "$wallclock" ]; then
+    echo "lint: wall-clock import in repro/faults (chaos must replay):" >&2
+    echo "$wallclock" >&2
+    exit 1
+fi
+
 # Word-boundary match so e.g. fingerprint( does not trip the gate.
 prints=$(grep -rnE '(^|[^a-zA-Z0-9_.])print\(' src/repro --include='*.py' \
          | grep -v "repro/__main__.py" || true)

@@ -4,12 +4,17 @@
 # Usage:
 #   scripts/tier1.sh                      # full tier-1 suite (the gate)
 #   scripts/tier1.sh smoke                # ~15s subset: engine/pool checks
-#   scripts/tier1.sh [smoke] --junit X    # also write a JUnit XML report
+#   scripts/tier1.sh chaos                # fault-injection suite (3 seeds)
+#   scripts/tier1.sh [mode] --junit X     # also write a JUnit XML report
 #
 # The smoke subset runs the TestSmoke classes, which compare every
 # engine fast path (pairing tables, fixed-base tables, wNAF multi-exp,
 # batch verification, the multi-process verifier pool) against the
 # naive reference computation.
+#
+# The chaos subset runs the seeded fault-injection suites (radio
+# drop/duplicate/corrupt/delay, verifier-pool worker kill/hang,
+# router degraded mode) across the three fixed CI seeds.
 
 set -e
 cd "$(dirname "$0")/.."
@@ -20,6 +25,7 @@ junit=""
 while [ $# -gt 0 ]; do
     case "$1" in
         smoke) mode="smoke"; shift ;;
+        chaos) mode="chaos"; shift ;;
         --junit)
             [ $# -ge 2 ] || { echo "tier1.sh: --junit needs a path" >&2
                               exit 2; }
@@ -33,6 +39,13 @@ if [ "$mode" = "smoke" ]; then
         tests/test_pairing_precompute.py::TestSmoke \
         tests/test_groupsig_batch.py::TestSmoke \
         tests/test_verifier_pool.py::TestSmoke
+fi
+
+if [ "$mode" = "chaos" ]; then
+    exec python -m pytest -x -q ${junit:+"$junit"} \
+        tests/test_faults.py \
+        tests/test_chaos_handshake.py \
+        tests/test_pool_recovery.py
 fi
 
 exec python -m pytest -x -q ${junit:+"$junit"}

@@ -15,6 +15,16 @@ Mutual explicit authentication: the user authenticated the router via
 its NO-certified ECDSA signature; the router authenticated the user as
 *some unrevoked group member* via the group signature; both confirmed
 key possession through M.3.
+
+Loss tolerance (metropolitan radio is lossy): the user side may drive
+(M.2) through a :class:`Retransmitter` -- per-message timeout with
+capped exponential backoff plus jitter and a bounded retry budget --
+resending the *identical* wire bytes, no message-format change.  The
+router side makes retransmits idempotent by keying completed
+handshakes on the pair of fresh DH shares ``(g^r_R, g^r_j)`` (the
+protocol's existing freshness nonces): a duplicate (M.2) is answered
+with the cached (M.3) without re-verifying, without a second session,
+and without a second audit-log entry.
 """
 
 from __future__ import annotations
@@ -48,6 +58,117 @@ from repro.sig.ecdsa import EcdsaKeyPair, EcdsaPublicKey
 
 #: Default acceptance window for timestamp freshness, seconds.
 DEFAULT_TS_WINDOW = 30.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for handshake retransmissions.
+
+    Attempt ``n`` (0-based) waits ``initial_timeout * backoff_factor**n``
+    seconds, capped at ``max_timeout``, multiplied by a uniform jitter
+    in ``[1-jitter, 1+jitter]`` (desynchronizes a cell full of users
+    retrying after the same collision).  The defaults keep the whole
+    retry span inside the protocol's freshness window: a retransmit
+    that would arrive with a stale ``ts2`` is pointless, the user
+    should restart from a fresh beacon instead.
+    """
+
+    initial_timeout: float = 2.0
+    backoff_factor: float = 2.0
+    max_timeout: float = 8.0
+    max_retries: int = 3
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout <= 0 or self.max_timeout <= 0:
+            raise ProtocolError("retry timeouts must be positive")
+        if self.backoff_factor < 1.0:
+            raise ProtocolError("backoff_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ProtocolError("max_retries must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ProtocolError("jitter must be in [0, 1)")
+
+    def timeout_for(self, attempt: int,
+                    rng: Optional[random.Random] = None) -> float:
+        """Backoff delay before retry ``attempt`` (0-based)."""
+        base = min(self.initial_timeout * self.backoff_factor ** attempt,
+                   self.max_timeout)
+        if rng is not None and self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base
+
+
+class Retransmitter:
+    """Per-message retransmission state machine (the user's M.2).
+
+    Transport-agnostic: ``send`` emits the frame, ``schedule(delay,
+    callback)`` arms a timer (the simulator passes
+    :meth:`~repro.wmn.simclock.EventLoop.schedule`).  The same wire
+    bytes are resent each time; receiver idempotence comes from the
+    router's duplicate suppression on the handshake's fresh DH shares.
+    ``ack()`` on (M.3) receipt stops the timers; after ``max_retries``
+    unacknowledged resends ``on_give_up`` fires once and the machine
+    goes inert.  Retries are counted in ``retries`` and the ambient
+    ``handshake.retries`` observability counter.
+    """
+
+    def __init__(self, send: Callable[[], None],
+                 schedule: Callable[[float, Callable[[], None]], None],
+                 policy: RetryPolicy,
+                 rng: Optional[random.Random] = None,
+                 on_retry: Optional[Callable[[], None]] = None,
+                 on_give_up: Optional[Callable[[], None]] = None) -> None:
+        self._send = send
+        self._schedule = schedule
+        self.policy = policy
+        self.rng = rng
+        self.on_retry = on_retry
+        self.on_give_up = on_give_up
+        self.retries = 0
+        self.acked = False
+        self.cancelled = False
+        self._epoch = 0          # invalidates stale timers
+
+    @property
+    def alive(self) -> bool:
+        return not (self.acked or self.cancelled)
+
+    def start(self) -> None:
+        """First transmission + first timer."""
+        if not self.alive:
+            return
+        self._send()
+        self._arm()
+
+    def ack(self) -> None:
+        """The peer answered; all outstanding timers become no-ops."""
+        self.acked = True
+
+    def cancel(self) -> None:
+        """Abandon the handshake attempt (no ``on_give_up`` firing)."""
+        self.cancelled = True
+
+    def _arm(self) -> None:
+        self._epoch += 1
+        epoch = self._epoch
+        timeout = self.policy.timeout_for(self.retries, self.rng)
+        self._schedule(timeout, lambda: self._fire(epoch))
+
+    def _fire(self, epoch: int) -> None:
+        if not self.alive or epoch != self._epoch:
+            return
+        if self.retries >= self.policy.max_retries:
+            self.cancelled = True
+            if self.on_give_up is not None:
+                self.on_give_up()
+            return
+        self.retries += 1
+        obs.counter("handshake.retries")
+        if self.on_retry is not None:
+            self.on_retry()
+        self._send()
+        self._arm()
 
 
 @dataclass
@@ -106,7 +227,14 @@ class RouterAuthEngine:
                                              Optional[puzzles.Puzzle]]] = {}
         self.sessions: Dict[bytes, SecureSession] = {}
         self.log: list = []          # AuthLogEntry per successful auth
+        # completed handshakes keyed on the fresh DH-share pair, for
+        # idempotent answers to retransmitted (M.2)s:
+        # (g^r_R enc, g^r_j enc) -> (confirm, session, accepted_at)
+        self._completed: Dict[Tuple[bytes, bytes],
+                              Tuple[AccessConfirm, SecureSession,
+                                    float]] = {}
         self.stats = {"beacons": 0, "requests": 0, "accepted": 0,
+                      "duplicate_requests": 0,
                       "rejected_replay": 0, "rejected_signature": 0,
                       "rejected_revoked": 0, "rejected_puzzle": 0}
 
@@ -155,8 +283,48 @@ class RouterAuthEngine:
                  if now - issued > self.beacon_validity]
         for key in stale:
             del self._outstanding[key]
+        done = [key for key, (_c, _s, accepted) in self._completed.items()
+                if now - accepted > self.beacon_validity]
+        for key in done:
+            del self._completed[key]
+
+    def expire(self, now: Optional[float] = None) -> None:
+        """Explicit expiry tick: prune outstanding beacons and the
+        completed-handshake cache.
+
+        Beacon creation already prunes as a side effect; a scenario loop
+        (or an operator cron) calls this directly so a router that stops
+        beaconing -- burst of traffic, then silence -- still releases
+        the ``r_R`` secrets and cached confirms for stale handshakes
+        instead of holding them until the next beacon.
+        """
+        self._expire_outstanding(self.clock.now() if now is None else now)
 
     # -- M.2 -> M.3 -----------------------------------------------------------
+
+    def _duplicate(self, request: AccessRequest, now: float
+                   ) -> Optional[Tuple[AccessConfirm, SecureSession]]:
+        """Cached outcome for a retransmitted (M.2), if any.
+
+        The cache key is the pair of DH shares -- both fresh per
+        handshake -- so only a byte-identical retransmit of an already
+        accepted request matches, and only within ``ts_window`` of the
+        original acceptance: a prompt re-send is a *duplicate* (served
+        idempotently), a late one is a *replay* and falls through to
+        the freshness checks, which reject it exactly as before.  Hits
+        re-serve the original (M.3) without re-verifying and without a
+        second session or log entry; they count as
+        ``duplicate_requests``, not fresh traffic.
+        """
+        cached = self._completed.get(
+            (request.g_r_router.encode(), request.g_r_user.encode()))
+        if cached is None:
+            return None
+        confirm, session, accepted = cached
+        if now - accepted > self.ts_window:
+            return None
+        self._bump("duplicate_requests")
+        return confirm, session
 
     def _precheck(self, request: AccessRequest, now: float) -> int:
         """Every pre-pairing check of (M.2); returns the beacon's r_R.
@@ -217,6 +385,8 @@ class RouterAuthEngine:
             router_id=self.router_id, session_id=session_id,
             signed_payload=request.signed_payload(),
             group_signature=request.group_signature, timestamp=now))
+        self._completed[(request.g_r_router.encode(),
+                         request.g_r_user.encode())] = (confirm, session, now)
         self._bump("accepted")
         return confirm, session
 
@@ -229,6 +399,9 @@ class RouterAuthEngine:
         """
         now = self.clock.now()
         self._bump("requests")
+        duplicate = self._duplicate(request, now)
+        if duplicate is not None:
+            return duplicate
         reg = obs.active()
         start = reg.clock() if reg is not None else 0.0
         with obs.timer("router.precheck_seconds"):
@@ -285,6 +458,10 @@ class RouterAuthEngine:
         positions = []
         for index, request in enumerate(requests):
             self._bump("requests")
+            duplicate = self._duplicate(request, now)
+            if duplicate is not None:
+                outcomes[index] = duplicate
+                continue
             try:
                 r_routers[index] = self._precheck(request, now)
             except (ReplayError, PuzzleError, AuthenticationError) as exc:

@@ -8,6 +8,19 @@ over their pre-established secure channel.
 The refresh model matters for experiment E7: a *revoked* router keeps
 serving its last-fetched CRL, which goes stale after one update period
 -- precisely the paper's bound on the phishing window.
+
+Two distinct ways a router stops getting fresh lists:
+
+* **Revocation** (:meth:`MeshRouter.sever_operator_channel`): NO cut
+  the router off on purpose.  The router keeps serving its stale lists
+  indefinitely -- that *is* the adversarial behaviour E7 measures.
+* **Channel loss** (:meth:`MeshRouter.set_operator_channel`): an honest
+  router lost its backhaul (fiber cut, NO outage).  It enters *degraded
+  mode*: it keeps serving its last-known CRL/URL while they are younger
+  than ``staleness_grace`` seconds, then refuses service with
+  :class:`~repro.errors.DegradedModeError` rather than authenticate
+  against lists it knows are stale.  Restoring the channel refreshes
+  immediately and clears the degradation.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from repro.core.operator_entity import NetworkOperator
 from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.session import SecureSession
 from repro.core.protocols.user_router import RouterAuthEngine
-from repro.errors import SimulationError
+from repro.errors import DegradedModeError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.verifier_pool import VerifierPool
@@ -40,7 +53,8 @@ class MeshRouter:
                  clock: Optional[Clock] = None,
                  rng: Optional[random.Random] = None,
                  cert_validity: float = 30 * 86400.0,
-                 dos_policy: Optional[DosPolicy] = None) -> None:
+                 dos_policy: Optional[DosPolicy] = None,
+                 staleness_grace: float = 600.0) -> None:
         self.router_id = router_id
         self.operator = operator
         self.clock = clock or SystemClock()
@@ -52,6 +66,10 @@ class MeshRouter:
         self._crl: CertificateRevocationList = operator.issue_crl()
         self._url: UserRevocationList = operator.issue_url()
         self._cut_off = False   # set when NO severs the secure channel
+        self.staleness_grace = staleness_grace
+        self._channel_up = True          # honest backhaul state
+        self._refresh_silent_failure = False   # chaos: refreshes no-op
+        self._lists_fetched_at = self.clock.now()
         self.engine = RouterAuthEngine(
             router_id=router_id, keypair=keypair, certificate=certificate,
             gpk=operator.gpk, crl_provider=lambda: self._crl,
@@ -62,17 +80,77 @@ class MeshRouter:
 
     def refresh_lists(self) -> None:
         """Periodic CRL/URL update; fails silently once NO cut us off
-        (a revoked router can no longer obtain fresh lists)."""
-        if self._cut_off:
+        (a revoked router can no longer obtain fresh lists) and while
+        the backhaul channel is down (an honest router cannot reach
+        NO)."""
+        if self._cut_off or not self._channel_up:
+            return
+        if self._refresh_silent_failure:   # chaos: stale_lists fault
+            obs.counter("router.refresh_suppressed_total")
             return
         with obs.timer("router.list_refresh_seconds"):
             self._crl = self.operator.issue_crl()
             self._url = self.operator.issue_url()
+        self._lists_fetched_at = self.clock.now()
         obs.counter("router.list_refresh_total")
 
     def sever_operator_channel(self) -> None:
         """Called when NO revokes this router: no more fresh lists."""
         self._cut_off = True
+
+    # -- degraded mode (honest channel loss, NOT revocation) ------------------
+
+    def set_operator_channel(self, up: bool) -> None:
+        """Flip the honest backhaul channel to NO.
+
+        Going down puts the router in *degraded mode*; coming back up
+        refreshes the lists immediately and clears the degradation.  A
+        revoked router (:meth:`sever_operator_channel`) is exempt:
+        revocation is permanent and keeps the E7 stale-list behaviour.
+        """
+        if self._cut_off:
+            return
+        if up and not self._channel_up:
+            self._channel_up = True
+            obs.counter("router.channel_restored_total")
+            self.refresh_lists()
+        elif not up and self._channel_up:
+            self._channel_up = False
+            obs.counter("router.channel_severed_total")
+
+    def set_refresh_silent_failure(self, failing: bool) -> None:
+        """Chaos hook: make :meth:`refresh_lists` silently do nothing,
+        leaving the router to serve ever-staler lists without knowing."""
+        self._refresh_silent_failure = failing
+
+    @property
+    def degraded(self) -> bool:
+        """True while an honest router has no channel to NO."""
+        return not self._channel_up and not self._cut_off
+
+    def lists_age(self, now: Optional[float] = None) -> float:
+        """Seconds since the CRL/URL were last fetched from NO."""
+        return (self.clock.now() if now is None else now) \
+            - self._lists_fetched_at
+
+    def _check_degraded(self) -> None:
+        """Fail closed past the grace window.
+
+        In degraded mode the router serves its last-known lists only
+        while they are younger than ``staleness_grace``; after that it
+        refuses to authenticate anyone rather than act on lists it
+        knows are stale.  Revoked routers never take this path -- their
+        stale service *is* the behaviour under test in E7.
+        """
+        if not self.degraded:
+            return
+        age = self.lists_age()
+        if age > self.staleness_grace:
+            obs.counter("router.degraded_refusals_total")
+            raise DegradedModeError(
+                f"router {self.router_id} degraded: operator channel "
+                f"down and lists are {age:.0f}s old "
+                f"(grace {self.staleness_grace:.0f}s)")
 
     def adopt_new_epoch(self) -> None:
         """Pick up a rotated gpk plus fresh lists over the NO channel."""
@@ -92,12 +170,14 @@ class MeshRouter:
     # -- protocol passthroughs ------------------------------------------------
 
     def make_beacon(self) -> Beacon:
-        """Broadcast (M.1)."""
+        """Broadcast (M.1); refuses past the degraded-mode grace window."""
+        self._check_degraded()
         return self.engine.make_beacon()
 
     def process_request(self, request: AccessRequest
                         ) -> Tuple[AccessConfirm, SecureSession]:
         """Handle (M.2) -> (M.3); raises on any validation failure."""
+        self._check_degraded()
         if self.engine.dos_policy is not None:
             self.engine.dos_policy.note_request(self.clock.now())
         return self.engine.process_request(request)
@@ -113,11 +193,17 @@ class MeshRouter:
         :class:`~repro.core.verifier_pool.VerifierPool`; a pool whose
         snapshot no longer matches this router's URL is ignored.
         """
+        self._check_degraded()
         if self.engine.dos_policy is not None:
             now = self.clock.now()
             for _ in requests:
                 self.engine.dos_policy.note_request(now)
         return self.engine.process_requests(requests, pool=pool)
+
+    def expire(self, now: Optional[float] = None) -> None:
+        """Expiry tick: prune the engine's outstanding beacons and
+        completed-handshake cache (see :meth:`RouterAuthEngine.expire`)."""
+        self.engine.expire(now)
 
     def session(self, session_id: bytes) -> SecureSession:
         try:

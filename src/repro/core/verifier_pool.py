@@ -25,10 +25,18 @@ Design constraints, in order of importance:
    :class:`~repro.core.groupsig.CryptoEngine` tables, outside any
    counted region.
 
-Serial fallback: when ``processes=0``, when the platform cannot provide
-a process pool, or when a submitted chunk times out or dies, the pool
-runs the remaining chunks in the calling process through the very same
-chunk runner -- results are indistinguishable, only slower.
+Serial fallback and recovery: when ``processes=0`` or the platform
+cannot provide a process pool, every chunk runs in the calling process
+through the very same chunk runner.  When a submitted chunk times out
+or its worker dies mid-batch, the pool (1) re-runs that chunk and every
+other in-flight chunk in the calling process -- their worker-side
+results, if any ever materialize, die with the old workers, so each
+chunk is absorbed exactly once and operation counts stay identical to
+serial; (2) terminates the wedged worker set and respawns a fresh one
+(bounded by ``max_worker_restarts``), so the rest of the batch and
+later batches run parallel again.  Once the restart budget is spent
+the pool degrades permanently to serial mode.  Either way results are
+indistinguishable from :func:`groupsig.verify_batch`, only slower.
 """
 
 from __future__ import annotations
@@ -57,6 +65,10 @@ DEFAULT_CHUNK_SIZE = 8
 #: ``chunk_size`` verifications, each well under a second on every
 #: preset; hitting this means the worker is wedged, not slow.
 DEFAULT_TASK_TIMEOUT = 120.0
+
+#: How many times one pool may replace a dead/hung worker set before
+#: giving up and running serially for good.
+DEFAULT_MAX_WORKER_RESTARTS = 2
 
 # Worker-process state, installed once by _worker_init.  One pool's
 # workers serve exactly one (gpk, URL) snapshot, so a trio of module
@@ -139,6 +151,19 @@ def _run_chunk(gpk: GroupPublicKey,
     return out
 
 
+def _chaos_hang(seconds: float) -> None:  # pragma: no cover - worker side
+    """Fault-injection task: wedge the worker that picks it up.
+
+    Used by :class:`repro.faults.FaultInjector`'s ``hang_worker`` fault
+    to make a worker unresponsive without killing it -- the classic
+    straggler.  The sleep runs in the worker process, so terminating
+    the pool (which :meth:`VerifierPool.respawn_workers` does) reclaims
+    it.
+    """
+    import time
+    time.sleep(seconds)
+
+
 def _decode_outcome(encoded) -> Optional[Exception]:
     if encoded is None:
         return None
@@ -169,37 +194,46 @@ class VerifierPool:
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  max_inflight: Optional[int] = None,
                  task_timeout: float = DEFAULT_TASK_TIMEOUT,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS
+                 ) -> None:
         if chunk_size < 1:
             raise ParameterError("chunk_size must be at least 1")
         if processes is not None and processes < 0:
             raise ParameterError("processes must be >= 0")
+        if max_worker_restarts < 0:
+            raise ParameterError("max_worker_restarts must be >= 0")
         self.gpk = gpk
         self.tokens: Tuple[RevocationToken, ...] = tuple(url)
         self.chunk_size = chunk_size
         self.task_timeout = task_timeout
         self.fingerprint = snapshot_fingerprint(gpk, self.tokens)
         self.serial_fallbacks = 0  # chunks that ran in-process instead
+        self.max_worker_restarts = max_worker_restarts
+        self.worker_restarts = 0   # respawns performed so far
         if processes is None:
             processes = os.cpu_count() or 1
         self.processes = processes
         self.max_inflight = max_inflight or max(2 * processes, 2)
-        self._pool = None
-        if processes > 0:
-            try:
-                context = (multiprocessing.get_context(start_method)
-                           if start_method else multiprocessing)
-                self._pool = context.Pool(
-                    processes=processes,
-                    initializer=_worker_init,
-                    initargs=(gpk.group.params.name, gpk.encode(),
-                              tuple(t.encode() for t in self.tokens)))
-            except (OSError, ValueError, ImportError):
-                # No usable multiprocessing on this host; documented
-                # fallback is silent serial operation.
-                self._pool = None
+        self._start_method = start_method
+        self._initargs = (gpk.group.params.name, gpk.encode(),
+                          tuple(t.encode() for t in self.tokens))
+        self._pool = self._spawn() if processes > 0 else None
 
     # -- lifecycle ------------------------------------------------------
+
+    def _spawn(self):
+        """One fresh worker set, or ``None`` when the host can't."""
+        try:
+            context = (multiprocessing.get_context(self._start_method)
+                       if self._start_method else multiprocessing)
+            return context.Pool(processes=self.processes,
+                                initializer=_worker_init,
+                                initargs=self._initargs)
+        except (OSError, ValueError, ImportError):
+            # No usable multiprocessing on this host; documented
+            # fallback is silent serial operation.
+            return None
 
     @property
     def is_parallel(self) -> bool:
@@ -210,6 +244,47 @@ class VerifierPool:
                 url: Sequence[RevocationToken]) -> bool:
         """Is the worker-side snapshot current for this gpk and URL?"""
         return snapshot_fingerprint(gpk, url) == self.fingerprint
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids (health introspection, chaos)."""
+        if self._pool is None:
+            return []
+        return [proc.pid for proc in self._pool._pool
+                if proc.pid is not None]
+
+    def inject_worker_hang(self, seconds: float = 3600.0) -> bool:
+        """Chaos hook: wedge one worker in a long sleep.
+
+        The next chunk unlucky enough to land on that worker times
+        out, driving the requeue-and-respawn path.  Returns False in
+        serial mode (nothing to hang).
+        """
+        if self._pool is None:
+            return False
+        self._pool.apply_async(_chaos_hang, (seconds,))
+        return True
+
+    def respawn_workers(self) -> bool:
+        """Replace the (dead/hung) worker set with a fresh one.
+
+        Terminating the old pool reaps its processes *and* orphans any
+        still-undelivered chunk results with it -- the caller must have
+        already requeued those chunks in-process, which is what keeps
+        replayed operation counts identical to serial.  Bounded by
+        ``max_worker_restarts``; past the budget the pool stays serial.
+        Returns True when a new worker set is live.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self.processes == 0 \
+                or self.worker_restarts >= self.max_worker_restarts:
+            return False
+        self.worker_restarts += 1
+        obs.counter("pool.worker_restarts")
+        self._pool = self._spawn()
+        return self._pool is not None
 
     def close(self) -> None:
         """Terminate the workers.  Idempotent."""
@@ -237,9 +312,12 @@ class VerifierPool:
         have produced (same type, message, and ``token_index``).
         Chunks are submitted with at most ``max_inflight`` outstanding;
         results are collected strictly in submission order.  A chunk
-        that times out or whose worker dies is re-run serially in this
-        process, as are all chunks after it (a wedged pool would make
-        every remaining wait eat the full timeout).
+        that times out or whose worker dies is re-run in this process
+        along with every other chunk that was in flight on the broken
+        worker set (their late results are discarded with the workers,
+        so nothing is double-counted); the workers are then respawned
+        for the rest of the batch, or -- once the restart budget is
+        spent -- the remainder runs serially.
         """
         if not batch:
             return []
@@ -286,50 +364,57 @@ class VerifierPool:
             return finish_batch()
 
         pending: "deque" = deque()  # (chunk, handle, submitted_at)
-        pool_healthy = True
-        remaining = iter(chunks)
+        remaining = deque(chunks)
 
-        def collect_oldest() -> None:
-            nonlocal pool_healthy
-            chunk, handle, submitted = pending.popleft()
-            try:
-                absorb(handle.get(self.task_timeout))
-                if reg is not None:
-                    reg.counter("pool.chunks_parallel_total")
-                    reg.observe("pool.chunk_seconds",
-                                reg.clock() - submitted)
-            except Exception:
-                # Timeout or a dead/poisoned worker: this chunk (and,
-                # via pool_healthy, the rest of the batch) runs here.
-                pool_healthy = False
-                if reg is not None:
-                    reg.counter("pool.chunk_failures_total")
-                run_serial(chunk)
-
-        for chunk in remaining:
-            if not pool_healthy:
-                run_serial(chunk)
-                continue
-            task = (period, check_revocation,
-                    [(index, message, signature.encode())
-                     for index, message, signature in chunk])
-            try:
-                handle = self._pool.apply_async(_worker_run, (task,))
-            except Exception:
-                # Pool already closed/terminated under us.
-                pool_healthy = False
-                if reg is not None:
-                    reg.counter("pool.submit_failures_total")
-                run_serial(chunk)
-                continue
-            pending.append((chunk, handle,
-                            reg.clock() if reg is not None else 0.0))
-            if len(pending) >= self.max_inflight:
-                collect_oldest()
-        while pending:
-            if pool_healthy:
-                collect_oldest()
-            else:
+        def recover(failed_chunk, counter_name: str) -> None:
+            """One worker-set failure: requeue everything in flight
+            in-process, then respawn.  The failed chunk and every
+            pending chunk run through ``run_serial`` exactly once;
+            whatever the old workers might still produce is orphaned
+            by the terminate inside :meth:`respawn_workers`, so no
+            result -- and no replayed op tally -- lands twice."""
+            if reg is not None:
+                reg.counter(counter_name)
+            run_serial(failed_chunk)
+            while pending:
                 chunk, _handle, _submitted = pending.popleft()
                 run_serial(chunk)
+            self.respawn_workers()
+
+        def collect_oldest() -> None:
+            chunk, handle, submitted = pending.popleft()
+            try:
+                chunk_result = handle.get(self.task_timeout)
+            except Exception:
+                # Timeout or a dead/poisoned worker.
+                recover(chunk, "pool.chunk_failures_total")
+                return
+            absorb(chunk_result)
+            if reg is not None:
+                reg.counter("pool.chunks_parallel_total")
+                reg.observe("pool.chunk_seconds",
+                            reg.clock() - submitted)
+
+        while remaining or pending:
+            if self._pool is None:
+                # Restart budget spent (or spawn failed): pending is
+                # empty by construction, drain the rest serially.
+                while remaining:
+                    run_serial(remaining.popleft())
+                break
+            if remaining and len(pending) < self.max_inflight:
+                chunk = remaining.popleft()
+                task = (period, check_revocation,
+                        [(index, message, signature.encode())
+                         for index, message, signature in chunk])
+                try:
+                    handle = self._pool.apply_async(_worker_run, (task,))
+                except Exception:
+                    # Pool already closed/terminated under us.
+                    recover(chunk, "pool.submit_failures_total")
+                    continue
+                pending.append((chunk, handle,
+                                reg.clock() if reg is not None else 0.0))
+                continue
+            collect_oldest()
         return finish_batch()

@@ -62,9 +62,18 @@ class SessionError(ProtocolError):
     """A data-plane session operation failed (bad MAC, unknown session)."""
 
 
+class DegradedModeError(ProtocolError):
+    """A router with a severed operator channel is past its staleness
+    grace window and refuses service rather than act on stale lists."""
+
+
 class AuditError(ReproError):
     """An audit or tracing operation could not complete."""
 
 
 class SimulationError(ReproError):
     """The WMN simulator was driven into an inconsistent state."""
+
+
+class FaultInjectionError(SimulationError):
+    """A fault plan is malformed or an injector was armed incorrectly."""

@@ -1,0 +1,42 @@
+"""Deterministic, replayable fault injection for chaos testing.
+
+PEACE targets metropolitan meshes where jamming, interference, node
+churn, and backhaul failures are the operating condition, not the
+exception.  This package drives those conditions on demand:
+
+* :class:`FaultPlan` -- a frozen, seeded description of every fault a
+  run will inject (radio frame drop/duplicate/corrupt/delay/reorder,
+  verifier-pool worker kill/hang, router operator-channel sever or
+  silent stale lists);
+* :class:`FaultInjector` -- arms a plan against live targets, drawing
+  every probabilistic choice from ``random.Random(plan.seed)`` on the
+  simulator's virtual clock, so chaos runs replay bit-for-bit.
+
+The invariant the chaos suites assert: under any plan, a handshake
+either completes with outcomes identical to the fault-free run, or
+fails closed with a typed :mod:`repro.errors` subclass -- never a
+hang, crash, or silent partial session.
+"""
+
+from repro.faults.injector import FaultInjector, corrupt_frame
+from repro.faults.plan import (
+    POOL_FAULT_KINDS,
+    RADIO_FAULT_KINDS,
+    ROUTER_FAULT_KINDS,
+    FaultPlan,
+    PoolFault,
+    RadioFault,
+    RouterFault,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "PoolFault",
+    "POOL_FAULT_KINDS",
+    "RadioFault",
+    "RADIO_FAULT_KINDS",
+    "RouterFault",
+    "ROUTER_FAULT_KINDS",
+    "corrupt_frame",
+]

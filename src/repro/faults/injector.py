@@ -1,0 +1,208 @@
+"""Arming fault plans against live targets.
+
+The :class:`FaultInjector` turns one :class:`~repro.faults.plan.FaultPlan`
+into behaviour on three surfaces:
+
+* **Radio** -- installs a filter on
+  :class:`~repro.wmn.radio.RadioMedium` that drops, duplicates,
+  corrupts, delays, or reorders individual frame deliveries;
+* **Verifier pool** -- SIGKILLs or wedges
+  :class:`~repro.core.verifier_pool.VerifierPool` worker processes;
+* **Router** -- severs/restores the NO operator channel or silently
+  suppresses list refreshes on a :class:`~repro.core.router.MeshRouter`.
+
+Every probabilistic decision (does this delivery fault? which byte
+corrupts? which worker dies?) draws from ``random.Random(plan.seed)``
+in arming/transmission order, and every time decision reads the event
+loop's virtual clock -- never the wall clock -- so a chaos run is a
+pure function of ``(scenario seed, fault plan)`` and replays exactly.
+
+Injected-fault tallies land both in :attr:`FaultInjector.counts` and,
+when an :mod:`repro.obs` registry is installed, in
+``faults.injected.<kind>`` counters.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import FaultInjectionError
+from repro.faults.plan import FaultPlan, PoolFault, RadioFault, RouterFault
+from repro.wmn.radio import Frame, RadioMedium
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.router import MeshRouter
+    from repro.core.verifier_pool import VerifierPool
+    from repro.wmn.simclock import EventLoop
+
+
+def corrupt_frame(frame: Frame, rng: random.Random) -> Frame:
+    """Flip one payload byte (never a no-op) chosen by ``rng``."""
+    payload = bytearray(frame.payload)
+    if not payload:
+        return frame
+    index = rng.randrange(len(payload))
+    payload[index] ^= 1 + rng.randrange(255)
+    return Frame(kind=frame.kind, payload=bytes(payload),
+                 src=frame.src, dst=frame.dst)
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` deterministically.
+
+    One injector serves one run: it owns the plan's RNG stream and the
+    per-kind tallies.  Arm it against as many targets as the plan
+    names; re-arming the radio replaces any previous filter.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 rng: Optional[random.Random] = None) -> None:
+        self.plan = plan
+        self.rng = rng if rng is not None else random.Random(plan.seed)
+        self.counts: Dict[str, int] = {}
+        self._armed_at: Optional[float] = None
+
+    def _note(self, kind: str, amount: int = 1) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + amount
+        obs.counter(f"faults.injected.{kind}", amount)
+
+    # -- radio ----------------------------------------------------------
+
+    def arm_radio(self, medium: RadioMedium) -> None:
+        """Install this plan's radio rules on ``medium``.
+
+        The window clocks of every radio fault start now (the loop's
+        current virtual time).
+        """
+        self._armed_at = medium.loop.now
+
+        def fault_filter(frame: Frame, receiver_id: str,
+                         base_delay: float
+                         ) -> List[Tuple[float, Frame]]:
+            return self._filter_delivery(medium.loop.now, frame,
+                                         base_delay)
+
+        medium.fault_filter = fault_filter
+
+    def disarm_radio(self, medium: RadioMedium) -> None:
+        medium.fault_filter = None
+
+    def _filter_delivery(self, now: float, frame: Frame, base_delay: float
+                         ) -> List[Tuple[float, Frame]]:
+        """Apply every matching radio rule, in plan order, to one
+        delivery.  Rules compose: a duplicate's copies are themselves
+        subject to later rules in the plan."""
+        elapsed = now - (self._armed_at or now)
+        deliveries: List[Tuple[float, Frame]] = [(base_delay, frame)]
+        for fault in self.plan.radio:
+            if not fault.matches(frame.kind, frame.dst, elapsed):
+                continue
+            next_round: List[Tuple[float, Frame]] = []
+            for delay, out_frame in deliveries:
+                if fault.probability < 1.0 \
+                        and self.rng.random() >= fault.probability:
+                    next_round.append((delay, out_frame))
+                    continue
+                next_round.extend(
+                    self._apply_radio(fault, delay, out_frame))
+            deliveries = next_round
+            if not deliveries:
+                break
+        return deliveries
+
+    def _apply_radio(self, fault: RadioFault, delay: float, frame: Frame
+                     ) -> List[Tuple[float, Frame]]:
+        self._note(fault.kind)
+        if fault.kind == "drop":
+            return []
+        if fault.kind == "duplicate":
+            copies = [(delay + fault.extra_delay * (i + 1), frame)
+                      for i in range(fault.copies)]
+            return [(delay, frame)] + copies
+        if fault.kind == "corrupt":
+            return [(delay, corrupt_frame(frame, self.rng))]
+        # "delay" and "reorder" both hold the frame back; reordering
+        # emerges when later traffic overtakes the held frame.
+        return [(delay + fault.extra_delay, frame)]
+
+    # -- verifier pool --------------------------------------------------
+
+    def arm_pool(self, pool: "VerifierPool",
+                 loop: "Optional[EventLoop]" = None) -> None:
+        """Schedule (or immediately fire) this plan's pool faults."""
+        for fault in self.plan.pool:
+            if loop is not None and fault.at > 0:
+                loop.schedule(fault.at,
+                              self._make_pool_firing(pool, fault))
+            else:
+                self._fire_pool_fault(pool, fault)
+
+    def _make_pool_firing(self, pool: "VerifierPool", fault: PoolFault):
+        def fire() -> None:
+            self._fire_pool_fault(pool, fault)
+        return fire
+
+    def _fire_pool_fault(self, pool: "VerifierPool",
+                         fault: PoolFault) -> None:
+        if fault.kind == "kill_worker":
+            pids = pool.worker_pids()
+            for _ in range(min(fault.count, len(pids))):
+                pid = self.rng.choice(pids)
+                pids.remove(pid)
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):  # already gone
+                    continue
+                self._note("kill_worker")
+            return
+        if pool.inject_worker_hang(fault.hang_seconds):
+            self._note("hang_worker")
+
+    # -- router ---------------------------------------------------------
+
+    def arm_router(self, router: "MeshRouter",
+                   loop: "Optional[EventLoop]" = None) -> None:
+        """Schedule (or immediately fire) matching router faults."""
+        for fault in self.plan.router:
+            if fault.router_id is not None \
+                    and fault.router_id != router.router_id:
+                continue
+            if loop is not None and fault.at > 0:
+                loop.schedule(fault.at,
+                              self._make_router_firing(router, fault))
+            else:
+                self._fire_router_fault(router, fault)
+
+    def _make_router_firing(self, router: "MeshRouter",
+                            fault: RouterFault):
+        def fire() -> None:
+            self._fire_router_fault(router, fault)
+        return fire
+
+    def _fire_router_fault(self, router: "MeshRouter",
+                           fault: RouterFault) -> None:
+        if fault.kind == "sever_channel":
+            router.set_operator_channel(False)
+        elif fault.kind == "restore_channel":
+            router.set_operator_channel(True)
+        else:  # stale_lists: refreshes silently do nothing
+            router.set_refresh_silent_failure(True)
+        self._note(fault.kind)
+
+    # -- scenario convenience -------------------------------------------
+
+    def arm_scenario(self, scenario) -> None:
+        """Arm radio + every router of a built
+        :class:`~repro.wmn.scenario.Scenario` (pools are armed
+        separately -- the simulator does not own one)."""
+        self.arm_radio(scenario.radio)
+        for sim_router in scenario.sim_routers.values():
+            self.arm_router(sim_router.router, loop=scenario.loop)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the per-kind injected-fault tallies."""
+        return dict(self.counts)

@@ -1,0 +1,168 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, fully explicit description of every
+fault a chaos run will inject: which layer (radio frames, verifier-pool
+workers, a router's operator channel), which messages or processes,
+when, and with what probability.  Because the plan carries its own
+``seed`` and every probabilistic decision is drawn from one
+``random.Random(seed)`` inside the injector, the *same plan against the
+same scenario replays the same faults at the same instants* -- a failed
+chaos run is reproduced by re-running its plan, nothing else.
+
+Plans are data, not behaviour: arming them against live objects is the
+:class:`~repro.faults.injector.FaultInjector`'s job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import FaultInjectionError
+
+#: Radio fault kinds, applied per scheduled frame delivery.
+RADIO_FAULT_KINDS = ("drop", "duplicate", "corrupt", "delay", "reorder")
+
+#: Verifier-pool fault kinds, applied to worker processes.
+POOL_FAULT_KINDS = ("kill_worker", "hang_worker")
+
+#: Router fault kinds, applied to the NO secure channel / list state.
+ROUTER_FAULT_KINDS = ("sever_channel", "restore_channel", "stale_lists")
+
+
+@dataclass(frozen=True)
+class RadioFault:
+    """One rule over radio frame deliveries.
+
+    ``probability`` is evaluated per *delivery* (each receiver of a
+    broadcast rolls independently).  ``frame_kinds`` / ``dst`` narrow
+    the rule to matching frames; ``start``/``stop`` bound the active
+    window in seconds since the injector was armed.  ``delay`` and
+    ``reorder`` both hold a matched delivery back by ``extra_delay``
+    seconds -- the medium has no queue, so reordering *is* differential
+    delay: a held frame is overtaken by anything sent in the meantime.
+    """
+
+    kind: str
+    probability: float = 1.0
+    frame_kinds: Optional[Tuple[str, ...]] = None
+    dst: Optional[str] = None
+    start: float = 0.0
+    stop: float = math.inf
+    extra_delay: float = 0.25
+    copies: int = 1                  # extra deliveries for "duplicate"
+
+    def __post_init__(self) -> None:
+        if self.kind not in RADIO_FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown radio fault kind {self.kind!r} "
+                f"(want one of {RADIO_FAULT_KINDS})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultInjectionError(
+                f"radio fault probability {self.probability!r} "
+                "outside [0, 1]")
+        if self.start < 0 or self.stop < self.start:
+            raise FaultInjectionError(
+                f"radio fault window [{self.start}, {self.stop}) is empty "
+                "or negative")
+        if self.extra_delay < 0:
+            raise FaultInjectionError("extra_delay must be >= 0")
+        if self.copies < 1:
+            raise FaultInjectionError("duplicate copies must be >= 1")
+
+    def matches(self, frame_kind: str, dst: Optional[str],
+                elapsed: float) -> bool:
+        """Does this rule apply to a delivery of ``frame_kind`` at
+        ``elapsed`` seconds since arming?"""
+        if self.frame_kinds is not None \
+                and frame_kind not in self.frame_kinds:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        return self.start <= elapsed < self.stop
+
+
+@dataclass(frozen=True)
+class PoolFault:
+    """One fault against a :class:`~repro.core.verifier_pool.VerifierPool`.
+
+    ``kill_worker`` SIGKILLs ``count`` worker processes chosen by the
+    plan RNG; ``hang_worker`` wedges one worker in a ``hang_seconds``
+    sleep.  Both surface to the pool as a timed-out chunk, exercising
+    the requeue-and-respawn path.  ``at`` is seconds after arming when
+    armed with an event loop; with no loop the fault fires immediately.
+    """
+
+    kind: str
+    at: float = 0.0
+    count: int = 1
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in POOL_FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown pool fault kind {self.kind!r} "
+                f"(want one of {POOL_FAULT_KINDS})")
+        if self.at < 0:
+            raise FaultInjectionError("pool fault time must be >= 0")
+        if self.count < 1:
+            raise FaultInjectionError("pool fault count must be >= 1")
+
+
+@dataclass(frozen=True)
+class RouterFault:
+    """One fault against a :class:`~repro.core.router.MeshRouter`.
+
+    ``sever_channel`` / ``restore_channel`` flip the operator secure
+    channel (degraded mode); ``stale_lists`` silently skips refreshes
+    by severing without marking -- modelled as a plain sever here, the
+    distinction being which routers the plan names.  ``router_id`` of
+    ``None`` matches every armed router.
+    """
+
+    kind: str
+    at: float = 0.0
+    router_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ROUTER_FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown router fault kind {self.kind!r} "
+                f"(want one of {ROUTER_FAULT_KINDS})")
+        if self.at < 0:
+            raise FaultInjectionError("router fault time must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded chaos specification.
+
+    ``seed`` drives every probabilistic decision the injector makes
+    (which deliveries fault, which byte corrupts, which worker dies),
+    so a plan is its own reproduction recipe.
+    """
+
+    seed: int = 0
+    radio: Tuple[RadioFault, ...] = ()
+    pool: Tuple[PoolFault, ...] = ()
+    router: Tuple[RouterFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize lists to tuples so plans stay hashable/frozen.
+        for name in ("radio", "pool", "router"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.radio or self.pool or self.router)
+
+    def describe(self) -> str:
+        """One-line human summary (logged by chaos harnesses)."""
+        parts = [f"seed={self.seed}"]
+        parts += [f"radio:{f.kind}@p={f.probability:g}" for f in self.radio]
+        parts += [f"pool:{f.kind}@t={f.at:g}" for f in self.pool]
+        parts += [f"router:{f.kind}@t={f.at:g}" for f in self.router]
+        return " ".join(parts)

@@ -28,9 +28,11 @@ from repro.core.messages import (
     DataPacket,
 )
 from repro.core.protocols.session import SecureSession
+from repro.core.protocols.user_router import Retransmitter, RetryPolicy
 from repro.core.router import MeshRouter
 from repro.core.user import NetworkUser
-from repro.errors import ProtocolError, ReproError, SessionError
+from repro.errors import DegradedModeError, ProtocolError, ReproError, \
+    SessionError
 from repro.wmn.costmodel import CostModel
 from repro.wmn.radio import Frame, Position, RadioMedium
 from repro.wmn.simclock import EventLoop
@@ -128,9 +130,11 @@ class SimMeshRouter(SimNode):
         self._cpu_draining = False
         self._session_nodes: Dict[bytes, str] = {}
         self.metrics = {
-            "beacons_sent": 0, "requests_enqueued": 0,
+            "beacons_sent": 0, "beacons_suppressed": 0,
+            "requests_enqueued": 0,
             "requests_dropped_queue": 0, "handshakes_completed": 0,
-            "handshakes_rejected": 0, "data_delivered": 0,
+            "handshakes_rejected": 0, "duplicate_requests": 0,
+            "data_delivered": 0,
             "data_rejected": 0, "cpu_busy_seconds": 0.0,
             "forwarded_local": 0, "forwarded_backbone": 0,
             "forward_failed": 0, "downlinks_sent": 0,
@@ -146,7 +150,13 @@ class SimMeshRouter(SimNode):
     # -- beaconing ------------------------------------------------------
 
     def _beacon(self) -> None:
-        beacon = self.router.make_beacon()
+        try:
+            beacon = self.router.make_beacon()
+        except DegradedModeError:
+            # Past the staleness grace window: stop advertising rather
+            # than invite handshakes we would refuse anyway.
+            self.metrics["beacons_suppressed"] += 1
+            return
         self.metrics["beacons_sent"] += 1
         self.send(Frame("M.1", beacon.encode(), src=self.node_id))
 
@@ -192,16 +202,25 @@ class SimMeshRouter(SimNode):
         except ReproError:
             self.metrics["handshakes_rejected"] += 1
             return self.cost_model.hash_op
+        dup_before = self.router.engine.stats["duplicate_requests"]
         try:
             confirm, _session = self.router.process_request(request)
         except ReproError as exc:
             self.metrics["handshakes_rejected"] += 1
             # A failed puzzle check is cheap; a failed signature is not.
             from repro.errors import PuzzleError, ReplayError
-            if isinstance(exc, (PuzzleError, ReplayError)):
+            if isinstance(exc, (DegradedModeError, PuzzleError,
+                                ReplayError)):
                 return self.cost_model.puzzle_verify()
             return self.cost_model.group_verify(
                 len(self.router.url.tokens))
+        if self.router.engine.stats["duplicate_requests"] > dup_before:
+            # Retransmitted (M.2): re-serve the cached (M.3) without a
+            # second handshake, second session, or verification charge.
+            self.metrics["duplicate_requests"] += 1
+            self.send(Frame("M.3", confirm.encode(), src=self.node_id,
+                            dst=frame.src))
+            return self.cost_model.hash_op
         self.metrics["handshakes_completed"] += 1
         self.handshake_waits.append(self.loop.now - enqueued_at)
         cost = self.cost_model.group_verify(len(self.router.url.tokens))
@@ -307,6 +326,7 @@ class SimUser(SimNode):
                  boost_range: float = 400.0,
                  connect_timeout: Optional[float] = 30.0,
                  reconnect_interval: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
                  rng: Optional[random.Random] = None) -> None:
         super().__init__(node_id, position, loop, radio, tx_range=user_range)
         self.user = user
@@ -318,6 +338,8 @@ class SimUser(SimNode):
         self.user_range = user_range
         self.boost_range = boost_range
         self.connect_timeout = connect_timeout
+        self.retry_policy = retry_policy
+        self._retx: Optional[Retransmitter] = None
         self.rng = rng or random.Random(2)
         if reconnect_interval is not None:
             loop.schedule_every(reconnect_interval, self.disconnect,
@@ -331,6 +353,7 @@ class SimUser(SimNode):
         self.metrics = {
             "beacons_heard": 0, "beacons_rejected": 0,
             "connect_attempts": 0, "connected": 0,
+            "retransmits": 0, "retry_give_ups": 0,
             "data_sent": 0, "data_received": 0,
             "auth_delay_sum": 0.0, "puzzles_solved": 0,
         }
@@ -376,13 +399,45 @@ class SimUser(SimNode):
             delay += self.cost_model.puzzle_solve(
                 beacon.puzzle.difficulty_bits)
         payload = request.encode()
-        self.loop.schedule(delay, lambda: self.send(
-            Frame("M.2", payload, src=self.node_id, dst=self.router_id),
-            tx_range=self.boost_range))
+        router_id = self.router_id
+
+        def send_m2() -> None:
+            self.send(Frame("M.2", payload, src=self.node_id,
+                            dst=router_id),
+                      tx_range=self.boost_range)
+
+        if self.retry_policy is None:
+            self.loop.schedule(delay, send_m2)
+        else:
+            # Retransmit the identical wire bytes on timeout; the
+            # router's duplicate cache makes late copies idempotent.
+            retx = Retransmitter(
+                send=send_m2, schedule=self.loop.schedule,
+                policy=self.retry_policy, rng=self.rng,
+                on_retry=self._note_retransmit,
+                on_give_up=self._note_give_up)
+            self._retx = retx
+
+            def start() -> None:
+                # The attempt may have been abandoned (timeout or a
+                # newer beacon) while the crypto delay elapsed.
+                if self.state == "connecting" and self._retx is retx:
+                    retx.start()
+
+            self.loop.schedule(delay, start)
         if self.connect_timeout is not None:
             attempt = self._attempt_started
             self.loop.schedule(self.connect_timeout,
                                lambda: self._maybe_timeout(attempt))
+
+    def _note_retransmit(self) -> None:
+        self.metrics["retransmits"] += 1
+
+    def _note_give_up(self) -> None:
+        """Retry budget exhausted: abandon the attempt cleanly."""
+        self.metrics["retry_give_ups"] += 1
+        if self.state == "connecting":
+            self.disconnect()
 
     def _maybe_timeout(self, attempt_started: float) -> None:
         """Abandon a handshake that never completed (phisher, overload)."""
@@ -401,6 +456,9 @@ class SimUser(SimNode):
                 self._pending, confirm)
         except ReproError:
             return
+        if self._retx is not None:
+            self._retx.ack()
+            self._retx = None
         self.session = session
         self.state = "connected"
         self.metrics["connected"] += 1
@@ -457,6 +515,9 @@ class SimUser(SimNode):
 
     def disconnect(self) -> None:
         """Drop the current session and return to idle."""
+        if self._retx is not None:
+            self._retx.cancel()
+            self._retx = None
         self.state = "idle"
         self.session = None
         self._pending = None

@@ -8,6 +8,11 @@ makes the byte-accounted message sizes matter for handshake delay (E4).
 Every node within range of a transmission *hears* it, so passive
 adversaries are modelled for free: an eavesdropper is just a node whose
 ``deliver`` records frames instead of acting on them.
+
+Fault injection hooks in per delivery: an installed ``fault_filter``
+(see :mod:`repro.faults`) may drop, duplicate, corrupt, or re-time each
+scheduled delivery.  The hook sits *after* the medium's own range and
+loss checks, so natural loss and injected faults compose.
 """
 
 from __future__ import annotations
@@ -21,6 +26,12 @@ from repro.errors import SimulationError
 from repro.wmn.simclock import EventLoop
 
 Position = Tuple[float, float]
+
+#: A fault filter maps one about-to-be-scheduled delivery to zero or
+#: more ``(delay, frame)`` deliveries: ``[]`` drops it, two entries
+#: duplicate it, a rewritten frame corrupts it, a larger delay
+#: delays/reorders it.  ``delay`` is relative to the transmit instant.
+FaultFilter = Callable[["Frame", str, float], List[Tuple[float, "Frame"]]]
 
 
 @dataclass(frozen=True)
@@ -66,6 +77,7 @@ class RadioMedium:
         self.propagation_speed = propagation_speed
         self._nodes: Dict[str, RadioNode] = {}
         self._ranges: Dict[str, float] = {}
+        self.fault_filter: Optional[FaultFilter] = None
         self.frames_sent = 0
         self.bytes_sent = 0
         self.frames_dropped = 0
@@ -129,8 +141,14 @@ class RadioMedium:
                 self.frames_dropped += 1
                 continue
             delay = tx_delay + dist / self.propagation_speed
-            self.loop.schedule(delay,
-                               _make_delivery(receiver, frame))
+            if self.fault_filter is None:
+                self.loop.schedule(delay,
+                                   _make_delivery(receiver, frame))
+                continue
+            for when, out_frame in self.fault_filter(frame, receiver_id,
+                                                     delay):
+                self.loop.schedule(when,
+                                   _make_delivery(receiver, out_frame))
 
 
 def _make_delivery(receiver: RadioNode, frame: Frame) -> Callable[[], None]:

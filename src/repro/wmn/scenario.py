@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.clock import Clock
 from repro.core.deployment import Deployment
 from repro.core.protocols.dos import DosPolicy
+from repro.core.protocols.user_router import RetryPolicy
 from repro.core.router import MeshRouter
 from repro.wmn.costmodel import CostModel
 from repro.wmn.metrics import (
@@ -57,6 +58,8 @@ class ScenarioConfig:
     mobility: bool = False                # random-waypoint user motion
     mobility_speed: Tuple[float, float] = (1.0, 8.0)   # m/s range
     reconnect_interval: Optional[float] = None   # periodic re-association
+    retry_policy: Optional[RetryPolicy] = None   # M.2 retransmission
+    expire_interval: Optional[float] = None      # router expiry ticks
 
 
 class Scenario:
@@ -99,6 +102,10 @@ class Scenario:
                 access_range=config.topology.access_range,
                 backbone=self.backbone, directory=self.directory,
                 rng=random.Random(config.seed + _stable_id(router_id)))
+            if config.expire_interval is not None:
+                self.loop.schedule_every(
+                    config.expire_interval,
+                    self.sim_routers[router_id].router.expire)
 
         user_class = RelayUser if config.relay_capable else SimUser
         self.sim_users: Dict[str, SimUser] = {}
@@ -113,6 +120,7 @@ class Scenario:
                 user_range=config.topology.user_range,
                 boost_range=config.topology.access_range * 1.2,
                 reconnect_interval=config.reconnect_interval,
+                retry_policy=config.retry_policy,
                 rng=random.Random(config.seed + _stable_id(user_id)))
             self.sim_users[user_id] = user
             if config.mobility:

@@ -129,12 +129,25 @@ class TestMainExitCodes:
         code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path)])
         assert code != 0
 
-    def test_full_mode_checks_both_experiments(self, tmp_path):
-        self._write(str(tmp_path), "E4", self._baseline_values("E4"))
-        self._write(str(tmp_path), "E2", self._baseline_values("E2"))
+    def test_full_mode_checks_all_experiments(self, tmp_path):
+        for slug in ("E4", "E2", "handshake_loss"):
+            self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"
         code = bench_gate.main(["--fresh-dir", str(tmp_path),
                                 "--json", str(out)])
         assert code == 0
         summary = json.loads(out.read_text())
-        assert [r["experiment"] for r in summary["results"]] == ["E4", "E2"]
+        assert [r["experiment"] for r in summary["results"]] \
+            == ["E4", "E2", "handshake_loss"]
+
+    def test_loss_sweep_completion_counts_gated_exactly(self, tmp_path):
+        values = dict(self._baseline_values("handshake_loss"))
+        values["completed_loss15_retry_on"] -= 1   # "lost a handshake"
+        self._write(str(tmp_path), "handshake_loss", values)
+        result = bench_gate.compare(
+            "handshake_loss",
+            {"values": self._baseline_values("handshake_loss")},
+            {"values": values})
+        assert not result["ok"]
+        assert any("completed_loss15_retry_on" in f
+                   for f in result["failures"])

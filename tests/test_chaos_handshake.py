@@ -1,0 +1,321 @@
+"""Chaos suite: seeded fault plans against the full handshake stack.
+
+The contract under test (ISSUE acceptance): for every plan and every
+seed, a handshake either *completes* -- with user and router holding
+the same session, able to exchange data, exactly as a fault-free run
+would -- or *fails closed* with a typed :mod:`repro.errors` error /
+a clean timeout.  Never a hang, a crash, or a half-open session that
+one side believes in and the other does not.
+
+Every test here runs across the three fixed CI seeds so a failure
+names its reproduction recipe.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.protocols.user_router import RetryPolicy
+from repro.errors import DegradedModeError
+from repro.faults import FaultInjector, FaultPlan, RadioFault, RouterFault
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+
+CHAOS_SEEDS = [101, 202, 303]
+
+RETRY = RetryPolicy(initial_timeout=2.0, backoff_factor=2.0,
+                    max_timeout=8.0, max_retries=4, jitter=0.1)
+
+
+def chaos_scenario(seed, users=3, retry=True, loss=0.0, **overrides):
+    config = ScenarioConfig(
+        preset="TEST", seed=seed,
+        topology=TopologyConfig(area_side=400.0, router_grid=1,
+                                user_count=users, seed=seed,
+                                access_range=400.0),
+        group_sizes=(("Company X", 8),),
+        beacon_interval=4.0,
+        loss_probability=loss,
+        retry_policy=RETRY if retry else None,
+        **overrides)
+    scenario = Scenario(config)
+    for user in scenario.sim_users.values():
+        user.connect_timeout = 60.0
+    return scenario
+
+
+def assert_no_half_open_sessions(scenario):
+    """The never-silent-partial invariant: every user that believes it
+    is connected holds a session its router also holds; every user
+    that does not is absent from its attempt's pending state."""
+    router_sessions = set()
+    for sim_router in scenario.sim_routers.values():
+        router_sessions |= set(sim_router.router.engine.sessions)
+    for user in scenario.sim_users.values():
+        if user.state == "connected":
+            assert user.session is not None
+            assert user.session.session_id in router_sessions
+        else:
+            assert user.session is None
+
+
+class TestChaosHandshake:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_m2_loss_recovered_by_retransmission(self, seed):
+        """Dropping a prefix of M.2 traffic: the retransmitter must
+        complete every handshake without a fresh beacon cycle."""
+        scenario = chaos_scenario(seed)
+        injector = FaultInjector(FaultPlan(
+            seed=seed,
+            radio=[RadioFault(kind="drop", probability=0.6,
+                              frame_kinds=("M.2",), stop=20.0)]))
+        injector.arm_scenario(scenario)
+        scenario.run(120.0)
+        assert scenario.connected_fraction() == 1.0
+        assert_no_half_open_sessions(scenario)
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_m3_loss_never_yields_two_sessions(self, seed):
+        """Satellite: the router's M.3 is dropped, the user retransmits
+        its M.2, the router re-serves the cached confirm.  One session,
+        one log entry, one completed handshake per user -- the
+        retransmit is counted as a duplicate exactly once per copy."""
+        scenario = chaos_scenario(seed)
+        injector = FaultInjector(FaultPlan(
+            seed=seed,
+            radio=[RadioFault(kind="drop", probability=1.0,
+                              frame_kinds=("M.3",), stop=6.0)]))
+        injector.arm_scenario(scenario)
+        with obs.collecting() as registry:
+            scenario.run(120.0)
+        assert scenario.connected_fraction() == 1.0
+        assert_no_half_open_sessions(scenario)
+        users = len(scenario.sim_users)
+        for sim_router in scenario.sim_routers.values():
+            engine = sim_router.router.engine
+            # Exactly one live session and one audit-log entry per
+            # user, regardless of how many M.2 copies arrived.
+            assert len(engine.sessions) == users
+            assert len(engine.log) == users
+            assert engine.stats["accepted"] == users
+            assert engine.stats["duplicate_requests"] >= 1
+            assert sim_router.metrics["handshakes_completed"] == users
+            # The obs counter saw the same duplicates the stats did.
+            assert (registry.counter_value("router.duplicate_requests_total")
+                    == engine.stats["duplicate_requests"])
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_corruption_rejected_then_recovered(self, seed):
+        """Corrupted M.2 bytes must be rejected (typed error inside the
+        router, counted as a rejection), and the retransmitted clean
+        copy must still complete the handshake."""
+        scenario = chaos_scenario(seed)
+        injector = FaultInjector(FaultPlan(
+            seed=seed,
+            radio=[RadioFault(kind="corrupt", probability=1.0,
+                              frame_kinds=("M.2",), stop=5.0)]))
+        injector.arm_scenario(scenario)
+        scenario.run(180.0)
+        assert scenario.connected_fraction() == 1.0
+        assert_no_half_open_sessions(scenario)
+        metrics = scenario.router_metrics()
+        assert (metrics["handshakes_rejected"] >= 1
+                or injector.counts.get("corrupt", 0) == 0)
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_duplicate_m2_frames_single_session(self, seed):
+        """The medium itself duplicates M.2 (no loss): the router must
+        treat the copies idempotently."""
+        scenario = chaos_scenario(seed, retry=False)
+        injector = FaultInjector(FaultPlan(
+            seed=seed,
+            radio=[RadioFault(kind="duplicate", copies=2,
+                              frame_kinds=("M.2",))]))
+        injector.arm_scenario(scenario)
+        scenario.run(60.0)
+        assert scenario.connected_fraction() == 1.0
+        assert_no_half_open_sessions(scenario)
+        users = len(scenario.sim_users)
+        for sim_router in scenario.sim_routers.values():
+            engine = sim_router.router.engine
+            assert len(engine.sessions) == users
+            assert engine.stats["accepted"] == users
+            assert engine.stats["duplicate_requests"] == 2 * users
+            assert sim_router.metrics["handshakes_completed"] == users
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_outcome_matches_fault_free_run(self, seed):
+        """Completed-handshake equivalence: a faulted run that connects
+        everyone ends in the same observable protocol state as the
+        fault-free run -- same per-router acceptance counts, same
+        session cardinality, zero rejected data."""
+        def terminal_state(plan):
+            scenario = chaos_scenario(seed)
+            if plan is not None:
+                FaultInjector(plan).arm_scenario(scenario)
+            scenario.run(120.0)
+            return {
+                "connected": scenario.connected_fraction(),
+                "accepted": sorted(
+                    r.router.engine.stats["accepted"]
+                    for r in scenario.sim_routers.values()),
+                "sessions": sorted(
+                    len(r.router.engine.sessions)
+                    for r in scenario.sim_routers.values()),
+            }
+
+        clean = terminal_state(None)
+        faulted = terminal_state(FaultPlan(
+            seed=seed,
+            radio=[RadioFault(kind="drop", probability=0.5,
+                              frame_kinds=("M.2", "M.3"), stop=15.0)]))
+        assert faulted == clean
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_retry_budget_exhaustion_fails_closed(self, seed):
+        """100% M.2 loss forever: retransmission cannot help.  The user
+        must burn its budget, give up cleanly, and retry from a later
+        beacon -- still no session anywhere, no hang."""
+        scenario = chaos_scenario(seed, users=2)
+        injector = FaultInjector(FaultPlan(
+            seed=seed,
+            radio=[RadioFault(kind="drop", probability=1.0,
+                              frame_kinds=("M.2",))]))
+        injector.arm_scenario(scenario)
+        scenario.run(120.0)
+        assert scenario.connected_fraction() == 0.0
+        assert_no_half_open_sessions(scenario)
+        metrics = scenario.user_metrics()
+        assert metrics["retry_give_ups"] >= 1
+        assert metrics["retransmits"] >= 1
+        for sim_router in scenario.sim_routers.values():
+            assert sim_router.router.engine.sessions == {}
+
+
+class TestDegradedMode:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_grace_window_then_typed_refusal(self, seed, fresh_deployment):
+        """An honest router that loses its backhaul serves last-known
+        lists within the grace window, then refuses with
+        DegradedModeError -- fail closed, not stale-forever."""
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        router.staleness_grace = 120.0
+        user = deployment.users["alice"]
+
+        FaultInjector(FaultPlan(
+            seed=seed, router=[RouterFault(kind="sever_channel")]
+        )).arm_router(router)
+        assert router.degraded
+
+        # Inside the grace window: full service on last-known lists.
+        deployment.clock.advance(60.0)
+        beacon = router.make_beacon()
+        request, pending = user.connect_to_router(beacon)
+        confirm, _ = router.process_request(request)
+        session = user.complete_router_handshake(pending, confirm)
+        assert session.session_id in router.engine.sessions
+
+        # Past the grace window: every protocol entry point refuses.
+        deployment.clock.advance(120.0)
+        with pytest.raises(DegradedModeError):
+            router.make_beacon()
+        with pytest.raises(DegradedModeError):
+            router.process_request(request)
+        with pytest.raises(DegradedModeError):
+            router.process_request_batch([request])
+
+    def test_channel_restore_clears_degradation(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        router.staleness_grace = 60.0
+        router.set_operator_channel(False)
+        deployment.clock.advance(600.0)
+        with pytest.raises(DegradedModeError):
+            router.make_beacon()
+        router.set_operator_channel(True)
+        assert not router.degraded
+        assert router.lists_age() == 0.0     # refreshed on restore
+        router.make_beacon()                 # serving again
+
+    def test_revoked_router_exempt_from_degraded_mode(self,
+                                                      fresh_deployment):
+        """E7's phishing window depends on a *revoked* router serving
+        ever-staler lists; degraded mode must never kick in there."""
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        router.staleness_grace = 60.0
+        router.sever_operator_channel()      # revocation path
+        deployment.clock.advance(10_000.0)
+        assert not router.degraded
+        router.make_beacon()                 # still phishing happily
+        # And flipping the honest channel is a no-op on revoked routers.
+        router.set_operator_channel(False)
+        assert not router.degraded
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_degraded_router_in_simulation_stops_cleanly(self, seed):
+        """Severed backhaul mid-simulation: beacons stop after the
+        grace window (suppressed, not crashed) and the loop keeps
+        running."""
+        scenario = chaos_scenario(seed, users=2)
+        for sim_router in scenario.sim_routers.values():
+            sim_router.router.staleness_grace = 30.0
+        injector = FaultInjector(FaultPlan(
+            seed=seed,
+            router=[RouterFault(kind="sever_channel", at=10.0)]))
+        for sim_router in scenario.sim_routers.values():
+            injector.arm_router(sim_router.router, loop=scenario.loop)
+        scenario.run(200.0)
+        metrics = scenario.router_metrics()
+        assert metrics["beacons_suppressed"] >= 1
+        assert_no_half_open_sessions(scenario)
+
+
+class TestExpireTick:
+    def test_burst_then_silence_releases_state(self, fresh_deployment):
+        """Satellite: a router that beacons in a burst and then goes
+        quiet still sheds expired beacon secrets and cached confirms
+        when the scenario loop drives expire()."""
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        user = deployment.users["alice"]
+        for _ in range(10):
+            router.make_beacon()
+        beacon = router.make_beacon()
+        request, pending = user.connect_to_router(beacon)
+        confirm, _ = router.process_request(request)
+        user.complete_router_handshake(pending, confirm)
+        engine = router.engine
+        assert len(engine._outstanding) == 11
+        assert len(engine._completed) == 1
+
+        # Silence: no beacons, so only the explicit tick can prune.
+        deployment.clock.advance(engine.beacon_validity + 1.0)
+        engine_outstanding_before = len(engine._outstanding)
+        assert engine_outstanding_before == 11
+        router.expire()
+        assert engine._outstanding == {}
+        assert engine._completed == {}
+
+    def test_expire_keeps_fresh_state(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        router.make_beacon()
+        deployment.clock.advance(5.0)
+        router.expire()
+        assert len(router.engine._outstanding) == 1
+
+    def test_scenario_expire_interval_wired(self):
+        scenario = chaos_scenario(101, users=1,
+                                  expire_interval=20.0)
+        scenario.run(10.0)   # builds + runs; the tick is scheduled
+        router = next(iter(scenario.sim_routers.values())).router
+        outstanding = len(router.engine._outstanding)
+        assert outstanding >= 1
+        scenario.loop.run_until(scenario.loop.now + 400.0)
+        # Old beacons (>300s) are gone even though ticks, not
+        # make_beacon, did the pruning between beacon bursts.
+        for _key, (_r, _g, issued, _p) in \
+                router.engine._outstanding.items():
+            assert scenario.clock.now() - issued \
+                <= router.engine.beacon_validity + 20.0

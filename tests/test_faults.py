@@ -1,0 +1,227 @@
+"""Unit tests for the fault-injection harness (plans + injector).
+
+These pin the contract the chaos suites rely on: plans validate
+eagerly, radio faults compose per delivery, every probabilistic choice
+comes from the plan's seed (same plan, same traffic -> same faults),
+and router faults flip exactly the documented switches.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    PoolFault,
+    RadioFault,
+    RouterFault,
+    corrupt_frame,
+)
+from repro.wmn.radio import Frame, RadioMedium
+from repro.wmn.simclock import EventLoop
+
+
+class Sink:
+    def __init__(self, node_id, position):
+        self.node_id = node_id
+        self.position = position
+        self.received = []
+
+    def deliver(self, frame):
+        self.received.append(frame)
+
+
+def make_link(loss=0.0):
+    """One sender, one receiver, 50m apart, lossless unless asked."""
+    loop = EventLoop()
+    medium = RadioMedium(loop, default_range=100.0,
+                         loss_probability=loss, rng=random.Random(1))
+    a = Sink("a", (0.0, 0.0))
+    b = Sink("b", (50.0, 0.0))
+    medium.attach(a)
+    medium.attach(b)
+    return loop, medium, a, b
+
+
+class TestPlanValidation:
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            RadioFault(kind="teleport")
+        with pytest.raises(FaultInjectionError):
+            PoolFault(kind="promote_worker")
+        with pytest.raises(FaultInjectionError):
+            RouterFault(kind="reboot")
+
+    def test_probability_window_copies_validated(self):
+        with pytest.raises(FaultInjectionError):
+            RadioFault(kind="drop", probability=1.5)
+        with pytest.raises(FaultInjectionError):
+            RadioFault(kind="drop", start=10.0, stop=5.0)
+        with pytest.raises(FaultInjectionError):
+            RadioFault(kind="duplicate", copies=0)
+        with pytest.raises(FaultInjectionError):
+            PoolFault(kind="kill_worker", count=0)
+
+    def test_plan_normalizes_lists_and_describes(self):
+        plan = FaultPlan(seed=7, radio=[RadioFault(kind="drop")],
+                         router=[RouterFault(kind="sever_channel")])
+        assert isinstance(plan.radio, tuple)
+        assert isinstance(plan.router, tuple)
+        assert not plan.empty
+        assert FaultPlan().empty
+        text = plan.describe()
+        assert "seed=7" in text and "drop" in text
+
+    def test_matches_respects_kind_dst_window(self):
+        fault = RadioFault(kind="drop", frame_kinds=("M.2",), dst="r",
+                           start=1.0, stop=2.0)
+        assert fault.matches("M.2", "r", 1.5)
+        assert not fault.matches("M.1", "r", 1.5)
+        assert not fault.matches("M.2", "other", 1.5)
+        assert not fault.matches("M.2", "r", 0.5)
+        assert not fault.matches("M.2", "r", 2.0)
+
+
+class TestCorruptFrame:
+    def test_always_changes_payload(self):
+        rng = random.Random(3)
+        frame = Frame("M.2", b"\x00" * 32, src="a", dst="b")
+        for _ in range(50):
+            bad = corrupt_frame(frame, rng)
+            assert bad.payload != frame.payload
+            assert len(bad.payload) == len(frame.payload)
+            assert (bad.kind, bad.src, bad.dst) == ("M.2", "a", "b")
+
+    def test_empty_payload_is_noop(self):
+        frame = Frame("M.2", b"", src="a")
+        assert corrupt_frame(frame, random.Random(0)).payload == b""
+
+
+class TestRadioInjection:
+    def test_drop_all(self):
+        loop, medium, a, b = make_link()
+        injector = FaultInjector(FaultPlan(
+            seed=1, radio=[RadioFault(kind="drop")]))
+        injector.arm_radio(medium)
+        for _ in range(5):
+            medium.transmit(Frame("M.2", b"x", src="a"))
+        loop.run_all()
+        assert b.received == []
+        assert injector.counts["drop"] == 5
+
+    def test_duplicate_delivers_copies(self):
+        loop, medium, a, b = make_link()
+        injector = FaultInjector(FaultPlan(
+            seed=1, radio=[RadioFault(kind="duplicate", copies=2)]))
+        injector.arm_radio(medium)
+        medium.transmit(Frame("M.2", b"x", src="a"))
+        loop.run_all()
+        assert len(b.received) == 3
+
+    def test_corrupt_rewrites_in_flight(self):
+        loop, medium, a, b = make_link()
+        injector = FaultInjector(FaultPlan(
+            seed=1, radio=[RadioFault(kind="corrupt")]))
+        injector.arm_radio(medium)
+        medium.transmit(Frame("M.2", b"\x00" * 16, src="a"))
+        loop.run_all()
+        assert len(b.received) == 1
+        assert b.received[0].payload != b"\x00" * 16
+
+    def test_delay_postpones_delivery(self):
+        loop, medium, a, b = make_link()
+        injector = FaultInjector(FaultPlan(
+            seed=1, radio=[RadioFault(kind="delay", extra_delay=2.0)]))
+        injector.arm_radio(medium)
+        medium.transmit(Frame("M.2", b"x", src="a"))
+        loop.run_until(loop.now + 1.0)
+        assert b.received == []
+        loop.run_until(loop.now + 2.0)
+        assert len(b.received) == 1
+
+    def test_reorder_lets_later_frame_overtake(self):
+        loop, medium, a, b = make_link()
+        injector = FaultInjector(FaultPlan(
+            seed=1, radio=[RadioFault(kind="reorder", extra_delay=1.0,
+                                      frame_kinds=("M.2",))]))
+        injector.arm_radio(medium)
+        medium.transmit(Frame("M.2", b"first", src="a"))
+        medium.transmit(Frame("DAT", b"second", src="a"))
+        loop.run_all()
+        assert [f.payload for f in b.received] == [b"second", b"first"]
+
+    def test_kind_filter_spares_other_traffic(self):
+        loop, medium, a, b = make_link()
+        injector = FaultInjector(FaultPlan(
+            seed=1, radio=[RadioFault(kind="drop",
+                                      frame_kinds=("M.2",))]))
+        injector.arm_radio(medium)
+        medium.transmit(Frame("M.2", b"handshake", src="a"))
+        medium.transmit(Frame("M.1", b"beacon", src="a"))
+        loop.run_all()
+        assert [f.kind for f in b.received] == ["M.1"]
+
+    def test_disarm_restores_clean_medium(self):
+        loop, medium, a, b = make_link()
+        injector = FaultInjector(FaultPlan(
+            seed=1, radio=[RadioFault(kind="drop")]))
+        injector.arm_radio(medium)
+        medium.transmit(Frame("M.2", b"x", src="a"))
+        injector.disarm_radio(medium)
+        medium.transmit(Frame("M.2", b"y", src="a"))
+        loop.run_all()
+        assert [f.payload for f in b.received] == [b"y"]
+
+    def test_same_seed_same_fault_pattern(self):
+        """The replayable-chaos contract: identical plans against
+        identical traffic fault identical deliveries."""
+        def run(seed):
+            loop, medium, a, b = make_link()
+            injector = FaultInjector(FaultPlan(
+                seed=seed,
+                radio=[RadioFault(kind="drop", probability=0.5)]))
+            injector.arm_radio(medium)
+            for i in range(40):
+                medium.transmit(Frame("M.2", bytes([i]), src="a"))
+            loop.run_all()
+            return [f.payload for f in b.received]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)   # and the seed actually matters
+
+
+class TestRouterInjection:
+    def test_sever_and_restore_channel(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        injector = FaultInjector(FaultPlan(
+            seed=1, router=[RouterFault(kind="sever_channel")]))
+        injector.arm_router(router)
+        assert router.degraded
+        FaultInjector(FaultPlan(
+            seed=1, router=[RouterFault(kind="restore_channel")]
+        )).arm_router(router)
+        assert not router.degraded
+
+    def test_router_id_filter(self, fresh_deployment):
+        deployment = fresh_deployment(routers=["MR-1", "MR-2"])
+        injector = FaultInjector(FaultPlan(
+            seed=1,
+            router=[RouterFault(kind="sever_channel",
+                                router_id="MR-2")]))
+        for router in deployment.routers.values():
+            injector.arm_router(router)
+        assert not deployment.routers["MR-1"].degraded
+        assert deployment.routers["MR-2"].degraded
+
+    def test_stale_lists_suppresses_refresh(self, fresh_deployment):
+        deployment = fresh_deployment()
+        router = deployment.routers["MR-1"]
+        FaultInjector(FaultPlan(
+            seed=1, router=[RouterFault(kind="stale_lists")]
+        )).arm_router(router)
+        deployment.clock.advance(100.0)
+        router.refresh_lists()
+        assert router.lists_age() == pytest.approx(100.0)

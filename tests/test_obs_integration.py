@@ -105,6 +105,9 @@ class TestPoolMetrics:
         assert reg.histogram_snapshot("pool.batch_seconds")["count"] == 1
 
     def test_dead_pool_records_fallbacks(self, gpk, member_keys):
+        # The pool self-heals: the first submit against the dead pool
+        # falls back serially and triggers a respawn, after which the
+        # remaining chunk runs on the fresh workers.
         batch = self._batch(gpk, member_keys, n=4)
         pool = VerifierPool(gpk, processes=2, chunk_size=2)
         if not pool.is_parallel:
@@ -117,11 +120,12 @@ class TestPoolMetrics:
         finally:
             pool.close()
         assert all(r is None for r in results)
-        fallbacks = reg.counter_value("pool.chunks_fallback_total")
-        assert fallbacks == 2
+        assert reg.counter_value("pool.chunks_fallback_total") == 1
         assert (reg.counter_value("pool.chunk_failures_total")
                 + reg.counter_value("pool.submit_failures_total")) >= 1
-        assert reg.gauge_value("pool.serial_fallbacks") == 2
+        assert reg.counter_value("pool.worker_restarts") == 1
+        assert reg.counter_value("pool.chunks_parallel_total") == 1
+        assert reg.gauge_value("pool.serial_fallbacks") == 1
 
 
 class TestHandshakeMetrics:

@@ -1,0 +1,182 @@
+"""VerifierPool under chaos: dead and hung workers, requeue, respawn.
+
+The acceptance bar (ISSUE): a worker-kill mid-batch must end with the
+pool automatically respawning its workers and the batch's results --
+outcomes *and* replayed operation counts -- identical to serial
+``groupsig.verify_batch``.  The regression tests pin the satellite
+fix: a timed-out chunk is absorbed exactly once (no orphaned futures,
+no double-counted ops in the serial fallback).
+"""
+
+import dataclasses
+import random
+import signal
+
+import pytest
+
+from repro import instrument, obs
+from repro.core import groupsig
+from repro.core.verifier_pool import VerifierPool
+from repro.faults import FaultInjector, FaultPlan, PoolFault
+
+CHAOS_SEEDS = [101, 202, 303]
+
+
+@pytest.fixture(scope="module")
+def url_tokens(member_keys):
+    return (groupsig.RevocationToken(member_keys["b2"].a),
+            groupsig.RevocationToken(member_keys["a2"].a))
+
+
+@pytest.fixture(scope="module")
+def chaos_batch(gpk, member_keys):
+    """Twelve items: index 3 revoked (a2), index 6 tampered, rest ok."""
+    rng = random.Random(4242)
+    signers = ["a1", "b2", "a1", "a2", "b2", "a1",
+               "a1", "b2", "a1", "b2", "a1", "b2"]
+    batch = []
+    for index, name in enumerate(signers):
+        message = b"chaos message %d" % index
+        signature = groupsig.sign(gpk, member_keys[name], message, rng=rng)
+        if index == 6:
+            signature = dataclasses.replace(signature,
+                                            s_x=signature.s_x + 1)
+        batch.append((message, signature))
+    return batch
+
+
+def outcome_key(result):
+    if result is None:
+        return ("ok",)
+    return (type(result).__name__, str(result),
+            getattr(result, "token_index", None))
+
+
+def serial_reference(gpk, url_tokens, batch):
+    with instrument.count_operations() as ops:
+        results = groupsig.verify_batch(gpk, batch, url=url_tokens)
+    return [outcome_key(r) for r in results], ops.snapshot()
+
+
+class TestWorkerKill:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_killed_workers_respawn_results_identical(
+            self, seed, gpk, url_tokens, chaos_batch):
+        """SIGKILL every worker mid-lifecycle via the fault injector:
+        the pool requeues, respawns, and the batch is bit-identical to
+        serial -- the headline acceptance criterion."""
+        expected, expected_ops = serial_reference(
+            gpk, url_tokens, chaos_batch)
+        with VerifierPool(gpk, url_tokens, processes=2, chunk_size=2,
+                          task_timeout=10.0) as pool:
+            assert pool.is_parallel
+            injector = FaultInjector(FaultPlan(
+                seed=seed, pool=[PoolFault(kind="kill_worker",
+                                           count=2)]))
+            injector.arm_pool(pool)
+            assert injector.counts["kill_worker"] == 2
+            with instrument.count_operations() as ops:
+                results = pool.verify_batch(chaos_batch)
+            assert [outcome_key(r) for r in results] == expected
+            assert ops.snapshot() == expected_ops
+            # Recovery actually ran: either the dead workers tripped a
+            # chunk failure (requeue + respawn) or multiprocessing's
+            # own reaper replaced them before we submitted; both end
+            # with a live parallel pool.
+            assert pool.is_parallel
+            # And the pool still works afterwards.
+            again = pool.verify_batch(chaos_batch)
+            assert [outcome_key(r) for r in again] == expected
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_hung_worker_times_out_then_recovers(
+            self, seed, gpk, url_tokens, chaos_batch):
+        """A wedged worker (chaos hang) surfaces as a chunk timeout;
+        the pool absorbs the chunk serially exactly once and respawns.
+
+        One worker, so the hang deterministically blocks the queue --
+        with spare workers a hang is just a lost core, which is the
+        point of having spares."""
+        expected, expected_ops = serial_reference(
+            gpk, url_tokens, chaos_batch)
+        with VerifierPool(gpk, url_tokens, processes=1, chunk_size=2,
+                          task_timeout=1.0) as pool:
+            injector = FaultInjector(FaultPlan(
+                seed=seed, pool=[PoolFault(kind="hang_worker",
+                                           hang_seconds=3600.0)]))
+            injector.arm_pool(pool)
+            assert injector.counts["hang_worker"] == 1
+            with instrument.count_operations() as ops:
+                results = pool.verify_batch(chaos_batch)
+            assert [outcome_key(r) for r in results] == expected
+            assert ops.snapshot() == expected_ops
+            assert pool.serial_fallbacks >= 1
+            assert pool.worker_restarts >= 1
+
+    def test_restart_budget_bounds_respawns(self, gpk, url_tokens):
+        pool = VerifierPool(gpk, url_tokens, processes=2,
+                            max_worker_restarts=1)
+        try:
+            assert pool.respawn_workers()       # budget 1 -> ok
+            assert pool.worker_restarts == 1
+            assert not pool.respawn_workers()   # budget spent
+            assert not pool.is_parallel         # permanently serial
+        finally:
+            pool.close()
+
+    def test_serial_mode_has_no_workers_to_fault(self, gpk, url_tokens):
+        with VerifierPool(gpk, url_tokens, processes=0) as pool:
+            assert pool.worker_pids() == []
+            assert not pool.inject_worker_hang(1.0)
+            assert not pool.respawn_workers()
+
+
+class TestTimeoutRegression:
+    """Satellite fix: the per-chunk timeout path absorbs every chunk
+    exactly once -- no orphaned futures, no double-counted ops."""
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_op_counts_pinned_after_timeout(self, seed, gpk, url_tokens,
+                                            chaos_batch):
+        """Replayed operation counts after a forced timeout equal the
+        serial counts *exactly* -- if a timed-out chunk's late worker
+        result were ever absorbed on top of its serial re-run, the
+        pairing/exponentiation tallies would double for that chunk."""
+        expected, expected_ops = serial_reference(
+            gpk, url_tokens, chaos_batch)
+        with VerifierPool(gpk, url_tokens, processes=2, chunk_size=2,
+                          task_timeout=0.0) as pool:
+            # task_timeout=0 forces every collected chunk to "time
+            # out" -- the hardest case: all chunks take the recovery
+            # path, possibly several respawn cycles deep.
+            with instrument.count_operations() as ops:
+                results = pool.verify_batch(chaos_batch)
+        assert [outcome_key(r) for r in results] == expected
+        assert ops.snapshot() == expected_ops
+
+    def test_recovery_counters_and_registry(self, gpk, url_tokens,
+                                            chaos_batch):
+        with VerifierPool(gpk, url_tokens, processes=2, chunk_size=2,
+                          task_timeout=0.0, max_worker_restarts=1) as pool, \
+                obs.collecting() as registry:
+            pool.verify_batch(chaos_batch)
+            assert registry.counter_value("pool.chunk_failures_total") >= 1
+            assert registry.counter_value("pool.worker_restarts") \
+                == pool.worker_restarts
+        assert pool.serial_fallbacks >= 1
+
+    def test_dead_pool_mid_batch_still_identical(self, gpk, url_tokens,
+                                                 chaos_batch):
+        """Terminate the worker set behind the pool's back: submission
+        fails, recovery drains serially, results stay identical."""
+        expected, expected_ops = serial_reference(
+            gpk, url_tokens, chaos_batch)
+        with VerifierPool(gpk, url_tokens, processes=2, chunk_size=2,
+                          task_timeout=5.0,
+                          max_worker_restarts=0) as pool:
+            pool._pool.terminate()
+            pool._pool.join()
+            with instrument.count_operations() as ops:
+                results = pool.verify_batch(chaos_batch)
+        assert [outcome_key(r) for r in results] == expected
+        assert ops.snapshot() == expected_ops

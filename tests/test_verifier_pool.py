@@ -195,9 +195,15 @@ class TestRouterIntegration:
         url = router.url
         serial = router.process_request_batch(requests)
         stats_after_serial = dict(router.engine.stats)
+        # A second, structurally identical set of fresh requests for
+        # the pooled run: re-submitting the same (M.2)s would hit the
+        # duplicate-suppression cache (covered in the chaos suite)
+        # instead of the verification path under test here.
+        _, pooled_requests = self._requests(deployment)
         with VerifierPool(router.engine.gpk, url.tokens,
                           processes=2, chunk_size=2) as pool:
-            pooled = router.process_request_batch(requests, pool=pool)
+            pooled = router.process_request_batch(pooled_requests,
+                                                  pool=pool)
         # Same classification per slot, same stats increments.
         for left, right in zip(serial, pooled):
             assert isinstance(left, tuple) == isinstance(right, tuple)
