@@ -46,6 +46,8 @@ BENCH_TARGETS: Dict[str, List[str]] = {
     "E2": ["benchmarks/bench_op_counts.py::test_e2_operation_count_table"],
     "handshake_loss": [
         "benchmarks/bench_handshake_loss.py::test_handshake_loss_sweep"],
+    "obs_overhead": [
+        "benchmarks/bench_obs_overhead.py::test_obs_overhead"],
 }
 
 #: slug -> metric -> rule.  A rule is ``{"kind": "exact"}`` or
@@ -84,6 +86,13 @@ GATES: Dict[str, Dict[str, dict]] = {
         for metric in ("completed", "attempts", "retransmits")
         for loss in (0, 5, 15, 30)
         for mode in ("off", "on")
+    },
+    # Wall-clock overhead is host-dependent; the bench itself reduces
+    # it to a pass/fail boolean with orders-of-magnitude headroom, and
+    # the gate checks that boolean exactly.
+    "obs_overhead": {
+        "overhead_le_10pct": {"kind": "exact"},
+        "iterations": {"kind": "exact"},
     },
 }
 
@@ -175,7 +184,8 @@ def main(argv=None) -> int:
                         help="write the full comparison result here")
     args = parser.parse_args(argv)
 
-    slugs = ["E4"] if args.smoke else ["E4", "E2", "handshake_loss"]
+    slugs = ["E4"] if args.smoke else ["E4", "E2", "handshake_loss",
+                                       "obs_overhead"]
     results = []
     exit_code = 0
 

@@ -11,9 +11,11 @@
 # 3. Output discipline: the library never prints.  __main__.py is the
 #    CLI and owns stdout; everything else returns strings (see
 #    repro/obs/report.py) so callers and tests stay capture-clean.
-# 4. Repo hygiene: no bytecode in the index.  __pycache__/*.pyc churn
-#    on every run and bloat diffs; .gitignore keeps new ones out, this
-#    gate keeps them from ever coming back.
+# 4. Repo hygiene: no bytecode and no benchmark scratch output in the
+#    index.  __pycache__/*.pyc and benchmarks/reports/ churn on every
+#    run and bloat diffs; .gitignore keeps new ones out, this gate
+#    keeps them from ever coming back (BENCH_*.json baselines at the
+#    repo root are the one committed benchmark artifact).
 
 set -e
 cd "$(dirname "$0")/.."
@@ -54,6 +56,14 @@ bytecode=$(git ls-files | grep -E '(\.pyc$|__pycache__/)' || true)
 if [ -n "$bytecode" ]; then
     echo "lint: committed bytecode (run: git rm -r --cached <paths>):" >&2
     echo "$bytecode" >&2
+    exit 1
+fi
+
+scratch=$(git ls-files | grep -E '^benchmarks/reports/' || true)
+if [ -n "$scratch" ]; then
+    echo "lint: committed benchmark scratch output (run:" >&2
+    echo "      git rm -r --cached benchmarks/reports):" >&2
+    echo "$scratch" >&2
     exit 1
 fi
 

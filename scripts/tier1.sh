@@ -35,10 +35,21 @@ while [ $# -gt 0 ]; do
 done
 
 if [ "$mode" = "smoke" ]; then
-    exec python -m pytest -x -q ${junit:+"$junit"} \
+    python -m pytest -x -q ${junit:+"$junit"} \
         tests/test_pairing_precompute.py::TestSmoke \
         tests/test_groupsig_batch.py::TestSmoke \
         tests/test_verifier_pool.py::TestSmoke
+    # obs-report smoke: the seeded traced scenario must produce at
+    # least one stitched handshake trace and render it.
+    python -m repro obs-report --workload scenario --format traces \
+        --duration 40 > /tmp/obs-smoke.$$ \
+        || { echo "tier1.sh: obs-report smoke failed" >&2; exit 1; }
+    grep -q "^trace " /tmp/obs-smoke.$$ \
+        || { echo "tier1.sh: obs-report produced no traces" >&2
+             rm -f /tmp/obs-smoke.$$; exit 1; }
+    rm -f /tmp/obs-smoke.$$
+    echo "tier1.sh: obs-report smoke OK"
+    exit 0
 fi
 
 if [ "$mode" = "chaos" ]; then

@@ -13,6 +13,14 @@ workload and dumps the collected metrics::
     python -m repro obs-report                    # JSON snapshot
     python -m repro obs-report --format prom      # Prometheus text
     python -m repro obs-report --preset SS512 --handshakes 8
+
+With ``--workload scenario`` it runs a seeded traced simulation and
+can render the stitched causal handshake traces::
+
+    python -m repro obs-report --workload scenario --format traces
+    python -m repro obs-report --workload scenario --format traces --top 3
+    python -m repro obs-report --workload scenario --format folded \
+        --rollup-out rollup.jsonl --folded-out stacks.folded
 """
 
 from __future__ import annotations
@@ -27,19 +35,63 @@ from repro.errors import RevokedKeyError
 
 
 def _obs_report(argv) -> int:
-    from repro.obs.report import FORMATS, render_report
+    from repro.obs import report as obs_report
 
     parser = argparse.ArgumentParser(
         prog="python -m repro obs-report",
         description="Run a short instrumented workload and print its "
-                    "metrics snapshot.")
-    parser.add_argument("--format", choices=FORMATS, default="json")
+                    "metrics snapshot, causal traces, or folded stacks.")
+    parser.add_argument("--format", choices=obs_report.FORMATS,
+                        default="json")
+    parser.add_argument("--workload", choices=("demo", "scenario"),
+                        default="demo",
+                        help="demo: direct API handshakes; scenario: "
+                             "seeded traced WMN simulation")
     parser.add_argument("--preset", default="TEST")
     parser.add_argument("--handshakes", type=int, default=4)
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="default: 7 for demo, 11 for scenario")
+    parser.add_argument("--duration", type=float, default=40.0,
+                        help="scenario: virtual seconds to simulate")
+    parser.add_argument("--routers", type=int, default=2)
+    parser.add_argument("--users", type=int, default=4)
+    parser.add_argument("--window", type=float, default=10.0,
+                        help="scenario: telemetry rollup window "
+                             "(virtual seconds)")
+    parser.add_argument("--top", type=int, default=None, metavar="N",
+                        help="traces format: only the N slowest traces")
+    parser.add_argument("--rollup-out", metavar="PATH",
+                        help="scenario: write telemetry rollup JSONL")
+    parser.add_argument("--folded-out", metavar="PATH",
+                        help="also write folded stacks to PATH")
     args = parser.parse_args(argv)
-    print(render_report(fmt=args.format, preset=args.preset,
-                        handshakes=args.handshakes, seed=args.seed))
+
+    if args.workload == "scenario":
+        scenario = obs_report.collect_scenario_metrics(
+            routers=args.routers, users=args.users,
+            seed=11 if args.seed is None else args.seed,
+            duration=args.duration, telemetry_window=args.window)
+        snapshot = scenario.registry.snapshot()
+        if args.rollup_out:
+            with open(args.rollup_out, "w") as handle:
+                handle.write(scenario.telemetry_jsonl())
+    else:
+        registry = obs_report.collect_demo_metrics(
+            preset=args.preset, handshakes=args.handshakes,
+            seed=7 if args.seed is None else args.seed)
+        snapshot = registry.snapshot()
+        if args.rollup_out:
+            parser.error("--rollup-out needs --workload scenario")
+
+    if args.folded_out:
+        with open(args.folded_out, "w") as handle:
+            handle.write(obs_report.to_folded(
+                obs_report.build_traces(snapshot)))
+    if args.format == "traces" and args.top is not None:
+        print(obs_report.render_waterfall(
+            obs_report.build_traces(snapshot), top=args.top))
+    else:
+        print(obs_report.render_snapshot(snapshot, args.format))
     return 0
 
 

@@ -457,33 +457,34 @@ def sign(gpk: GroupPublicKey, gsk: GroupPrivateKey, message: bytes,
     reg = obs.active()
     start = reg.clock() if reg is not None else 0.0
 
-    r = group.random_scalar(rng)
-    _u_hat, _v_hat, u, v = derive_generators(gpk, message, r, period)
+    with obs.span("groupsig.sign"):
+        r = group.random_scalar(rng)
+        _u_hat, _v_hat, u, v = derive_generators(gpk, message, r, period)
 
-    alpha = group.random_scalar(rng)
-    t1 = u ** alpha
-    t2 = gsk.a * (v ** alpha)
-    delta = gsk.exponent_sum * alpha % order
+        alpha = group.random_scalar(rng)
+        t1 = u ** alpha
+        t2 = gsk.a * (v ** alpha)
+        delta = gsk.exponent_sum * alpha % order
 
-    r_alpha = group.random_scalar(rng)
-    r_x = group.random_scalar(rng)
-    r_delta = group.random_scalar(rng)
+        r_alpha = group.random_scalar(rng)
+        r_x = group.random_scalar(rng)
+        r_delta = group.random_scalar(rng)
 
-    r1 = u ** r_alpha
-    # R2 = e(T2, g2)^r_x * e(v, w)^-r_alpha * e(v, g2)^-r_delta, folded
-    # into two pairings: e(T2^r_x * v^-r_delta, g2) * e(v^-r_alpha, w).
-    left = group.multi_exp([(t2, r_x), (v, -r_delta)])
-    right = v ** (-r_alpha % order)
-    if engine is not None:
-        r2 = engine.pair_g2(left) * engine.pair_w(right)
-    else:
-        r2 = group.pair(left, gpk.g2) * group.pair(right, gpk.w)
-    r3 = group.multi_exp([(t1, r_x), (u, -r_delta)])
+        r1 = u ** r_alpha
+        # R2 = e(T2, g2)^r_x * e(v, w)^-r_alpha * e(v, g2)^-r_delta, folded
+        # into two pairings: e(T2^r_x * v^-r_delta, g2) * e(v^-r_alpha, w).
+        left = group.multi_exp([(t2, r_x), (v, -r_delta)])
+        right = v ** (-r_alpha % order)
+        if engine is not None:
+            r2 = engine.pair_g2(left) * engine.pair_w(right)
+        else:
+            r2 = group.pair(left, gpk.g2) * group.pair(right, gpk.w)
+        r3 = group.multi_exp([(t1, r_x), (u, -r_delta)])
 
-    c = _challenge(gpk, message, r, t1, t2, r1, r2, r3)
-    s_alpha = (r_alpha + c * alpha) % order
-    s_x = (r_x + c * gsk.exponent_sum) % order
-    s_delta = (r_delta + c * delta) % order
+        c = _challenge(gpk, message, r, t1, t2, r1, r2, r3)
+        s_alpha = (r_alpha + c * alpha) % order
+        s_x = (r_x + c * gsk.exponent_sum) % order
+        s_delta = (r_delta + c * delta) % order
     if reg is not None:
         reg.counter("groupsig.sign_total")
         reg.observe("groupsig.sign_seconds", reg.clock() - start)
@@ -541,27 +542,31 @@ def verify(gpk: GroupPublicKey, message: bytes, signature: GroupSignature,
     reg = obs.active()
     start = reg.clock() if reg is not None else 0.0
     try:
-        if engine is not None:
-            context = engine.generators(message, signature.r, period)
-        else:
-            u_hat, v_hat, u, v = derive_generators(gpk, message,
-                                                   signature.r, period)
-            context = GeneratorContext(u_hat, v_hat, u, v)
+        with obs.span("groupsig.verify"):
+            if engine is not None:
+                context = engine.generators(message, signature.r, period)
+            else:
+                u_hat, v_hat, u, v = derive_generators(gpk, message,
+                                                       signature.r, period)
+                context = GeneratorContext(u_hat, v_hat, u, v)
 
-        t1, t2 = signature.t1, signature.t2
-        if t1.is_identity() or t2.is_identity():
-            raise InvalidSignature("degenerate T1/T2")
-        # Small-subgroup hardening: decoded points satisfy the curve
-        # equation, but the curve's cofactor is large; T1/T2 must lie in
-        # the prime-order subgroup or the SPK algebra is off-group.
-        curve = group.curve
-        if not (curve.in_subgroup(t1.point) and curve.in_subgroup(t2.point)):
-            raise InvalidSignature("T1/T2 outside the prime-order subgroup")
+            t1, t2 = signature.t1, signature.t2
+            if t1.is_identity() or t2.is_identity():
+                raise InvalidSignature("degenerate T1/T2")
+            # Small-subgroup hardening: decoded points satisfy the curve
+            # equation, but the curve's cofactor is large; T1/T2 must lie
+            # in the prime-order subgroup or the SPK algebra is off-group.
+            curve = group.curve
+            if not (curve.in_subgroup(t1.point)
+                    and curve.in_subgroup(t2.point)):
+                raise InvalidSignature(
+                    "T1/T2 outside the prime-order subgroup")
 
-        _verify_spk(gpk, message, signature, context, engine, precomputed)
+            _verify_spk(gpk, message, signature, context, engine,
+                        precomputed)
 
-        if check_revocation and url:
-            _scan_url(gpk, signature, url, context, engine)
+            if check_revocation and url:
+                _scan_url(gpk, signature, url, context, engine)
     except (InvalidSignature, RevokedKeyError) as exc:
         _note_verify_outcome(reg, start, exc)
         raise
@@ -581,30 +586,31 @@ def _verify_spk(gpk: GroupPublicKey, message: bytes,
     order = group.order
     reg = obs.active()
     start = reg.clock() if reg is not None else 0.0
-    u, v = context.u, context.v
-    t1, t2, c = signature.t1, signature.t2, signature.c
-    s_alpha, s_x, s_delta = (signature.s_alpha, signature.s_x,
-                             signature.s_delta)
+    with obs.span("groupsig.spk"):
+        u, v = context.u, context.v
+        t1, t2, c = signature.t1, signature.t2, signature.c
+        s_alpha, s_x, s_delta = (signature.s_alpha, signature.s_x,
+                                 signature.s_delta)
 
-    r1 = group.multi_exp([(u, s_alpha), (t1, -c % order)])
-    # R2 = e(T2^s_x * v^-s_delta, g2) * e(v^-s_alpha * T2^c, w)
-    #      * e(g1, g2)^-c
-    left = group.multi_exp([(t2, s_x), (v, -s_delta % order)])
-    right = group.multi_exp([(v, -s_alpha % order), (t2, c)])
-    if engine is not None:
-        base = engine.base_pairing(count_on_hit=not precomputed)
-        r2 = (engine.pair_g2(left) * engine.pair_w(right)
-              * (base ** (-c % order)))
-    else:
-        if precomputed:
-            base = gpk.engine.base_pairing(count_on_hit=False)
+        r1 = group.multi_exp([(u, s_alpha), (t1, -c % order)])
+        # R2 = e(T2^s_x * v^-s_delta, g2) * e(v^-s_alpha * T2^c, w)
+        #      * e(g1, g2)^-c
+        left = group.multi_exp([(t2, s_x), (v, -s_delta % order)])
+        right = group.multi_exp([(v, -s_alpha % order), (t2, c)])
+        if engine is not None:
+            base = engine.base_pairing(count_on_hit=not precomputed)
+            r2 = (engine.pair_g2(left) * engine.pair_w(right)
+                  * (base ** (-c % order)))
         else:
-            base = group.pair(gpk.g1, gpk.g2)
-        r2 = (group.pair(left, gpk.g2) * group.pair(right, gpk.w)
-              * (base ** (-c % order)))
-    r3 = group.multi_exp([(t1, s_x), (u, -s_delta % order)])
+            if precomputed:
+                base = gpk.engine.base_pairing(count_on_hit=False)
+            else:
+                base = group.pair(gpk.g1, gpk.g2)
+            r2 = (group.pair(left, gpk.g2) * group.pair(right, gpk.w)
+                  * (base ** (-c % order)))
+        r3 = group.multi_exp([(t1, s_x), (u, -s_delta % order)])
 
-    expected = _challenge(gpk, message, signature.r, t1, t2, r1, r2, r3)
+        expected = _challenge(gpk, message, signature.r, t1, t2, r1, r2, r3)
     if reg is not None:
         reg.observe("groupsig.spk_seconds", reg.clock() - start)
     if expected != c:
@@ -633,27 +639,30 @@ def _scan_url(gpk: GroupPublicKey, signature: GroupSignature,
     reg = obs.active()
     start = reg.clock() if reg is not None else 0.0
     hit: Optional[int] = None
-    if engine is None or len(url) < 2:
-        # The tag rewrite only pays for itself from the second token on.
-        for token_index, token in enumerate(url):
-            if _token_encoded(group, signature, token, u_hat, v_hat):
-                hit = token_index
-                break
-    else:
-        curve = group.curve
-        u_table = context.u_table
-        if u_table is None:
-            u_table = group.make_pairing_table(u_hat)
-        if context.v_table is not None:
-            t1_side = context.v_table.pairing(signature.t1.point)
+    with obs.span("groupsig.scan"):
+        if engine is None or len(url) < 2:
+            # The tag rewrite only pays for itself from the second token
+            # on.
+            for token_index, token in enumerate(url):
+                if _token_encoded(group, signature, token, u_hat, v_hat):
+                    hit = token_index
+                    break
         else:
-            t1_side = tate_pairing(curve, signature.t1.point, v_hat.point)
-        tau = u_table.pairing(signature.t2.point) * t1_side.inverse()
-        for token_index, token in enumerate(url):
-            instrument.note("pairing", 2)
-            if u_table.pairing(token.a.point) == tau:
-                hit = token_index
-                break
+            curve = group.curve
+            u_table = context.u_table
+            if u_table is None:
+                u_table = group.make_pairing_table(u_hat)
+            if context.v_table is not None:
+                t1_side = context.v_table.pairing(signature.t1.point)
+            else:
+                t1_side = tate_pairing(curve, signature.t1.point,
+                                       v_hat.point)
+            tau = u_table.pairing(signature.t2.point) * t1_side.inverse()
+            for token_index, token in enumerate(url):
+                instrument.note("pairing", 2)
+                if u_table.pairing(token.a.point) == tau:
+                    hit = token_index
+                    break
     if reg is not None:
         examined = len(url) if hit is None else hit + 1
         reg.counter("groupsig.scan_tokens_total", examined)

@@ -404,11 +404,14 @@ class RouterAuthEngine:
             return duplicate
         reg = obs.active()
         start = reg.clock() if reg is not None else 0.0
-        with obs.timer("router.precheck_seconds"):
+        with obs.timer("router.precheck_seconds"), \
+                obs.span("router.precheck"):
             r_router = self._precheck(request, now)
 
         url = self.url_provider()
         try:
+            # groupsig.verify opens its own "groupsig.verify" span (with
+            # spk/scan children), so the stage needs no extra span here.
             with obs.timer("router.verify_seconds"):
                 groupsig.verify(self.gpk, request.signed_payload(),
                                 request.group_signature, url=url.tokens)
@@ -419,14 +422,15 @@ class RouterAuthEngine:
             self._bump("rejected_signature")
             raise
 
-        with obs.timer("router.accept_seconds"):
+        with obs.timer("router.accept_seconds"), obs.span("router.accept"):
             outcome = self._accept(request, r_router, now)
         if reg is not None:
             reg.observe("router.handshake_seconds", reg.clock() - start)
         return outcome
 
     def process_requests(self, requests: "list[AccessRequest]",
-                         pool: "Optional[VerifierPool]" = None
+                         pool: "Optional[VerifierPool]" = None,
+                         traces: "Optional[list]" = None
                          ) -> "list[object]":
         """Batch counterpart of :meth:`process_request` (M.2 fan-in).
 
@@ -448,6 +452,12 @@ class RouterAuthEngine:
         period); otherwise the batch silently takes the serial path.
         Either way the outcomes and instrumented operation counts are
         identical -- the pool buys wall-clock time only.
+
+        ``traces`` optionally carries one
+        :class:`~repro.obs.spans.TraceContext` (or ``None``) per
+        request; on the pool path each item's worker-side verification
+        span is parented under its context, stitching the per-item
+        crypto cost into the submitting handshake's trace.
         """
         now = self.clock.now()
         reg = obs.active()
@@ -474,7 +484,11 @@ class RouterAuthEngine:
         if batch:
             url = self.url_provider()
             if pool is not None and pool.matches(self.gpk, url.tokens):
-                errors = pool.verify_batch(batch)
+                batch_traces = None
+                if traces is not None:
+                    batch_traces = [traces[position]
+                                    for position in positions]
+                errors = pool.verify_batch(batch, traces=batch_traces)
             else:
                 errors = groupsig.verify_batch(self.gpk, batch,
                                                url=url.tokens)
@@ -520,25 +534,27 @@ class UserAuthEngine:
         now = self.clock.now()
         reg = obs.active()
         start = reg.clock() if reg is not None else 0.0
-        if abs(now - beacon.ts1) > self.ts_window:
-            raise ReplayError("beacon ts1 outside the acceptance window")
-        beacon.certificate.validate(self.operator_key, now)
-        if beacon.certificate.router_id != beacon.router_id:
-            raise CertificateError("certificate/beacon router id mismatch")
-        beacon.crl.validate(self.operator_key, now)
-        if beacon.crl.is_revoked(beacon.router_id):
-            raise CertificateError(
-                f"router {beacon.router_id} is on the CRL")
-        beacon.url.validate(self.operator_key, now)
-        if not beacon.certificate.public_key.verify(
-                beacon.signed_payload(), beacon.signature):
-            raise AuthenticationError("beacon signature invalid")
-        if beacon.g.is_identity() or beacon.g_r_router.is_identity():
-            raise ProtocolError("degenerate DH values in beacon")
-        curve = self.group.curve
-        if not (curve.in_subgroup(beacon.g.point)
-                and curve.in_subgroup(beacon.g_r_router.point)):
-            raise ProtocolError("beacon DH values outside the subgroup")
+        with obs.span("user.beacon_validate"):
+            if abs(now - beacon.ts1) > self.ts_window:
+                raise ReplayError("beacon ts1 outside the acceptance window")
+            beacon.certificate.validate(self.operator_key, now)
+            if beacon.certificate.router_id != beacon.router_id:
+                raise CertificateError(
+                    "certificate/beacon router id mismatch")
+            beacon.crl.validate(self.operator_key, now)
+            if beacon.crl.is_revoked(beacon.router_id):
+                raise CertificateError(
+                    f"router {beacon.router_id} is on the CRL")
+            beacon.url.validate(self.operator_key, now)
+            if not beacon.certificate.public_key.verify(
+                    beacon.signed_payload(), beacon.signature):
+                raise AuthenticationError("beacon signature invalid")
+            if beacon.g.is_identity() or beacon.g_r_router.is_identity():
+                raise ProtocolError("degenerate DH values in beacon")
+            curve = self.group.curve
+            if not (curve.in_subgroup(beacon.g.point)
+                    and curve.in_subgroup(beacon.g_r_router.point)):
+                raise ProtocolError("beacon DH values outside the subgroup")
         if reg is not None:
             reg.observe("user.beacon_validate_seconds", reg.clock() - start)
 
@@ -576,7 +592,7 @@ class UserAuthEngine:
     def complete(self, pending: PendingUserSession,
                  confirm: AccessConfirm) -> SecureSession:
         """Step 3.4 receipt: open E_K(MR_k, g^r_j, g^r_R), check contents."""
-        with obs.timer("user.complete_seconds"):
+        with obs.timer("user.complete_seconds"), obs.span("user.complete"):
             if (confirm.g_r_user != pending.g_r_user
                     or confirm.g_r_router != pending.g_r_router):
                 raise ProtocolError("confirm echoes the wrong DH values")

@@ -183,7 +183,8 @@ class MeshRouter:
         return self.engine.process_request(request)
 
     def process_request_batch(self, requests: "list[AccessRequest]",
-                              pool: "Optional[VerifierPool]" = None
+                              pool: "Optional[VerifierPool]" = None,
+                              traces: "Optional[list]" = None
                               ) -> "list[object]":
         """Handle a burst of (M.2) messages through batch verification.
 
@@ -192,13 +193,17 @@ class MeshRouter:
         ``pool`` opts the group-signature verification into a
         :class:`~repro.core.verifier_pool.VerifierPool`; a pool whose
         snapshot no longer matches this router's URL is ignored.
+        ``traces`` carries one optional
+        :class:`~repro.obs.spans.TraceContext` per request for
+        per-handshake span stitching on the pool path.
         """
         self._check_degraded()
         if self.engine.dos_policy is not None:
             now = self.clock.now()
             for _ in requests:
                 self.engine.dos_policy.note_request(now)
-        return self.engine.process_requests(requests, pool=pool)
+        return self.engine.process_requests(requests, pool=pool,
+                                            traces=traces)
 
     def expire(self, now: Optional[float] = None) -> None:
         """Expiry tick: prune the engine's outstanding beacons and

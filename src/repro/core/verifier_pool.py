@@ -55,6 +55,7 @@ from repro.core.groupsig import (
     RevocationToken,
 )
 from repro.errors import InvalidSignature, ParameterError, RevokedKeyError
+from repro.obs.spans import TraceContext
 from repro.pairing.group import PairingGroup
 
 #: Items per worker task.  Large enough to amortize IPC, small enough
@@ -112,34 +113,59 @@ def _worker_init(preset: str, gpk_blob: bytes,
     engine.base_pairing(count_on_hit=False)
 
 
-def _worker_run(task: tuple) -> list:
-    """Verify one chunk inside a worker; see :func:`_run_chunk`."""
+def _worker_run(task: tuple) -> tuple:
+    """Verify one chunk inside a worker; see :func:`_run_chunk`.
+
+    Returns ``(chunk_result, span_snapshot_or_None)``.  When any item
+    carries a :class:`~repro.obs.spans.TraceContext`, the chunk runs
+    under a fresh worker-local registry whose span ids are namespaced
+    by this worker's pid; the resulting span-log snapshot ships home
+    with the outcomes so the parent can stitch the worker-side
+    verification spans into the submitting traces.  Only *spans* are
+    shipped -- worker-side counters/histograms are discarded, keeping
+    the parent's aggregate metrics identical to the untraced path (op
+    counts travel separately as per-item tallies, exactly as before).
+    """
     period, check_revocation, items = task
     decoded = [(index, message,
-                GroupSignature.decode(_worker_gpk.group, sig_blob))
-               for index, message, sig_blob in items]
-    return _run_chunk(_worker_gpk, _worker_tokens, decoded, period,
-                      check_revocation)
+                GroupSignature.decode(_worker_gpk.group, sig_blob),
+                TraceContext.from_tuple(ctx))
+               for index, message, sig_blob, ctx in items]
+    if not any(ctx is not None for _i, _m, _s, ctx in decoded):
+        return (_run_chunk(_worker_gpk, _worker_tokens, decoded, period,
+                           check_revocation), None)
+    registry = obs.MetricsRegistry(span_id_prefix=f"w{os.getpid()}.")
+    with obs.collecting(registry):
+        result = _run_chunk(_worker_gpk, _worker_tokens, decoded, period,
+                            check_revocation)
+    return (result, registry.snapshot()["spans"])
 
 
 def _run_chunk(gpk: GroupPublicKey,
                tokens: Sequence[RevocationToken],
-               items: Sequence[Tuple[int, bytes, GroupSignature]],
+               items: Sequence[Tuple[int, bytes, GroupSignature,
+                                     Optional[TraceContext]]],
                period: Optional[bytes],
                check_revocation: bool) -> list:
-    """Verify ``(index, message, signature)`` items one by one.
+    """Verify ``(index, message, signature, trace_ctx)`` items one by one.
 
     Shared by worker processes and the serial fallback so both paths
     are literally the same code.  Each item runs under its own counter;
     the caller replays the returned tallies, keeping measured counts
-    identical whether the work happened here or across a pipe.
+    identical whether the work happened here or across a pipe.  An item
+    with a trace context gets a ``pool.verify_item`` span parented
+    under it (the groupsig spk/scan spans nest inside), attributing the
+    item's crypto ops to the originating handshake's trace.
     """
     out = []
-    for index, message, signature in items:
-        with instrument.count_operations() as ops:
-            error = groupsig.verify_one(gpk, message, signature,
-                                        url=tokens, period=period,
-                                        check_revocation=check_revocation)
+    for index, message, signature, ctx in items:
+        with obs.span("pool.verify_item", context=ctx, index=index,
+                      pid=os.getpid()) if ctx is not None \
+                else _UNTRACED_ITEM:
+            with instrument.count_operations() as ops:
+                error = groupsig.verify_one(
+                    gpk, message, signature, url=tokens, period=period,
+                    check_revocation=check_revocation)
         if error is None:
             outcome = None
         elif isinstance(error, RevokedKeyError):
@@ -149,6 +175,21 @@ def _run_chunk(gpk: GroupPublicKey,
             outcome = ("invalid", str(error))
         out.append((index, outcome, ops.snapshot()))
     return out
+
+
+class _Untraced:
+    """Do-nothing context for items verified without a trace context."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_Untraced":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_UNTRACED_ITEM = _Untraced()
 
 
 def _chaos_hang(seconds: float) -> None:  # pragma: no cover - worker side
@@ -303,8 +344,9 @@ class VerifierPool:
 
     def verify_batch(self, batch: Sequence[Tuple[bytes, GroupSignature]],
                      period: Optional[bytes] = None,
-                     check_revocation: bool = True
-                     ) -> List[Optional[Exception]]:
+                     check_revocation: bool = True,
+                     traces: Optional[Sequence[Optional[TraceContext]]]
+                     = None) -> List[Optional[Exception]]:
         """Drop-in parallel :func:`groupsig.verify_batch`.
 
         Returns one entry per input in input order: ``None`` on
@@ -318,17 +360,29 @@ class VerifierPool:
         so nothing is double-counted); the workers are then respawned
         for the rest of the batch, or -- once the restart budget is
         spent -- the remainder runs serially.
+
+        ``traces`` (one :class:`~repro.obs.spans.TraceContext` or
+        ``None`` per item) stitches each item's worker-side
+        verification span under the supplied context; worker span
+        snapshots are merged into the caller's ambient registry when
+        chunks complete.  Op tallies are *replayed* into the caller's
+        counter without re-attributing them to the caller's open span
+        (they already live in the shipped worker spans).
         """
         if not batch:
             return []
+        if traces is not None and len(traces) != len(batch):
+            raise ParameterError("traces must align 1:1 with batch items")
         reg = obs.active()
         batch_start = reg.clock() if reg is not None else 0.0
-        chunks: List[List[Tuple[int, bytes, GroupSignature]]] = []
+        chunks: List[List[Tuple[int, bytes, GroupSignature,
+                                Optional[TraceContext]]]] = []
         for start in range(0, len(batch), self.chunk_size):
-            chunks.append([(index, message, signature)
-                           for index, (message, signature)
-                           in enumerate(batch[start:start + self.chunk_size],
-                                        start)])
+            chunks.append([
+                (index, message, signature,
+                 traces[index] if traces is not None else None)
+                for index, (message, signature)
+                in enumerate(batch[start:start + self.chunk_size], start)])
 
         results: List[Optional[Exception]] = [None] * len(batch)
 
@@ -336,7 +390,7 @@ class VerifierPool:
             for index, outcome, ops in chunk_result:
                 results[index] = _decode_outcome(outcome)
                 for event, amount in ops.items():
-                    instrument.note(event, amount)
+                    instrument.replay(event, amount)
 
         def finish_batch() -> List[Optional[Exception]]:
             if reg is not None:
@@ -384,12 +438,14 @@ class VerifierPool:
         def collect_oldest() -> None:
             chunk, handle, submitted = pending.popleft()
             try:
-                chunk_result = handle.get(self.task_timeout)
+                chunk_result, span_snap = handle.get(self.task_timeout)
             except Exception:
                 # Timeout or a dead/poisoned worker.
                 recover(chunk, "pool.chunk_failures_total")
                 return
             absorb(chunk_result)
+            if span_snap is not None and reg is not None:
+                reg.merge_spans(span_snap)
             if reg is not None:
                 reg.counter("pool.chunks_parallel_total")
                 reg.observe("pool.chunk_seconds",
@@ -405,8 +461,9 @@ class VerifierPool:
             if remaining and len(pending) < self.max_inflight:
                 chunk = remaining.popleft()
                 task = (period, check_revocation,
-                        [(index, message, signature.encode())
-                         for index, message, signature in chunk])
+                        [(index, message, signature.encode(),
+                          ctx.to_tuple() if ctx is not None else None)
+                         for index, message, signature, ctx in chunk])
                 try:
                     handle = self._pool.apply_async(_worker_run, (task,))
                 except Exception:

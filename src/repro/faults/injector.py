@@ -47,8 +47,11 @@ def corrupt_frame(frame: Frame, rng: random.Random) -> Frame:
         return frame
     index = rng.randrange(len(payload))
     payload[index] ^= 1 + rng.randrange(255)
+    # The trace context survives corruption: it models an out-of-band
+    # observability header, and the receiver's decode-failure spans
+    # should still stitch into the sender's trace.
     return Frame(kind=frame.kind, payload=bytes(payload),
-                 src=frame.src, dst=frame.dst)
+                 src=frame.src, dst=frame.dst, trace=frame.trace)
 
 
 class FaultInjector:

@@ -33,6 +33,22 @@ KNOWN_EVENTS = ("exp", "psi", "pairing", "exp_gt", "hash_to_group",
 
 _LOCAL = threading.local()
 
+#: Optional bridge into the observability span log: when set (by
+#: ``repro.obs.install``), every :func:`note` also attributes the event
+#: to the innermost open trace span.  Kept as a single module global so
+#: the disabled path costs one load + one ``is None`` check.
+_SPAN_SINK = None
+
+
+def set_span_sink(sink) -> None:
+    """Install/clear the span-attribution callback ``sink(event, amount)``.
+
+    Owned by :func:`repro.obs.install`; anything else setting it will be
+    clobbered by the next registry install/uninstall.
+    """
+    global _SPAN_SINK
+    _SPAN_SINK = sink
+
 
 class OpCounter:
     """Mutable tally of cryptographic operation events."""
@@ -71,7 +87,27 @@ def current_counter() -> "OpCounter | None":
 
 
 def note(event: str, amount: int = 1) -> None:
-    """Report an operation to the ambient counter (no-op when absent)."""
+    """Report an operation to the ambient counter (no-op when absent)
+    and, when an obs registry is installed, to the active trace span."""
+    counter = getattr(_LOCAL, "counter", None)
+    if counter is not None:
+        counter.note(event, amount)
+    sink = _SPAN_SINK
+    if sink is not None:
+        sink(event, amount)
+
+
+def replay(event: str, amount: int = 1) -> None:
+    """Re-apply an *already-attributed* tally to the ambient counter only.
+
+    The verifier pool ships per-item op tallies (and span records that
+    already carry them) back from worker processes; folding those
+    tallies into the parent's :class:`OpCounter` must not ALSO hit the
+    span sink, or every operation would be attributed twice -- once in
+    the worker's span and once in whatever span is open on the parent
+    thread.  Use :func:`note` for operations happening *here*,
+    :func:`replay` for operations that happened elsewhere.
+    """
     counter = getattr(_LOCAL, "counter", None)
     if counter is not None:
         counter.note(event, amount)

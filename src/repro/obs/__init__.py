@@ -56,13 +56,14 @@ from repro.obs.registry import (
     timer,
     uninstall,
 )
-from repro.obs.spans import SpanRecord
+from repro.obs.spans import SpanRecord, TraceContext
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
     "MetricsRegistry",
     "SpanRecord",
+    "TraceContext",
     "active",
     "collecting",
     "counter",

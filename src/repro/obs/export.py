@@ -15,6 +15,15 @@ from typing import Dict
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules:
+    backslash, double-quote, and newline must be escaped (in that
+    order -- backslash first, or the other escapes double up)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def to_json(snapshot: Dict[str, object], indent: int = 2) -> str:
     """Render a snapshot as JSON (NaN/inf-free, diff-friendly keys)."""
 
@@ -50,9 +59,11 @@ def to_prometheus(snapshot: Dict[str, object],
 
     Counters and gauges map directly; histograms emit the standard
     cumulative ``_bucket{le=...}`` series plus ``_sum`` and
-    ``_count``.  Spans are aggregated per name into a counter of
-    occurrences and a total-duration counter (span-level detail stays
-    in the JSON export; Prometheus is for aggregates).
+    ``_count``.  Spans are aggregated per name into labelled series --
+    ``<ns>_span_total{name="..."}``, ``<ns>_span_seconds_total{...}``,
+    and per-op ``<ns>_span_ops_total{name="...",op="..."}`` -- with
+    label values escaped per the exposition format (span-level detail
+    stays in the JSON export; Prometheus is for aggregates).
     """
     lines = []
 
@@ -79,15 +90,29 @@ def to_prometheus(snapshot: Dict[str, object],
         lines.append(f'{metric}_count {hist["count"]}')
 
     span_totals: Dict[str, list] = {}
+    op_totals: Dict[tuple, int] = {}
     for record in snapshot.get("spans", {}).get("records", ()):
-        entry = span_totals.setdefault(str(record["name"]), [0, 0.0])
+        name = str(record["name"])
+        entry = span_totals.setdefault(name, [0, 0.0])
         entry[0] += 1
         entry[1] += float(record["duration"])
-    for name, (count, total) in sorted(span_totals.items()):
-        metric = _sanitize(f"span_{name}", namespace)
-        lines.append(f"# TYPE {metric}_total counter")
-        lines.append(f"{metric}_total {count}")
-        lines.append(f"# TYPE {metric}_seconds_total counter")
-        lines.append(f"{metric}_seconds_total {_format_value(total)}")
+        for op, amount in dict(record.get("ops") or ()).items():
+            key = (name, str(op))
+            op_totals[key] = op_totals.get(key, 0) + int(amount)
+    if span_totals:
+        base = _sanitize("span", namespace)
+        lines.append(f"# TYPE {base}_total counter")
+        lines.append(f"# TYPE {base}_seconds_total counter")
+        for name, (count, total) in sorted(span_totals.items()):
+            label = _escape_label_value(name)
+            lines.append(f'{base}_total{{name="{label}"}} {count}')
+            lines.append(f'{base}_seconds_total{{name="{label}"}} '
+                         f"{_format_value(total)}")
+        if op_totals:
+            lines.append(f"# TYPE {base}_ops_total counter")
+            for (name, op), amount in sorted(op_totals.items()):
+                lines.append(
+                    f'{base}_ops_total{{name="{_escape_label_value(name)}",'
+                    f'op="{_escape_label_value(op)}"}} {amount}')
 
     return "\n".join(lines) + ("\n" if lines else "")

@@ -14,7 +14,8 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.obs.spans import SpanLog, _OpenSpan
+from repro import instrument
+from repro.obs.spans import SpanLog, TraceContext, _OpenSpan
 
 #: Default histogram bucket upper bounds (seconds).  Geometric-ish
 #: 1-2.5-5 ladder from 100 microseconds to 10 seconds: wide enough for
@@ -98,14 +99,14 @@ class MetricsRegistry:
 
     def __init__(self, clock=None,
                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
-                 max_spans: int = 2048) -> None:
+                 max_spans: int = 2048, span_id_prefix: str = "") -> None:
         self.clock: Callable[[], float] = _as_callable(clock)
         self.default_buckets = tuple(buckets)
         self._lock = threading.Lock()
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
-        self._spans = SpanLog(max_spans=max_spans)
+        self._spans = SpanLog(max_spans=max_spans, id_prefix=span_id_prefix)
 
     # -- updates --------------------------------------------------------
 
@@ -144,9 +145,26 @@ class MetricsRegistry:
         finally:
             self.observe(name, self.clock() - start, buckets=buckets)
 
-    def span(self, name: str, **attrs: object) -> _OpenSpan:
-        """Open a trace span (context manager) named ``name``."""
-        return self._spans.span(self.clock, name, **attrs)
+    def span(self, name: str, context: Optional[TraceContext] = None,
+             trace_id: Optional[str] = None, **attrs: object) -> _OpenSpan:
+        """Open a trace span (context manager) named ``name``.
+
+        With ``context`` the span parents under that (possibly remote)
+        span instead of this thread's innermost open span; with a bare
+        ``trace_id`` a root-less span joins an existing trace.
+        """
+        return self._spans.span(self.clock, name, context=context,
+                                trace_id=trace_id, **attrs)
+
+    def start_span(self, name: str, context: Optional[TraceContext] = None,
+                   trace_id: Optional[str] = None,
+                   **attrs: object) -> _OpenSpan:
+        """Open an *event-driven* span: started now, finished later via
+        ``.finish()``, never on the thread stack (children must use its
+        ``.context``).  For regions that open in one callback and close
+        in another, e.g. a simulated handshake."""
+        return self._spans.span(self.clock, name, context=context,
+                                trace_id=trace_id, **attrs).start()
 
     # -- reads ----------------------------------------------------------
 
@@ -180,13 +198,16 @@ class MetricsRegistry:
 
     # -- merging --------------------------------------------------------
 
-    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+    def merge_snapshot(self, snap: Dict[str, object],
+                       reparent: Optional[TraceContext] = None) -> None:
         """Fold another registry's snapshot into this one.
 
         Counters add, gauges last-write-win, histograms merge
         bucket-wise (the layouts must match), spans concatenate under
         the bound.  This is how per-process and per-node observations
-        aggregate into one report.
+        aggregate into one report.  ``reparent`` adopts orphan span
+        records (no trace identity) under the given context -- used to
+        stitch worker-process spans beneath the submitting trace.
         """
         with self._lock:
             for name, value in snap.get("counters", {}).items():
@@ -198,7 +219,14 @@ class MetricsRegistry:
                     histogram = Histogram(histogram_snap["bounds"])
                     self._histograms[name] = histogram
                 histogram.merge(histogram_snap)
-        self._spans.merge_snapshot(snap.get("spans", {}))
+        self._spans.merge_snapshot(snap.get("spans", {}), reparent=reparent)
+
+    def merge_spans(self, span_snap: Dict[str, object],
+                    reparent: Optional[TraceContext] = None) -> None:
+        """Merge just a span-log snapshot (``{"records": ..., "dropped":
+        ...}``), optionally re-parenting orphans -- the shape shipped
+        back by verifier-pool workers."""
+        self._spans.merge_snapshot(span_snap, reparent=reparent)
 
 
 def merge_snapshots(snaps: Iterable[Dict[str, object]],
@@ -230,10 +258,17 @@ def active() -> Optional[MetricsRegistry]:
 
 def install(registry: Optional[MetricsRegistry]
             ) -> Optional[MetricsRegistry]:
-    """Make ``registry`` ambient; returns the previous one (restorable)."""
+    """Make ``registry`` ambient; returns the previous one (restorable).
+
+    Installing also points the :mod:`repro.instrument` span sink at the
+    registry's span log, so op-count events attribute to the innermost
+    open span (the instrument->span bridge); uninstalling clears it.
+    """
     global _ACTIVE
     previous = _ACTIVE
     _ACTIVE = registry
+    instrument.set_span_sink(
+        registry._spans.note_op if registry is not None else None)
     return previous
 
 
@@ -296,12 +331,13 @@ def observe(name: str, value: float,
         registry.observe(name, value, buckets=buckets)
 
 
-def span(name: str, **attrs: object):
+def span(name: str, context: Optional[TraceContext] = None,
+         **attrs: object):
     """Ambient trace span; a shared do-nothing manager when disabled."""
     registry = _ACTIVE
     if registry is None:
         return _NULL_SPAN
-    return registry.span(name, **attrs)
+    return registry.span(name, context=context, **attrs)
 
 
 @contextmanager

@@ -1,0 +1,129 @@
+"""Windowed time-series rollups over a :class:`MetricsRegistry`.
+
+Counters and histograms in the registry are cumulative -- perfect for
+end-of-run totals, useless for "what did latency do *during* the chaos
+window".  A :class:`TelemetryRollup` closes that gap: ``roll(now)``
+diffs the registry against the previous roll and appends one bounded
+window record holding the per-window counter deltas, gauge levels, and
+histogram delta statistics (count, sum, p50/p95/p99 estimated from the
+bucket-count deltas).  Driven on the *sim clock* by
+:class:`~repro.wmn.scenario.Scenario` (one roll per
+``telemetry_window`` virtual seconds), so a seeded run produces a
+deterministic, plottable latency/throughput trajectory.
+
+Records are plain dicts; :func:`to_jsonl` / :func:`read_jsonl`
+round-trip them as one JSON object per line (the format the CI chaos
+job uploads).  Retention is bounded: past ``max_windows`` records the
+oldest are discarded and counted in :attr:`TelemetryRollup.dropped`.
+
+Percentiles are *bucket-resolution* estimates: nearest-rank over the
+window's bucket-count deltas, reported as the matching bucket's upper
+bound (samples beyond the last bound report that last bound).  Good
+enough to see a latency regression trend; not a substitute for exact
+quantiles.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry
+
+#: Quantiles every histogram window reports.
+ROLLUP_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _quantile_from_buckets(bounds: Sequence[float], counts: Sequence[int],
+                           q: float) -> Optional[float]:
+    """Nearest-rank quantile from bucket counts; None on empty."""
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = max(1, int(q * total + 0.999999))   # ceil without math import
+    seen = 0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            # The overflow bucket has no upper bound; report the last
+            # finite one (documented: bucket-resolution estimates).
+            return float(bounds[min(index, len(bounds) - 1)])
+    return float(bounds[-1])
+
+
+class TelemetryRollup:
+    """Per-window deltas of one registry, bounded, JSONL-exportable."""
+
+    def __init__(self, registry: MetricsRegistry, max_windows: int = 512
+                 ) -> None:
+        self.registry = registry
+        self.max_windows = max_windows
+        self.dropped = 0
+        self._windows: "deque" = deque(maxlen=max_windows)
+        self._index = 0
+        snap = registry.snapshot()
+        self._last_counters: Dict[str, float] = dict(snap["counters"])
+        self._last_hist: Dict[str, Dict[str, object]] = dict(
+            snap["histograms"])
+
+    def roll(self, now: float) -> Dict[str, object]:
+        """Close one window at time ``now`` and append its record.
+
+        Only metrics that *changed* during the window appear in the
+        record, so quiet windows stay small.
+        """
+        snap = self.registry.snapshot()
+        counters: Dict[str, float] = {}
+        for name, value in snap["counters"].items():
+            delta = value - self._last_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        histograms: Dict[str, Dict[str, object]] = {}
+        for name, hist in snap["histograms"].items():
+            last = self._last_hist.get(name)
+            last_counts = last["counts"] if last is not None \
+                else [0] * len(hist["counts"])
+            delta_counts = [int(c) - int(p)
+                            for c, p in zip(hist["counts"], last_counts)]
+            delta_count = sum(delta_counts)
+            if delta_count == 0:
+                continue
+            last_sum = float(last["sum"]) if last is not None else 0.0
+            record: Dict[str, object] = {
+                "count": delta_count,
+                "sum": float(hist["sum"]) - last_sum,
+            }
+            for q in ROLLUP_QUANTILES:
+                record[f"p{int(q * 100)}"] = _quantile_from_buckets(
+                    hist["bounds"], delta_counts, q)
+            histograms[name] = record
+        window = {
+            "index": self._index,
+            "t": float(now),
+            "counters": counters,
+            "gauges": dict(snap["gauges"]),
+            "histograms": histograms,
+        }
+        self._index += 1
+        if len(self._windows) == self.max_windows:
+            self.dropped += 1
+        self._windows.append(window)
+        self._last_counters = dict(snap["counters"])
+        self._last_hist = dict(snap["histograms"])
+        return window
+
+    def windows(self) -> List[Dict[str, object]]:
+        """Retained window records, oldest first."""
+        return list(self._windows)
+
+
+def to_jsonl(windows: Sequence[Dict[str, object]]) -> str:
+    """One JSON object per line, key-sorted (diff-friendly artifacts)."""
+    return "".join(json.dumps(window, sort_keys=True) + "\n"
+                   for window in windows)
+
+
+def read_jsonl(text: str) -> List[Dict[str, object]]:
+    """Inverse of :func:`to_jsonl`; ignores blank lines."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from contextlib import nullcontext
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro import obs
@@ -192,7 +193,21 @@ class SimMeshRouter(SimNode):
         self.loop.schedule(service_time, finish)
 
     def _service_request(self, frame: Frame, enqueued_at: float) -> float:
-        """Process one M.2; returns the virtual CPU time consumed."""
+        """Process one M.2; returns the virtual CPU time consumed.
+
+        A frame carrying a :class:`~repro.obs.spans.TraceContext` gets
+        a ``router.service`` span parented under the *sender's*
+        handshake span -- the cross-node stitch; the engine's
+        precheck/verify/accept spans nest inside via the thread stack.
+        """
+        reg = obs.active()
+        if reg is None or frame.trace is None:
+            return self._service_one(frame, enqueued_at)
+        with reg.span("router.service", context=frame.trace,
+                      router=self.node_id):
+            return self._service_one(frame, enqueued_at)
+
+    def _service_one(self, frame: Frame, enqueued_at: float) -> float:
         policy = self.router.engine.dos_policy
         puzzle_active = (policy is not None
                          and policy.under_attack(self.loop.now))
@@ -219,7 +234,7 @@ class SimMeshRouter(SimNode):
             # second handshake, second session, or verification charge.
             self.metrics["duplicate_requests"] += 1
             self.send(Frame("M.3", confirm.encode(), src=self.node_id,
-                            dst=frame.src))
+                            dst=frame.src, trace=frame.trace))
             return self.cost_model.hash_op
         self.metrics["handshakes_completed"] += 1
         self.handshake_waits.append(self.loop.now - enqueued_at)
@@ -230,7 +245,7 @@ class SimMeshRouter(SimNode):
         if self.directory is not None:
             self.directory.publish(_session.session_id, self.node_id)
         self.send(Frame("M.3", confirm.encode(), src=self.node_id,
-                        dst=frame.src))
+                        dst=frame.src, trace=frame.trace))
         return cost
 
     # -- data plane ---------------------------------------------------------
@@ -359,6 +374,14 @@ class SimUser(SimNode):
         }
         self.auth_delays: List[float] = []
         self._attempt_started = 0.0
+        # Causal tracing: one root span per handshake *attempt*, opened
+        # on the beacon that triggers it and finished on connect /
+        # timeout / give-up.  Child spans on this node nest under it
+        # via explicit contexts (the event loop interleaves nodes, so
+        # the thread stack cannot be trusted across callbacks); the M.2
+        # frame carries its context to the router.
+        self._hs_span = None
+        self._attempt_seq = 0
 
     # -- frame intake --------------------------------------------------------
 
@@ -376,15 +399,33 @@ class SimUser(SimNode):
         self.metrics["beacons_heard"] += 1
         if not self.auto_connect or self.state != "idle":
             return
+        reg = obs.active()
+        root = None
+        if reg is not None:
+            # Deterministic per-attempt trace id: replayable runs yield
+            # replayable trace names.
+            self._attempt_seq += 1
+            root = reg.start_span(
+                "handshake",
+                trace_id=f"{self.node_id}#{self._attempt_seq}",
+                user=self.node_id)
         try:
-            beacon = Beacon.decode(self.user.group,
-                                   self.user.operator_public_key.curve,
-                                   frame.payload)
-            request, pending = self.user.connect_to_router(
-                beacon, self.context)
+            with (reg.span("user.process_beacon", context=root.context)
+                  if root is not None else nullcontext()):
+                beacon = Beacon.decode(self.user.group,
+                                       self.user.operator_public_key.curve,
+                                       frame.payload)
+                request, pending = self.user.connect_to_router(
+                    beacon, self.context)
         except ReproError:
             self.metrics["beacons_rejected"] += 1
+            if root is not None:
+                root.set_attr("outcome", "beacon_rejected")
+                root.finish()
             return
+        if root is not None:
+            root.set_attr("router", beacon.router_id)
+            self._hs_span = root
         if beacon.puzzle is not None:
             self.metrics["puzzles_solved"] += 1
         self._pending = pending
@@ -400,10 +441,11 @@ class SimUser(SimNode):
                 beacon.puzzle.difficulty_bits)
         payload = request.encode()
         router_id = self.router_id
+        m2_trace = root.context if root is not None else None
 
         def send_m2() -> None:
             self.send(Frame("M.2", payload, src=self.node_id,
-                            dst=router_id),
+                            dst=router_id, trace=m2_trace),
                       tx_range=self.boost_range)
 
         if self.retry_policy is None:
@@ -432,10 +474,28 @@ class SimUser(SimNode):
 
     def _note_retransmit(self) -> None:
         self.metrics["retransmits"] += 1
+        if self._hs_span is not None:
+            reg = obs.active()
+            if reg is not None:
+                # Instantaneous marker span: the retry itself takes no
+                # virtual time, but the trace should show the attempt.
+                retries = self._retx.retries if self._retx is not None \
+                    else 0
+                reg.start_span("handshake.retransmit",
+                               context=self._hs_span.context,
+                               attempt=retries).finish()
+
+    def _finish_handshake_span(self, outcome: str) -> None:
+        """Close the attempt's root span with its outcome (idempotent)."""
+        if self._hs_span is not None:
+            self._hs_span.set_attr("outcome", outcome)
+            self._hs_span.finish()
+            self._hs_span = None
 
     def _note_give_up(self) -> None:
         """Retry budget exhausted: abandon the attempt cleanly."""
         self.metrics["retry_give_ups"] += 1
+        self._finish_handshake_span("give_up")
         if self.state == "connecting":
             self.disconnect()
 
@@ -445,15 +505,21 @@ class SimUser(SimNode):
                 and self._attempt_started == attempt_started):
             self.metrics.setdefault("connect_timeouts", 0)
             self.metrics["connect_timeouts"] += 1
+            self._finish_handshake_span("timeout")
             self.disconnect()
 
     def _on_confirm(self, frame: Frame) -> None:
         if self.state != "connecting" or self._pending is None:
             return
+        reg = obs.active()
         try:
-            confirm = AccessConfirm.decode(self.user.group, frame.payload)
-            session = self.user.complete_router_handshake(
-                self._pending, confirm)
+            with (reg.span("user.confirm", context=self._hs_span.context)
+                  if reg is not None and self._hs_span is not None
+                  else nullcontext()):
+                confirm = AccessConfirm.decode(self.user.group,
+                                               frame.payload)
+                session = self.user.complete_router_handshake(
+                    self._pending, confirm)
         except ReproError:
             return
         if self._retx is not None:
@@ -467,6 +533,7 @@ class SimUser(SimNode):
         self.metrics["auth_delay_sum"] += delay
         obs.counter("wmn.handshakes_total")
         obs.observe("wmn.auth_delay_seconds", delay)
+        self._finish_handshake_span("connected")
         self._pending = None
         if self.data_interval is not None:
             self.loop.schedule_every(self.data_interval, self._send_data,
@@ -518,6 +585,7 @@ class SimUser(SimNode):
         if self._retx is not None:
             self._retx.cancel()
             self._retx = None
+        self._finish_handshake_span("disconnected")
         self.state = "idle"
         self.session = None
         self._pending = None

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.spans import TraceContext
 from repro.wmn.simclock import EventLoop
 
 Position = Tuple[float, float]
@@ -36,12 +37,22 @@ FaultFilter = Callable[["Frame", str, float], List[Tuple[float, "Frame"]]]
 
 @dataclass(frozen=True)
 class Frame:
-    """One over-the-air frame."""
+    """One over-the-air frame.
+
+    ``trace`` is observability side-band, not wire content: it carries
+    the sender's :class:`~repro.obs.spans.TraceContext` so the
+    receiver's spans stitch into the same per-handshake trace (the way
+    a real deployment would propagate a trace id in a header).  It is
+    excluded from equality and size accounting -- two frames with the
+    same bytes are the same frame, traced or not.
+    """
 
     kind: str                # "M.1", "M.2", ..., "DAT", "RLY"
     payload: bytes
     src: str
     dst: Optional[str] = None   # None = broadcast
+    trace: Optional[TraceContext] = field(default=None, compare=False,
+                                          repr=False)
 
     @property
     def size(self) -> int:

@@ -12,8 +12,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.core.clock import Clock
 from repro.core.deployment import Deployment
+from repro.obs.rollup import TelemetryRollup, to_jsonl
 from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.user_router import RetryPolicy
 from repro.core.router import MeshRouter
@@ -60,6 +62,9 @@ class ScenarioConfig:
     reconnect_interval: Optional[float] = None   # periodic re-association
     retry_policy: Optional[RetryPolicy] = None   # M.2 retransmission
     expire_interval: Optional[float] = None      # router expiry ticks
+    tracing: bool = False                # own obs registry + causal spans
+    telemetry_window: float = 0.0        # >0: rollup every N sim seconds
+    max_spans: int = 4096                # span-log bound when tracing
 
 
 class Scenario:
@@ -70,6 +75,21 @@ class Scenario:
         self.loop = EventLoop(start=1_000_000.0)
         self.clock: Clock = SimClock(self.loop)
         self.rng = random.Random(config.seed)
+        # Tracing/telemetry: the scenario owns a registry on the *sim
+        # clock* (span timestamps and rollup windows are virtual time).
+        # It is installed as the ambient registry only for the dynamic
+        # extent of run(), so building or inspecting a scenario never
+        # leaks collection into the caller's process.
+        self.registry: Optional[obs.MetricsRegistry] = None
+        self.rollup: Optional[TelemetryRollup] = None
+        if config.tracing or config.telemetry_window > 0:
+            self.registry = obs.MetricsRegistry(
+                clock=self.clock, max_spans=config.max_spans)
+        if config.telemetry_window > 0:
+            self.rollup = TelemetryRollup(self.registry)
+            self.loop.schedule_every(
+                config.telemetry_window,
+                lambda: self.rollup.roll(self.loop.now))
         self.topology: MetroTopology = build_topology(config.topology)
         self.radio = RadioMedium(
             self.loop, loss_probability=config.loss_probability,
@@ -138,8 +158,29 @@ class Scenario:
     # -- driving -----------------------------------------------------------
 
     def run(self, duration: float) -> None:
-        """Advance the simulation by ``duration`` virtual seconds."""
-        self.loop.run_until(self.loop.now + duration)
+        """Advance the simulation by ``duration`` virtual seconds.
+
+        With ``tracing``/``telemetry_window`` configured, the
+        scenario's registry is ambient for the duration of the call
+        (and only then), collecting causal handshake spans and rollup
+        windows on the sim clock; the caller's previously installed
+        registry (if any) is restored on exit.
+        """
+        if self.registry is None:
+            self.loop.run_until(self.loop.now + duration)
+            return
+        previous = obs.install(self.registry)
+        try:
+            self.loop.run_until(self.loop.now + duration)
+        finally:
+            obs.install(previous)
+
+    def telemetry_jsonl(self) -> str:
+        """The rollup windows collected so far, as JSONL (empty string
+        when ``telemetry_window`` was not configured)."""
+        if self.rollup is None:
+            return ""
+        return to_jsonl(self.rollup.windows())
 
     # -- results -----------------------------------------------------------
 
@@ -169,9 +210,13 @@ class Scenario:
         ``wmn.auth_delay_seconds`` histogram (the same series the live
         nodes feed when a registry is installed during ``run()``).
         Safe to call repeatedly -- gauges overwrite, they never double.
+        With no explicit ``registry`` the scenario's own tracing
+        registry (when configured) is preferred over the ambient one.
         """
-        from repro import obs
-        registry = registry if registry is not None else obs.active()
+        if registry is None:
+            registry = self.registry
+        if registry is None:
+            registry = obs.active()
         if registry is None:
             return
         counters_to_registry(self.router_metrics(), "wmn.router", registry)

@@ -30,6 +30,7 @@ class TopologyConfig:
 
     area_side: float = 2000.0        # square city area side, metres
     router_grid: int = 4             # routers per side (grid^2 routers)
+    router_count: int = 0            # 0 = grid^2; else keep first N routers
     gateway_fraction: float = 0.25   # share of routers wired as APs
     user_count: int = 40
     backbone_range: float = 900.0    # WiMAX-class long range links
@@ -77,6 +78,15 @@ def build_topology(config: TopologyConfig) -> MetroTopology:
                 (col + 0.5) * spacing + jitter_x,
                 (row + 0.5) * spacing + jitter_y)
             index += 1
+    if config.router_count:
+        # Router counts that are not a perfect square (the acceptance
+        # scenario wants exactly 2): keep the first N grid slots.  The
+        # grid must be at least that big so the layout stays the grid's.
+        if config.router_count > len(router_positions):
+            raise SimulationError(
+                "router_count exceeds router_grid**2; raise router_grid")
+        keep = [f"MR-{i}" for i in range(config.router_count)]
+        router_positions = {rid: router_positions[rid] for rid in keep}
 
     router_ids = list(router_positions)
     gateway_count = max(1, round(len(router_ids)

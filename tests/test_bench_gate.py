@@ -130,7 +130,7 @@ class TestMainExitCodes:
         assert code != 0
 
     def test_full_mode_checks_all_experiments(self, tmp_path):
-        for slug in ("E4", "E2", "handshake_loss"):
+        for slug in ("E4", "E2", "handshake_loss", "obs_overhead"):
             self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"
         code = bench_gate.main(["--fresh-dir", str(tmp_path),
@@ -138,7 +138,7 @@ class TestMainExitCodes:
         assert code == 0
         summary = json.loads(out.read_text())
         assert [r["experiment"] for r in summary["results"]] \
-            == ["E4", "E2", "handshake_loss"]
+            == ["E4", "E2", "handshake_loss", "obs_overhead"]
 
     def test_loss_sweep_completion_counts_gated_exactly(self, tmp_path):
         values = dict(self._baseline_values("handshake_loss"))

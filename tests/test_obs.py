@@ -269,7 +269,7 @@ class TestExporters:
         assert any('le="+Inf"' in l and l.endswith(" 2") for l in lines)
         assert "repro_groupsig_sign_seconds_count 2" in text
         # Span aggregation.
-        assert "repro_span_handshake_total 1" in text
+        assert 'repro_span_total{name="handshake"} 1' in text
 
     def test_prometheus_sanitizes_names(self):
         reg = obs.MetricsRegistry()

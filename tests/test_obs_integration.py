@@ -266,23 +266,37 @@ class TestDisabledOverhead:
         """Acceptance bound: hooks cost < 3% of sign+verify when off.
 
         A raw A/B wall-clock comparison of a few-ms op drowns in noise,
-        so measure the two factors instead: how many hook sites one
+        so measure the factors instead: how many hook sites one
         sign+verify crosses (counted via an installed registry, with a
         3x safety factor for active()-only sites) and what one disabled
-        hook costs (a timed obs.active() loop).  Their product bounds
-        the disabled-path overhead.
+        hook costs (a timed obs.active() loop).  The instrument->span
+        bridge added a second kind of disabled site -- every
+        ``instrument.note`` now also loads ``_SPAN_SINK`` and checks it
+        for ``None`` -- so the bound separately counts op-note sites
+        and prices a full disabled ``note()`` call.  The products
+        summed bound the disabled-path overhead with the bridge
+        compiled in but collection off.
         """
+        from repro import instrument
+
         rng = random.Random(23)
         key = member_keys["a1"]
 
-        # Factor 1: hook sites per op.
+        # Factor 1a: obs hook sites per op.
         counting = _CallCountingRegistry()
         with obs.collecting(counting):
             sig = groupsig.sign(gpk, key, b"oh", rng=rng)
             groupsig.verify(gpk, b"oh", sig)
         hooks_per_op = counting.calls * 3   # safety factor
 
-        # Factor 2: one disabled hook (obs.active() + None check).
+        # Factor 1b: instrument.note sites per op (each one now also
+        # runs the span-sink branch).
+        with instrument.count_operations() as ops:
+            sig = groupsig.sign(gpk, key, b"oh", rng=rng)
+            groupsig.verify(gpk, b"oh", sig)
+        notes_per_op = sum(ops.snapshot().values())
+
+        # Factor 2a: one disabled obs hook (obs.active() + None check).
         assert obs.active() is None
         probe_rounds = 200_000
         start = time.perf_counter()
@@ -291,15 +305,24 @@ class TestDisabledOverhead:
                 raise AssertionError
         t_hook = (time.perf_counter() - start) / probe_rounds
 
+        # Factor 2b: one fully-disabled note() -- thread-local counter
+        # miss plus the _SPAN_SINK None check.
+        assert instrument.current_counter() is None
+        start = time.perf_counter()
+        for _ in range(probe_rounds):
+            instrument.note("exp")
+        t_note = (time.perf_counter() - start) / probe_rounds
+
         # The op itself, uninstrumented, best of several runs.
         op_rounds = 5
         best = min(
             _timed_sign_verify(gpk, key, rng) for _ in range(op_rounds))
 
-        overhead = hooks_per_op * t_hook
+        overhead = hooks_per_op * t_hook + notes_per_op * t_note
         assert overhead < 0.03 * best, (
             f"disabled-path overhead {overhead * 1e6:.1f}us "
-            f"({hooks_per_op} weighted hooks x {t_hook * 1e9:.0f}ns) "
+            f"({hooks_per_op} weighted hooks x {t_hook * 1e9:.0f}ns + "
+            f"{notes_per_op} op notes x {t_note * 1e9:.0f}ns) "
             f"exceeds 3% of sign+verify ({best * 1e3:.2f}ms)")
 
 
