@@ -8,36 +8,44 @@ SS512 preset -- across a :class:`VerifierPool` and compares wall-clock
 time with the serial engine path, while asserting the pool's contract:
 identical outcomes and identical instrumented operation counts.
 
-The >= 2x acceptance gate applies where it physically can: it needs
-real cores.  On hosts with fewer than ``WORKERS`` CPUs the measured
-speedup (necessarily ~1x or below, since the "parallel" workers time-
-slice one core plus pay IPC) is still recorded honestly in
-``BENCH_parallel_verify.json`` together with the host core count, and
-the hard assert is skipped -- documented in the JSON via
-``speedup_gate_enforced``.
+The pool sizes itself (``processes=None``): on a single-core host it
+engages *auto-serial* mode -- no worker processes, chunks run in the
+calling process on the batch core -- which is what turned the recorded
+0.83x regression (4 workers time-slicing 1 core plus IPC) into >= 1x.
+Two gates apply, matching the host:
+
+* always: speedup >= 1.0 (auto-serial makes this safe everywhere; the
+  pool runs the very same batch-core kernels as serial ``verify_batch``
+  with only per-chunk bookkeeping on top, so min-of-rounds lands at
+  parity on one core and above it wherever real workers help);
+* with live workers on >= 4 cores: speedup >= 2.0.
+
+Both sides are timed interleaved min-of-rounds so drift on a shared
+host cannot inflate one side only.  ``BENCH_parallel_verify.json``
+records ``host_cores``, ``pool_auto_serial``, and ``pool_processes``
+alongside the timings so the gate's decision is auditable.
 """
 
-import os
 import random
 import time
 
 from repro import instrument
 from repro.core import groupsig
 from repro.core.groupsig import RevocationToken
-from repro.core.verifier_pool import VerifierPool
+from repro.core.verifier_pool import VerifierPool, available_cores
 
 BATCH_SIZE = 64
 URL_SIZE = 32
-WORKERS = 4
 CHUNK_SIZE = 4
-REQUIRED_SPEEDUP = 2.0
-
-
-def _host_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
+REQUIRED_SPEEDUP = 1.0          # every host; auto-serial makes it safe
+REQUIRED_PARALLEL_SPEEDUP = 2.0  # live workers on >= 4 cores
+PARALLEL_GATE_CORES = 4
+ROUNDS = 3
+#: In-bench tolerance on the universal gate: on one core the two sides
+#: run identical kernels, so the honest ratio is 1.0 up to residual
+#: timer noise; the CI gate (scripts/bench_gate.py) enforces 1.0 with
+#: its own slack against the recorded value.
+SERIAL_TOLERANCE = 0.97
 
 
 def test_e10_parallel_verify(reporter, ss512_group, ss512_scheme):
@@ -55,34 +63,55 @@ def test_e10_parallel_verify(reporter, ss512_group, ss512_scheme):
 
     # Warm the parent engine outside the timed region, mirroring what
     # the pool initializer does for each worker.
-    gpk.engine.g2_table
-    gpk.engine.w_table
-    gpk.engine.base_pairing()
+    engine = gpk.engine
+    engine.g2_table
+    engine.w_table
+    engine.base_pairing()
+    engine.gt_table
+    engine.g2_naf_steps
+    engine.w_naf_steps
+    engine.token_steps(url)
 
-    with instrument.count_operations() as serial_ops:
-        start = time.perf_counter()
-        serial_results = groupsig.verify_batch(gpk, batch, url=url)
-        serial_seconds = time.perf_counter() - start
-
-    with VerifierPool(gpk, url, processes=WORKERS,
+    with VerifierPool(gpk, url, processes=None,
                       chunk_size=CHUNK_SIZE) as pool:
+        # Contract check on one full batch: same outcomes, same counts.
+        with instrument.count_operations() as serial_ops:
+            serial_results = groupsig.verify_batch(gpk, batch, url=url)
         with instrument.count_operations() as pool_ops:
-            start = time.perf_counter()
             pool_results = pool.verify_batch(batch)
-            pool_seconds = time.perf_counter() - start
-        parallel = pool.is_parallel
-        fallbacks = pool.serial_fallbacks
+        assert [type(r) for r in pool_results] == \
+            [type(r) for r in serial_results]
+        assert all(r is None for r in serial_results)
+        assert pool_ops.snapshot() == serial_ops.snapshot()
+        assert serial_ops.total("pairing") == \
+            BATCH_SIZE * (3 + 2 * URL_SIZE)
 
-    # The pool's contract, asserted on the measured runs themselves.
-    assert [type(r) for r in pool_results] == \
-        [type(r) for r in serial_results]
-    assert all(r is None for r in serial_results)
-    assert pool_ops.snapshot() == serial_ops.snapshot()
-    assert serial_ops.total("pairing") == BATCH_SIZE * (3 + 2 * URL_SIZE)
+        # Timed region: alternate serial/pool each round so host drift
+        # lands on both sides; keep the min over full executions.
+        serial_seconds = pool_seconds = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            groupsig.verify_batch(gpk, batch, url=url)
+            serial_seconds = min(serial_seconds,
+                                 time.perf_counter() - start)
+            start = time.perf_counter()
+            pool.verify_batch(batch)
+            pool_seconds = min(pool_seconds, time.perf_counter() - start)
+
+        parallel = pool.is_parallel
+        auto_serial = pool.auto_serial
+        processes = pool.processes
+        fallbacks = pool.serial_fallbacks
+        cores = pool.host_cores
+
+    assert cores == available_cores()
+    if cores <= 1:
+        # The headline fix: a 1-core host must engage auto-serial
+        # instead of spawning losing workers.
+        assert auto_serial and not parallel and processes == 0
 
     speedup = serial_seconds / pool_seconds
-    cores = _host_cores()
-    gate_enforced = parallel and cores >= WORKERS
+    parallel_gate = parallel and cores >= PARALLEL_GATE_CORES
 
     report = reporter("parallel_verify: VerifierPool vs serial "
                       "verify_batch (SS512)")
@@ -90,25 +119,32 @@ def test_e10_parallel_verify(reporter, ss512_group, ss512_scheme):
         ("path", "seconds", "sigs/s"),
         [("serial verify_batch", f"{serial_seconds:.2f}",
           f"{BATCH_SIZE / serial_seconds:.2f}"),
-         (f"VerifierPool x{WORKERS}", f"{pool_seconds:.2f}",
-          f"{BATCH_SIZE / pool_seconds:.2f}")])
-    report.row(f"speedup {speedup:.2f}x on {cores} core(s); gate "
-               f"{'enforced' if gate_enforced else 'recorded only'}")
+         (f"VerifierPool ({'auto-serial' if auto_serial else f'x{processes}'})",
+          f"{pool_seconds:.2f}", f"{BATCH_SIZE / pool_seconds:.2f}")])
+    report.row(f"speedup {speedup:.2f}x on {cores} core(s); "
+               f"auto_serial={auto_serial}; >=2x gate "
+               f"{'enforced' if parallel_gate else 'recorded only'}")
     report.record("batch_size", BATCH_SIZE)
     report.record("url_size", URL_SIZE)
-    report.record("workers", WORKERS)
     report.record("chunk_size", CHUNK_SIZE)
+    report.record("rounds", ROUNDS)
     report.record("host_cores", cores)
+    report.record("pool_processes", processes)
+    report.record("pool_auto_serial", auto_serial)
     report.record("pool_was_parallel", parallel)
     report.record("pool_serial_fallbacks", fallbacks)
     report.record("serial_seconds", serial_seconds)
     report.record("pool_seconds", pool_seconds)
     report.record("speedup", speedup)
     report.record("required_speedup", REQUIRED_SPEEDUP)
-    report.record("speedup_gate_enforced", gate_enforced)
+    report.record("required_parallel_speedup", REQUIRED_PARALLEL_SPEEDUP)
+    report.record("speedup_gate_enforced", parallel_gate)
     report.record("op_counts", serial_ops.snapshot())
 
-    # >= 2x with >= 4 workers -- enforceable only where >= 4 hardware
-    # cores exist; otherwise the numbers above stand as the record.
-    if gate_enforced:
-        assert speedup >= REQUIRED_SPEEDUP, speedup
+    # Universal gate: the pool must never lose to serial.  The timer
+    # tolerance covers residual noise on identical single-core work;
+    # the recorded value is gated at >= 1.0 (with gate slack) in CI.
+    assert speedup >= REQUIRED_SPEEDUP * SERIAL_TOLERANCE, speedup
+    # Parallel gate where it physically can apply.
+    if parallel_gate:
+        assert speedup >= REQUIRED_PARALLEL_SPEEDUP, speedup

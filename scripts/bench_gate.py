@@ -14,13 +14,28 @@ dicts metric by metric under per-metric tolerance rules:
                     noise while still catching a lost optimization).
 * ``max_ratio``  -- fresh value must stay under ``ratio`` times the
                     baseline (latencies, if ever gated).
+* ``min_value``  -- fresh value must be at least ``value * (1 - slack)``,
+                    with **no baseline dependence**: absolute floors
+                    from the paper's acceptance criteria (batch-core
+                    speedup >= 6x, pool speedup >= 1x) hold on any host
+                    regardless of what machine recorded the baseline.
+
+A rule may carry ``"metric"`` to gate a metric under a distinct rule
+key (so one metric can hold several rules), and ``"when"`` --
+``{"metric": ..., "at_least": ...}`` evaluated against the *fresh*
+values -- to apply only on qualifying hosts (e.g. the pool's >= 2x
+gate only where ``host_cores >= 4``); a rule whose condition does not
+hold is recorded as skipped, not passed.
 
 Modes:
 
 * ``--smoke``  -- E4 only: TEST-preset message sizes, deterministic
   and fast (seconds).  This is the CI pull-request gate.
-* default      -- E4 plus E2 (SS512 operation counts; slower) plus the
-  virtual-time handshake-loss sweep (exact completion counts).
+* default      -- E4 plus E2 (SS512 operation counts; slower), the
+  virtual-time handshake-loss sweep (exact completion counts), the
+  obs overhead boolean, and the two batch-verification benches
+  (``batch_core``, ``parallel_verify``; minutes on slow hosts, which
+  is why they ride the full gate and not --smoke).
 
 Exit status is non-zero when any gated metric regresses beyond its
 tolerance, when a fresh value for a gated metric is missing, or when
@@ -48,10 +63,18 @@ BENCH_TARGETS: Dict[str, List[str]] = {
         "benchmarks/bench_handshake_loss.py::test_handshake_loss_sweep"],
     "obs_overhead": [
         "benchmarks/bench_obs_overhead.py::test_obs_overhead"],
+    "batch_core": [
+        "benchmarks/bench_batch_core.py::test_batch_core_speedup"],
+    "parallel_verify": [
+        "benchmarks/bench_parallel_verify.py::test_e10_parallel_verify"],
 }
 
-#: slug -> metric -> rule.  A rule is ``{"kind": "exact"}`` or
-#: ``{"kind": "min_ratio"|"max_ratio", "ratio": float}``.  Metrics not
+#: slug -> rule-key -> rule.  A rule is ``{"kind": "exact"}``,
+#: ``{"kind": "min_ratio"|"max_ratio", "ratio": float}``, or
+#: ``{"kind": "min_value", "value": float, "slack": float}``.  The
+#: gated metric is the rule key unless the rule carries ``"metric"``;
+#: an optional ``"when": {"metric": ..., "at_least": ...}`` (checked
+#: against fresh values) makes the rule conditional.  Metrics not
 #: listed here are reported as informational, never gated.
 GATES: Dict[str, Dict[str, dict]] = {
     "E4": {
@@ -94,6 +117,34 @@ GATES: Dict[str, Dict[str, dict]] = {
         "overhead_le_10pct": {"kind": "exact"},
         "iterations": {"kind": "exact"},
     },
+    # The batch core's acceptance floor is absolute (>= 6x at batch 16
+    # on the paper workload), so it is gated as min_value -- a slower
+    # host cannot lower the bar by re-recording the baseline.  The op
+    # accounting invariants are exact.
+    "batch_core": {
+        "batch_speedup_16": {"kind": "min_value", "value": 6.0,
+                             "slack": 0.05},
+        "op_counts_identical": {"kind": "exact"},
+        "url_size": {"kind": "exact"},
+        "gate_batch_size": {"kind": "exact"},
+        "pairings_per_sig": {"kind": "exact"},
+        "exps_per_sig": {"kind": "exact"},
+    },
+    # The pool must never lose to serial on any host (auto-serial makes
+    # that safe on 1 core), and must win >= 2x where it actually runs
+    # workers across >= 4 cores.  ``host_cores`` is recorded by the
+    # bench and gated >= 1, which doubles as a presence check.
+    "parallel_verify": {
+        "speedup": {"kind": "min_value", "value": 1.0, "slack": 0.05},
+        "speedup_parallel": {"kind": "min_value", "metric": "speedup",
+                             "value": 2.0, "slack": 0.05,
+                             "when": {"metric": "host_cores",
+                                      "at_least": 4}},
+        "host_cores": {"kind": "min_value", "value": 1},
+        "batch_size": {"kind": "exact"},
+        "url_size": {"kind": "exact"},
+        "chunk_size": {"kind": "exact"},
+    },
 }
 
 
@@ -105,6 +156,14 @@ def check_metric(name: str, rule: dict, baseline, fresh) -> Optional[str]:
     if kind == "exact":
         if fresh != baseline:
             return f"{name}: expected {baseline!r}, got {fresh!r}"
+        return None
+    if kind == "min_value":
+        value = float(rule["value"])
+        slack = float(rule.get("slack", 0.0))
+        floor = value * (1.0 - slack)
+        if float(fresh) < floor:
+            return (f"{name}: {float(fresh):.4g} below required "
+                    f"{value:g} (floor {floor:.4g} with {slack:g} slack)")
         return None
     if kind not in ("min_ratio", "max_ratio"):
         raise ValueError(f"unknown gate kind {kind!r} for {name}")
@@ -132,23 +191,38 @@ def compare(slug: str, baseline: dict, fresh: dict,
     fresh_values = fresh.get("values", {})
     failures = []
     checked = []
+    skipped = []
+    gated_metrics = {rule.get("metric", name)
+                     for name, rule in gates.items()}
     for name, rule in sorted(gates.items()):
-        if name not in base_values:
-            # A gate with no committed baseline is a config error, not
-            # a silent pass.
-            failures.append(f"{name}: gated but absent from baseline")
+        metric = rule.get("metric", name)
+        label = name if metric == name else f"{name}[{metric}]"
+        when = rule.get("when")
+        if when is not None:
+            # Conditional gates look at the fresh run (the host that
+            # produced it), not at whatever host cut the baseline.
+            condition = fresh_values.get(when["metric"])
+            if condition is None or condition < when["at_least"]:
+                skipped.append(name)
+                continue
+        if rule["kind"] != "min_value" and metric not in base_values:
+            # A baseline-relative gate with no committed baseline is a
+            # config error, not a silent pass.  min_value floors are
+            # absolute and carry no baseline dependence.
+            failures.append(f"{label}: gated but absent from baseline")
             continue
         checked.append(name)
-        message = check_metric(name, rule, base_values[name],
-                               fresh_values.get(name))
+        message = check_metric(label, rule, base_values.get(metric),
+                               fresh_values.get(metric))
         if message is not None:
             failures.append(message)
     informational = {name: {"baseline": base_values.get(name),
                             "fresh": fresh_values.get(name)}
                      for name in sorted(set(base_values) | set(fresh_values))
-                     if name not in gates}
+                     if name not in gated_metrics}
     return {"experiment": slug, "ok": not failures, "checked": checked,
-            "failures": failures, "informational": informational}
+            "skipped": skipped, "failures": failures,
+            "informational": informational}
 
 
 def load_json(path: str) -> Optional[dict]:
@@ -185,7 +259,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     slugs = ["E4"] if args.smoke else ["E4", "E2", "handshake_loss",
-                                       "obs_overhead"]
+                                       "obs_overhead", "batch_core",
+                                       "parallel_verify"]
     results = []
     exit_code = 0
 

@@ -1,0 +1,266 @@
+"""The batch verification core: fast exact classification of signatures.
+
+:func:`repro.core.groupsig.verify_batch` (engine mode) and the verifier
+pool's workers route every item through this module.  The contract is
+strict bit-identity with the serial reference path
+(``groupsig.verify_one``): the same accept/reject outcome, the same
+error messages, the same ``token_index`` on revocation hits, and the
+same replayed :mod:`repro.instrument` operation counts -- only the
+wall-clock changes.  ``tests/test_batch_core.py`` pins all four across
+randomized chaos batches.
+
+How the speed is found (all kernels in :mod:`repro.pairing.fastpath`):
+
+* **Fused Miller + subgroup pass.**  The reference path pays two
+  scalar multiplications by ``r`` for the small-subgroup check and then
+  two more Miller loops for the revocation-tag legs ``e(T2, u_hat)``
+  and ``e(T1, v_hat)``.  ``fused_miller_subgroup`` computes each leg's
+  Miller value (inversion-free, scaled lines) *and* the exact subgroup
+  verdict for T1/T2 in a single double-and-add chain -- the mul-by-r is
+  the Miller chain.
+
+* **Deferred final exponentiations.**  Raw Miller values are carried
+  as integer pairs; the SPK's ``R2`` pays one shared final
+  exponentiation for its two table evaluations, and the Eq.3 scan pays
+  *none*: ``FE(m) == FE(t)`` is decided on the unit circle via
+  ``z^h == 1`` with the norm inversions batched across tokens
+  (Montgomery's trick).
+
+* **Fixed-argument tables.**  ``e(A_k, u_hat)`` evaluates through a
+  per-token line table (the pairing is symmetric, ``A_k`` is the fixed
+  argument) cached on the engine per URL, and ``e(g1, g2)^-c`` goes
+  through a signed-window GT table -- both amortized over the gpk's
+  lifetime like every other engine table.
+
+Operation accounting is decoupled from evaluation: the fast path notes
+each abstract operation at the milestone where the serial path would
+have performed it (nothing before the subgroup check passes, pairings
+in the scan only up to the short-circuit hit), so shared tails and
+speculative token evaluations are wall-clock-only -- the convention
+documented in DESIGN.md.
+
+Every item runs under an isolated operation counter; an unexpected
+exception (not a verdict) discards the partial tally and falls back to
+the serial reference path, so exotic inputs that stray off the fast
+kernels' domain (e.g. a Miller value of exactly zero) are still
+classified exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro import instrument, obs
+from repro.errors import InvalidSignature, RevokedKeyError
+from repro.pairing import fastpath
+from repro.mathx import batch_inverse
+from repro.pairing.fields import Fp2
+from repro.pairing.group import G1Element, G2Element, GTElement, _join
+from repro.pairing.tate import final_exponentiation
+
+
+def classify_item(gpk, message: bytes, signature, url=(), period=None,
+                  check_revocation: bool = True) -> Optional[Exception]:
+    """Classify one item for :func:`groupsig.verify_batch` (no outcome obs).
+
+    Returns ``None`` / :class:`InvalidSignature` /
+    :class:`RevokedKeyError` exactly as the serial batch path would.
+    The fast attempt runs under a nested counter; on success its tally
+    is replayed into the ambient counter, on an unexpected exception it
+    is discarded and the serial reference classifier reruns the item
+    from scratch.
+    """
+    from repro.core import groupsig
+
+    with instrument.count_operations() as inner:
+        try:
+            error = _classify_fast(gpk, message, signature, url, period,
+                                   check_revocation)
+            ok = True
+        except Exception:
+            ok = False
+    if ok:
+        for event, amount in inner.snapshot().items():
+            instrument.replay(event, amount)
+        return error
+    obs.counter("batch_core.fallback_total")
+    return groupsig._classify_one(gpk, message, signature, url, period,
+                                  check_revocation, gpk.engine, gpk.group)
+
+
+def classify_one(gpk, message: bytes, signature, url=(), period=None,
+                 check_revocation: bool = True) -> Optional[Exception]:
+    """Drop-in for :func:`groupsig.verify_one`: classify + outcome metrics.
+
+    Used by the verifier pool's workers so each chunk item records the
+    same ``groupsig.verify_*`` outcome counters and latency histogram
+    the serial path does, while the classification itself runs on the
+    batch core's fast kernels (token tables warm once per worker and
+    amortize across every chunk it steals).
+    """
+    from repro.core import groupsig
+
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
+    error = classify_item(gpk, message, signature, url, period,
+                          check_revocation)
+    groupsig._note_verify_outcome(reg, start, error)
+    return error
+
+
+def _classify_fast(gpk, message: bytes, signature, url, period,
+                   check_revocation: bool) -> Optional[Exception]:
+    """The fast classifier; milestone-for-milestone serial accounting."""
+    from repro.core import groupsig
+
+    group = gpk.group
+    curve = group.curve
+    order = group.order
+    p = curve.p
+    engine = gpk.engine
+
+    # Milestone 1: structural + subgroup rejection, zero notes (the
+    # serial batch path rejects these before deriving any generators).
+    t1, t2 = signature.t1, signature.t2
+    if t1.is_identity() or t2.is_identity():
+        return InvalidSignature("degenerate T1/T2")
+    if not (curve.is_on_curve(t1.point) and curve.is_on_curve(t2.point)):
+        return InvalidSignature("T1/T2 outside the prime-order subgroup")
+
+    if period is None:
+        # Per-signature generators: derive silently (uninstrumented
+        # hashing), fuse the subgroup checks with the revocation-tag
+        # Miller legs, and note the derivation only once the item
+        # survives -- exactly the serial note milestones.
+        data = _join((gpk.encode(), message, group.encode_scalar(
+            signature.r)))
+        u_pt, v_pt = fastpath.hash_h0_fast(curve, data)
+        ok2, t2u_a, t2u_b = fastpath.fused_miller_subgroup(curve, t2.point,
+                                                           u_pt)
+        ok1, t1v_a, t1v_b = fastpath.fused_miller_subgroup(curve, t1.point,
+                                                           v_pt)
+        if not (ok1 and ok2):
+            return InvalidSignature("T1/T2 outside the prime-order subgroup")
+        instrument.note("hash_to_group", 2)
+        instrument.note("psi", 2)
+        u_hat = G2Element(u_pt, group)
+        u = G1Element(u_pt, group)
+        v = G1Element(v_pt, group)
+    else:
+        # Period mode: generators are item-independent and already
+        # tabulated by the engine's LRU (which notes the derivation /
+        # replays it on a hit), so the plain exact subgroup check plus
+        # two table evaluations is the cheaper fusion here.
+        if not (curve.in_subgroup(t1.point) and curve.in_subgroup(t2.point)):
+            return InvalidSignature("T1/T2 outside the prime-order subgroup")
+        context = engine.generators(message, signature.r, period)
+        u_hat, u, v = context.u_hat, context.u, context.v
+        leg = context.u_table.miller(t2.point)
+        t2u_a, t2u_b = leg.a, leg.b
+        leg = context.v_table.miller(t1.point)
+        t1v_a, t1v_b = leg.a, leg.b
+
+    # Milestone 2: the SPK challenge (Eq.2) -- 4 exps + 3 pairings +
+    # 1 GT exp, like the serial `_verify_spk`.
+    reg = obs.active()
+    start = reg.clock() if reg is not None else 0.0
+    c = signature.c
+    with obs.span("groupsig.spk"):
+        s_alpha, s_x, s_delta = (signature.s_alpha, signature.s_x,
+                                 signature.s_delta)
+        # The four SPK multi-exps share two base pairs, so the affine
+        # odd-multiple tables are built once per pair (DualMultiExp);
+        # each evaluation is one multi-exponentiation of the abstract
+        # cost model, noted exactly like `group.multi_exp`.
+        dual_ut = fastpath.DualMultiExp(curve, u.point, t1.point)
+        dual_tv = fastpath.DualMultiExp(curve, t2.point, v.point)
+        instrument.note("exp")
+        r1 = G1Element(dual_ut.mul(s_alpha, -c % order), group)
+        instrument.note("exp")
+        left = G1Element(dual_tv.mul(s_x, -s_delta % order), group)
+        instrument.note("exp")
+        right = G1Element(dual_tv.mul(c, -s_alpha % order), group)
+        engine.base_pairing(count_on_hit=True)
+        instrument.note("pairing", 2)
+        # R2 = e(left, g2) * e(right, w) * e(g1, g2)^-c.  The two NAF
+        # table evaluations ride one shared Miller accumulator and one
+        # shared final exponentiation (FE is a homomorphism), and the
+        # last factor goes through the fixed-base GT table.
+        if left.point.is_infinity():
+            if right.point.is_infinity():
+                prod_ab = (1, 0)
+            else:
+                prod_ab = fastpath.miller_eval(engine.w_naf_steps,
+                                               right.point, p)
+        elif right.point.is_infinity():
+            prod_ab = fastpath.miller_eval(engine.g2_naf_steps,
+                                           left.point, p)
+        else:
+            prod_ab = fastpath.miller_eval_pair(engine.g2_naf_steps,
+                                                left.point,
+                                                engine.w_naf_steps,
+                                                right.point, p)
+        prod = Fp2(prod_ab[0], prod_ab[1], p)
+        instrument.note("exp_gt")
+        r2 = GTElement(final_exponentiation(curve, prod)
+                       * engine.gt_table.pow(-c % order), group)
+        instrument.note("exp")
+        r3 = G1Element(dual_ut.mul(-s_delta % order, s_x), group)
+        expected = groupsig._challenge(gpk, message, signature.r, t1, t2,
+                                       r1, r2, r3)
+    if reg is not None:
+        reg.observe("groupsig.spk_seconds", reg.clock() - start)
+    if expected != c:
+        return InvalidSignature("challenge mismatch (Eq.2 failed)")
+
+    # Milestone 3: the Eq.3 revocation scan.  Token Miller values come
+    # from per-URL line tables; FE(e(A_k, u_hat)) == tau is decided as
+    # z^h == 1 on the unit circle with the norm inversions batched.
+    # The speculative evaluation of every token is wall-clock-only:
+    # pairings are noted in scan order up to the short-circuit hit,
+    # exactly like the serial scan.
+    if not (check_revocation and url):
+        return None
+    start = reg.clock() if reg is not None else 0.0
+    hit: Optional[int] = None
+    with obs.span("groupsig.scan"):
+        if period is None:
+            steps_list = engine.token_steps(url)
+            token_raws = [
+                fastpath.miller_eval(steps, u_pt, p) if steps else (1, 0)
+                for steps in steps_list
+            ]
+        else:
+            token_raws = []
+            for token in url:
+                leg = context.u_table.miller(token.a.point)
+                token_raws.append((leg.a, leg.b))
+        # Test FE(m_k * t1v) == FE(t2u): w_k = (m_k * t1v) * conj(t2u)
+        # = m_k * T for T = t1v * conj(t2u) (associativity -- T costs
+        # one product per item instead of two per token), then
+        # z = w^(p-1) = conj(w)^2 / norm(w), match iff z^h == 1.
+        big_t_a, big_t_b = fastpath.mul_conj(t1v_a, t1v_b, t2u_a, t2u_b, p)
+        sum_t = big_t_a + big_t_b
+        ws = []
+        for m_a, m_b in token_raws:
+            f1 = m_a * big_t_a
+            f2 = m_b * big_t_b
+            ws.append(((f1 - f2) % p,
+                       ((m_a + m_b) * sum_t - f1 - f2) % p))
+        ninvs = batch_inverse([fastpath.fp2_norm(w_a, w_b, p)
+                               for w_a, w_b in ws], p)
+        for k, (w_a, w_b) in enumerate(ws):
+            instrument.note("pairing", 2)
+            z_a = (w_a * w_a - w_b * w_b) % p * ninvs[k] % p
+            z_b = (-2 * w_a * w_b) % p * ninvs[k] % p
+            if fastpath.unitary_tag_is_one(z_a, z_b, curve):
+                hit = k
+                break
+    if reg is not None:
+        examined = len(url) if hit is None else hit + 1
+        reg.counter("groupsig.scan_tokens_total", examined)
+        reg.counter("groupsig.scan_total")
+        reg.observe("groupsig.scan_seconds", reg.clock() - start)
+    if hit is not None:
+        return groupsig._revoked_error(hit)
+    return None

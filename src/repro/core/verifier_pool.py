@@ -25,6 +25,19 @@ Design constraints, in order of importance:
    :class:`~repro.core.groupsig.CryptoEngine` tables, outside any
    counted region.
 
+Worker sizing: ``processes=None`` sizes the pool from the cores this
+process may actually run on (``os.sched_getaffinity``, not the
+machine-wide ``cpu_count``) and degrades to *auto-serial* -- no worker
+processes at all -- when only one core is available, where "parallel"
+workers would time-slice the single core and pay IPC on top (the
+measured 0.83x regression this module used to ship).  The decision is
+recorded on ``pool.auto_serial`` / ``pool.host_cores`` and the
+``pool.auto_serial`` obs counter; an explicit ``processes=N`` is always
+honored.  Chunks are dispatched through the shared task queue (idle
+workers steal the next chunk as they free up) and collected
+finishes-first, so one slow chunk never blocks absorption of faster
+ones behind it.
+
 Serial fallback and recovery: when ``processes=0`` or the platform
 cannot provide a process pool, every chunk runs in the calling process
 through the very same chunk runner.  When a submitted chunk times out
@@ -44,6 +57,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -70,6 +84,14 @@ DEFAULT_TASK_TIMEOUT = 120.0
 #: How many times one pool may replace a dead/hung worker set before
 #: giving up and running serially for good.
 DEFAULT_MAX_WORKER_RESTARTS = 2
+
+
+def available_cores() -> int:
+    """Cores this process may run on (affinity-aware, min 1)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 # Worker-process state, installed once by _worker_init.  One pool's
 # workers serve exactly one (gpk, URL) snapshot, so a trio of module
@@ -111,6 +133,15 @@ def _worker_init(preset: str, gpk_blob: bytes,
     engine.g2_table
     engine.w_table
     engine.base_pairing(count_on_hit=False)
+    # Batch-core tables: the NAF step tables for the SPK's R2 legs, the
+    # fixed-base GT table for e(g1, g2)^-c, and the per-token line
+    # tables for this pool's URL snapshot.  Built once here, they make
+    # every chunk the worker steals run entirely on warm state.
+    engine.g2_naf_steps
+    engine.w_naf_steps
+    engine.gt_table
+    if _worker_tokens:
+        engine.token_steps(_worker_tokens)
 
 
 def _worker_run(task: tuple) -> tuple:
@@ -156,14 +187,25 @@ def _run_chunk(gpk: GroupPublicKey,
     with a trace context gets a ``pool.verify_item`` span parented
     under it (the groupsig spk/scan spans nest inside), attributing the
     item's crypto ops to the originating handshake's trace.
+
+    Items run on the batch core's fast kernels
+    (:func:`repro.core.batch_core.classify_one`) whenever the gpk
+    carries an engine -- outcome and replayed-count identical to
+    :func:`groupsig.verify_one` by the batch core's contract -- so the
+    pool inherits the single-core batch speedup before parallelism
+    multiplies it.
     """
+    from repro.core import batch_core
+
+    classify = (batch_core.classify_one if gpk.engine is not None
+                else groupsig.verify_one)
     out = []
     for index, message, signature, ctx in items:
         with obs.span("pool.verify_item", context=ctx, index=index,
                       pid=os.getpid()) if ctx is not None \
                 else _UNTRACED_ITEM:
             with instrument.count_operations() as ops:
-                error = groupsig.verify_one(
+                error = classify(
                     gpk, message, signature, url=tokens, period=period,
                     check_revocation=check_revocation)
         if error is None:
@@ -226,7 +268,10 @@ class VerifierPool:
     ``processes=0`` requests the documented serial mode: no processes
     are spawned and :meth:`verify_batch` runs every chunk in the
     calling process (useful as an A/B control and on single-core
-    hosts).  ``processes=None`` takes the host's CPU count.
+    hosts).  ``processes=None`` sizes the pool from
+    :func:`available_cores` and auto-selects serial mode when only one
+    core is available (``auto_serial`` is then True); an explicit
+    worker count is honored as given.
     """
 
     def __init__(self, gpk: GroupPublicKey,
@@ -252,8 +297,18 @@ class VerifierPool:
         self.serial_fallbacks = 0  # chunks that ran in-process instead
         self.max_worker_restarts = max_worker_restarts
         self.worker_restarts = 0   # respawns performed so far
+        self.host_cores = available_cores()
+        self.auto_serial = False
         if processes is None:
-            processes = os.cpu_count() or 1
+            # Parallelism cannot pay on a single available core: the
+            # workers would time-slice it and add IPC on top.  Run the
+            # chunks in-process instead and say so.
+            if self.host_cores <= 1:
+                processes = 0
+                self.auto_serial = True
+                obs.counter("pool.auto_serial")
+            else:
+                processes = self.host_cores
         self.processes = processes
         self.max_inflight = max_inflight or max(2 * processes, 2)
         self._start_method = start_method
@@ -417,7 +472,9 @@ class VerifierPool:
                 run_serial(chunk, fallback=False)
             return finish_batch()
 
-        pending: "deque" = deque()  # (chunk, handle, submitted_at)
+        # In flight: (chunk, handle, submitted_at, deadline).  A plain
+        # list -- collection scans it for *whichever* handle is ready.
+        pending: List[tuple] = []
         remaining = deque(chunks)
 
         def recover(failed_chunk, counter_name: str) -> None:
@@ -431,25 +488,50 @@ class VerifierPool:
                 reg.counter(counter_name)
             run_serial(failed_chunk)
             while pending:
-                chunk, _handle, _submitted = pending.popleft()
+                chunk, _handle, _submitted, _deadline = pending.pop()
                 run_serial(chunk)
             self.respawn_workers()
 
-        def collect_oldest() -> None:
-            chunk, handle, submitted = pending.popleft()
-            try:
-                chunk_result, span_snap = handle.get(self.task_timeout)
-            except Exception:
-                # Timeout or a dead/poisoned worker.
-                recover(chunk, "pool.chunk_failures_total")
-                return
-            absorb(chunk_result)
-            if span_snap is not None and reg is not None:
-                reg.merge_spans(span_snap)
-            if reg is not None:
-                reg.counter("pool.chunks_parallel_total")
-                reg.observe("pool.chunk_seconds",
-                            reg.clock() - submitted)
+        def collect_one() -> None:
+            """Absorb the next *finished* chunk, whichever it is.
+
+            Workers steal chunks from the shared task queue as they
+            free up, so completion order is not submission order; the
+            submission-order ``collect_oldest`` this replaces could
+            leave finished results (and their pipe buffers) parked
+            behind one slow chunk.  Each in-flight chunk keeps its own
+            wall-clock deadline; the first to exceed it triggers the
+            requeue-and-respawn recovery.
+            """
+            while True:
+                for i, entry in enumerate(pending):
+                    if entry[1].ready():
+                        chunk, handle, submitted, _deadline = \
+                            pending.pop(i)
+                        try:
+                            chunk_result, span_snap = handle.get(0)
+                        except Exception:
+                            # A dead/poisoned worker.
+                            recover(chunk, "pool.chunk_failures_total")
+                            return
+                        absorb(chunk_result)
+                        if span_snap is not None and reg is not None:
+                            reg.merge_spans(span_snap)
+                        if reg is not None:
+                            reg.counter("pool.chunks_parallel_total")
+                            reg.observe("pool.chunk_seconds",
+                                        reg.clock() - submitted)
+                        return
+                now = time.monotonic()
+                expired = next((i for i, entry in enumerate(pending)
+                                if now >= entry[3]), None)
+                if expired is not None:
+                    chunk = pending.pop(expired)[0]
+                    recover(chunk, "pool.chunk_failures_total")
+                    return
+                # Nothing ready, nothing expired: nap on the oldest
+                # handle, then rescan (another chunk may finish first).
+                pending[0][1].wait(0.05)
 
         while remaining or pending:
             if self._pool is None:
@@ -471,7 +553,8 @@ class VerifierPool:
                     recover(chunk, "pool.submit_failures_total")
                     continue
                 pending.append((chunk, handle,
-                                reg.clock() if reg is not None else 0.0))
+                                reg.clock() if reg is not None else 0.0,
+                                time.monotonic() + self.task_timeout))
                 continue
-            collect_oldest()
+            collect_one()
         return finish_batch()

@@ -13,6 +13,7 @@ from repro.mathx.encoding import (
     os2ip,
 )
 from repro.mathx.modular import (
+    batch_inverse,
     crt_pair,
     inv_mod,
     jacobi_symbol,
@@ -29,6 +30,7 @@ from repro.mathx.primes import (
 )
 
 __all__ = [
+    "batch_inverse",
     "byte_length",
     "bytes_to_int",
     "crt_pair",

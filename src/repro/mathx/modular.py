@@ -127,6 +127,40 @@ def signed_window_digits(scalar: int, width: int) -> "list[int]":
     return digits
 
 
+def batch_inverse(values: "list[int]", m: int) -> "list[int]":
+    """Invert many values modulo ``m`` with one modular exponentiation.
+
+    Montgomery's trick: multiply the values into a running prefix
+    product, invert the total once, then peel the individual inverses
+    off backwards -- ``3*(n-1)`` multiplications plus a single ``pow``
+    instead of ``n`` of them.  The pairing fast paths batch hundreds of
+    slope denominators through this.
+
+    Raises :class:`ParameterError` when any value is not invertible
+    (the failing batch is reported as a whole; callers that need to
+    localize a zero should pre-filter).
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    prefix = [0] * n
+    acc = 1
+    for i in range(n):
+        acc = acc * values[i] % m
+        prefix[i] = acc
+    try:
+        inv = pow(acc, -1, m)
+    except ValueError as exc:
+        raise ParameterError(
+            "batch_inverse: some value is not invertible") from exc
+    out = [0] * n
+    for i in range(n - 1, 0, -1):
+        out[i] = prefix[i - 1] * inv % m
+        inv = inv * values[i] % m
+    out[0] = inv
+    return out
+
+
 def crt_pair(r_p: int, p: int, r_q: int, q: int) -> int:
     """Combine residues ``r_p mod p`` and ``r_q mod q`` via the CRT.
 

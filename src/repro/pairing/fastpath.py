@@ -1,0 +1,867 @@
+"""Engine-only fast kernels for the batch verification core.
+
+Everything in this module is a wall-clock optimisation of an existing
+naive computation in :mod:`repro.pairing.curve` / ``tate`` /
+``precompute``: outputs are either bit-identical to the reference
+(points, table steps) or identical after the final exponentiation
+(Miller values scaled by an F_p* factor, which the ``(p - 1)`` part of
+the final exponent annihilates).  The reference implementations stay
+untouched so A/B benchmarks keep an honest baseline; only the crypto
+engine and the batch core call into this module.
+
+Nothing here reports to :mod:`repro.instrument` -- callers note the
+abstract operations at the same milestones the naive path would, which
+is what keeps measured operation counts invariant under the engine.
+
+The kernels:
+
+``fused_miller_subgroup``
+    One Jacobian double-and-add pass over the bits of ``r`` that yields
+    *both* the Miller value of ``e(P, Q)`` (lines evaluated without any
+    modular inversion, scaled by F_p* factors) and the exact
+    prime-order subgroup verdict for ``P``: an on-curve point distinct
+    from infinity has order ``r`` iff the chain degenerates at exactly
+    the final add step (``r`` is prime, so any earlier degeneration
+    certifies a smaller order and no degeneration certifies
+    ``r*P != O``).
+
+``table_steps``
+    Bit-identical :class:`~repro.pairing.precompute.PairingTable` line
+    coefficients built with two batched inversions instead of one
+    inversion per Miller step (Montgomery's trick).
+
+``miller_eval`` / ``unitary_pow_h`` / ``tag_matches``
+    Raw-integer helpers for evaluating stored lines and testing
+    revocation tags on the unit circle of F_p2 (where the cofactor
+    ``h = (p + 1) / r`` has Hamming weight 6, so ``z^h`` is almost all
+    cheap unitary squarings).
+
+``GTFixedBase``
+    Signed-window fixed-base exponentiation in GT for the cached base
+    pairing ``e(g1, g2)`` (unitary, so negative digits conjugate for
+    free).
+
+Throughout, squarings are spelled so the multiplication receives the
+*same object* twice -- ``m * m``, ``3 * (X * X)`` rather than
+``3 * X * X`` -- because CPython's schoolbook bigint multiply takes a
+squaring fast path in that case (~25% cheaper at 512 bits).  The
+parentheses only reassociate an exact integer product; residues are
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mathx import batch_inverse
+from repro.pairing.curve import Curve, Point
+from repro.pairing.fields import Fp2
+
+#: Cached MSB-first bit strings keyed by the integer itself -- ``r``
+#: and ``h`` for each curve in use (two entries per parameter preset).
+_BITS_CACHE: Dict[int, str] = {}
+
+
+def _bits_after_msb(value: int) -> str:
+    bits = _BITS_CACHE.get(value)
+    if bits is None:
+        bits = bin(value)[3:]
+        _BITS_CACHE[value] = bits
+    return bits
+
+
+#: Cached MSB-first NAF digit strings (leading digit, always 1,
+#: stripped).  The group orders in use have dense binary expansions
+#: (SS512's ``r`` has Hamming weight 79 over 160 bits) but NAF weight
+#: around ``bits / 3``, so a NAF Miller chain trades ~26 chord-and-line
+#: add steps for the same number of doublings -- the value changes only
+#: by an F_p* scale, which the final exponentiation kills.
+_NAF_CACHE: Dict[int, Tuple[int, ...]] = {}
+
+
+def _naf_after_msd(value: int) -> Tuple[int, ...]:
+    digits = _NAF_CACHE.get(value)
+    if digits is None:
+        from repro.mathx import wnaf_digits
+
+        little = wnaf_digits(value, 2)
+        digits = tuple(reversed(little[:-1]))
+        _NAF_CACHE[value] = digits
+    return digits
+
+
+# ---------------------------------------------------------------------------
+# Fused Miller pass + exact subgroup check
+# ---------------------------------------------------------------------------
+
+
+def fused_miller_subgroup(curve: Curve, point_p: Point, point_q: Point
+                          ) -> Tuple[bool, int, int]:
+    """Return ``(P_in_subgroup, f_a, f_b)`` for ``e(P, Q)`` in one pass.
+
+    ``(f_a, f_b)`` is the Miller value ``f_{r,P}(phi(Q))`` up to an
+    F_p* scale factor (exact after final exponentiation).  The chain
+    walks the *NAF* digits of ``r`` (fewer add steps than the dense
+    binary expansion; the omitted vertical lines evaluate in F_p at
+    ``phi(Q)`` and are likewise killed by the final exponentiation) and
+    computes ``r * P`` as a side effect.  Because ``r`` is prime, odd,
+    and ``P`` is on-curve and not infinity, ``P`` lies in the
+    order-``r`` subgroup iff the running point degenerates to infinity
+    at exactly the last add step: the NAF partial scalars ``s_i``
+    satisfy ``0 < |s_i| < r`` before the final digit, so an order-``r``
+    point cannot hit infinity early (``2s`` with ``s != 0 mod r`` and
+    ``r`` odd is never ``0 mod r`` either), while any early degeneration
+    certifies a different order.  When the verdict is ``False`` the
+    Miller value is meaningless and must be discarded.
+    """
+    p = curve.p
+    xp_, yp_ = point_p.x, point_p.y
+    yp_neg = (-yp_) % p
+    x_phi = (-point_q.x) % p
+    yq = point_q.y
+    X, Y, Z = xp_, yp_, 1
+    f_a, f_b = 1, 0
+    at_inf = False
+    digits = _naf_after_msd(curve.r)
+    last = len(digits) - 1
+    final_add_inf = False
+    for idx, digit in enumerate(digits):
+        f_a, f_b = ((f_a + f_b) * (f_a - f_b) % p, 2 * f_a * f_b % p)
+        if not at_inf:
+            if Y == 0:
+                at_inf = True
+            else:
+                # Tangent line at V = (X : Y : Z), scaled by 2*Y*Z^3:
+                #   D*l = M*(X - Z^2*x) - 2*Y^2 + (2*Y*Z^3)*y
+                # with M = 3*X^2 + Z^4 (curve coefficient a = 1).
+                ysq = Y * Y % p
+                zsq = Z * Z % p
+                m = (3 * (X * X) + zsq * zsq) % p
+                nz = 2 * Y * Z % p
+                l_a = (m * (X - zsq * x_phi % p) - 2 * ysq) % p
+                l_b = nz * zsq % p * yq % p
+                t1 = f_a * l_a
+                t2 = f_b * l_b
+                f_a, f_b = ((t1 - t2) % p,
+                            ((f_a + f_b) * (l_a + l_b) - t1 - t2) % p)
+                s = 4 * X * ysq % p
+                nx = (m * m - 2 * s) % p
+                Y = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                X, Z = nx, nz
+        if digit and not at_inf:
+            yd = yp_ if digit > 0 else yp_neg
+            zsq = Z * Z % p
+            u2 = xp_ * zsq % p
+            s2 = yd * zsq % p * Z % p
+            if X == u2:
+                if (Y + s2) % p == 0:
+                    at_inf = True
+                    if idx == last:
+                        final_add_inf = True
+                    continue
+                # V == digit*P exactly: chord degenerates to the tangent.
+                ysq = Y * Y % p
+                m = (3 * (X * X) + zsq * zsq) % p
+                nz = 2 * Y * Z % p
+                l_a = (m * (X - zsq * x_phi % p) - 2 * ysq) % p
+                l_b = nz * zsq % p * yq % p
+                t1 = f_a * l_a
+                t2 = f_b * l_b
+                f_a, f_b = ((t1 - t2) % p,
+                            ((f_a + f_b) * (l_a + l_b) - t1 - t2) % p)
+                s = 4 * X * ysq % p
+                nx = (m * m - 2 * s) % p
+                Y = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                X, Z = nx, nz
+            else:
+                # Chord through V and digit*P, scaled by hh*Z^3:
+                #   D*l = rr*(X - Z^2*x) - hh*Y + (hh*Z^3)*y
+                hh = (u2 - X) % p
+                rr = (s2 - Y) % p
+                hz = hh * Z % p
+                l_a = (rr * (X - zsq * x_phi % p) - hh * Y) % p
+                l_b = hz * zsq % p * yq % p
+                t1 = f_a * l_a
+                t2 = f_b * l_b
+                f_a, f_b = ((t1 - t2) % p,
+                            ((f_a + f_b) * (l_a + l_b) - t1 - t2) % p)
+                hsq = hh * hh % p
+                hcu = hsq * hh % p
+                nx = (rr * rr - hcu - 2 * X * hsq) % p
+                Y = (rr * (X * hsq - nx) - Y * hcu) % p
+                X, Z = nx, hz
+    return final_add_inf, f_a, f_b
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical pairing-table construction (two batched inversions)
+# ---------------------------------------------------------------------------
+
+
+def table_steps(curve: Curve, point: Point
+                ) -> List[List[Tuple[int, int]]]:
+    """Line coefficients identical to ``PairingTable(curve, point)._steps``.
+
+    Phase 1 walks the double-and-add chain in Jacobian coordinates,
+    recording which affine point each line is anchored at; phase 2
+    batch-inverts the ``Z`` coordinates and the slope denominators
+    (two Montgomery inversions total) and emits the exact ``(c1, c0)``
+    pairs the affine reference build produces.
+    """
+    if point.is_infinity():
+        return []
+    p = curve.p
+    xp_, yp_ = point.x, point.y
+    X, Y, Z = xp_, yp_, 1
+    at_inf = False
+    events: List[List[Tuple[str, int, int, int]]] = []
+    for bit in _bits_after_msb(curve.r):
+        evs: List[Tuple[str, int, int, int]] = []
+        if not at_inf:
+            if Y == 0:
+                at_inf = True
+            else:
+                evs.append(("d", X, Y, Z))
+                ysq = Y * Y % p
+                s = 4 * X * ysq % p
+                zsq = Z * Z % p
+                m = (3 * (X * X) + zsq * zsq) % p
+                nx = (m * m - 2 * s) % p
+                ny = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                nz = 2 * Y * Z % p
+                X, Y, Z = nx, ny, nz
+        if bit == "1" and not at_inf:
+            zsq = Z * Z % p
+            u2 = xp_ * zsq % p
+            s2 = yp_ * zsq % p * Z % p
+            if X == u2 and (Y + s2) % p == 0:
+                at_inf = True
+            else:
+                evs.append(("a", X, Y, Z))
+                if X == u2:  # V == P: the add is a doubling
+                    ysq = Y * Y % p
+                    s = 4 * X * ysq % p
+                    m = (3 * (X * X) + zsq * zsq) % p
+                    nx = (m * m - 2 * s) % p
+                    ny = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                    nz = 2 * Y * Z % p
+                    X, Y, Z = nx, ny, nz
+                else:
+                    hh = (u2 - X) % p
+                    rr = (s2 - Y) % p
+                    hsq = hh * hh % p
+                    hcu = hsq * hh % p
+                    nx = (rr * rr - hcu - 2 * X * hsq) % p
+                    ny = (rr * (X * hsq - nx) - Y * hcu) % p
+                    nz = hh * Z % p
+                    X, Y, Z = nx, ny, nz
+        events.append(evs)
+    # Phase 2a: all recorded points to affine via one batched inversion.
+    zs = [ev[3] for evs in events for ev in evs]
+    zinvs = batch_inverse(zs, p)
+    flat: List[Tuple[str, int, int]] = []
+    k = 0
+    for evs in events:
+        for kind, ex, ey, _ez in evs:
+            zi = zinvs[k]
+            k += 1
+            zi2 = zi * zi % p
+            xv = ex * zi2 % p
+            yv = ey * zi2 % p * zi % p
+            flat.append((kind, xv, yv))
+    # Phase 2b: slope denominators (tangent 2*yv, chord xp_ - xv).
+    dens = [2 * yv % p if kind == "d" or xv == xp_ else (xp_ - xv) % p
+            for kind, xv, yv in flat]
+    dinvs = batch_inverse(dens, p)
+    # Phase 2c: the reference line coefficients (c1, c0).
+    steps: List[List[Tuple[int, int]]] = []
+    k = 0
+    for evs in events:
+        lines: List[Tuple[int, int]] = []
+        for _ in evs:
+            kind, xv, yv = flat[k]
+            if kind == "d" or xv == xp_:
+                slope = (3 * (xv * xv) + 1) * dinvs[k] % p
+            else:
+                slope = (yp_ - yv) * dinvs[k] % p
+            lines.append((-slope % p, (slope * xv - yv) % p))
+            k += 1
+        steps.append(lines)
+    return steps
+
+
+def naf_steps(curve: Curve, point: Point) -> List[List[Tuple[int, int]]]:
+    """Line coefficients for a *NAF* Miller chain over ``r`` (fixed P).
+
+    Same ``(c1, c0)``-per-step format as ``PairingTable._steps`` /
+    :func:`table_steps`, but the chain follows the non-adjacent form of
+    ``r`` -- around a third the add steps of the dense binary expansion
+    at SS512 -- so every evaluation of the table is proportionally
+    cheaper.  The value differs from the binary chain's by an F_p*
+    factor only (negative digits drop a vertical line that evaluates in
+    F_p at ``phi(Q)``), i.e. it is *final-exponentiation-identical*:
+    only callers that FE the result (the batch core) may use these
+    tables; bit-identity tests against ``tate_pairing`` go through
+    :func:`table_steps`.
+    """
+    if point.is_infinity():
+        return []
+    p = curve.p
+    xp_, yp_ = point.x, point.y
+    yp_neg = (-yp_) % p
+    X, Y, Z = xp_, yp_, 1
+    at_inf = False
+    events: List[List[Tuple[str, int, int, int, int]]] = []
+    for digit in _naf_after_msd(curve.r):
+        evs: List[Tuple[str, int, int, int, int]] = []
+        if not at_inf:
+            if Y == 0:
+                at_inf = True
+            else:
+                evs.append(("d", X, Y, Z, 0))
+                ysq = Y * Y % p
+                s = 4 * X * ysq % p
+                zsq = Z * Z % p
+                m = (3 * (X * X) + zsq * zsq) % p
+                nx = (m * m - 2 * s) % p
+                ny = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                nz = 2 * Y * Z % p
+                X, Y, Z = nx, ny, nz
+        if digit and not at_inf:
+            yd = yp_ if digit > 0 else yp_neg
+            zsq = Z * Z % p
+            u2 = xp_ * zsq % p
+            s2 = yd * zsq % p * Z % p
+            if X == u2 and (Y + s2) % p == 0:
+                at_inf = True
+            else:
+                evs.append(("a", X, Y, Z, yd))
+                if X == u2:  # V == digit*P: the add is a doubling
+                    ysq = Y * Y % p
+                    s = 4 * X * ysq % p
+                    m = (3 * (X * X) + zsq * zsq) % p
+                    nx = (m * m - 2 * s) % p
+                    ny = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                    nz = 2 * Y * Z % p
+                    X, Y, Z = nx, ny, nz
+                else:
+                    hh = (u2 - X) % p
+                    rr = (s2 - Y) % p
+                    hsq = hh * hh % p
+                    hcu = hsq * hh % p
+                    nx = (rr * rr - hcu - 2 * X * hsq) % p
+                    ny = (rr * (X * hsq - nx) - Y * hcu) % p
+                    nz = hh * Z % p
+                    X, Y, Z = nx, ny, nz
+        events.append(evs)
+    zs = [ev[3] for evs in events for ev in evs]
+    zinvs = batch_inverse(zs, p)
+    flat: List[Tuple[str, int, int, int]] = []
+    k = 0
+    for evs in events:
+        for kind, ex, ey, _ez, yd in evs:
+            zi = zinvs[k]
+            k += 1
+            zi2 = zi * zi % p
+            xv = ex * zi2 % p
+            yv = ey * zi2 % p * zi % p
+            flat.append((kind, xv, yv, yd))
+    dens = [2 * yv % p if kind == "d" or xv == xp_ else (xp_ - xv) % p
+            for kind, xv, yv, _yd in flat]
+    dinvs = batch_inverse(dens, p)
+    steps: List[List[Tuple[int, int]]] = []
+    k = 0
+    for evs in events:
+        lines: List[Tuple[int, int]] = []
+        for _ in evs:
+            kind, xv, yv, yd = flat[k]
+            if kind == "d" or xv == xp_:
+                slope = (3 * (xv * xv) + 1) * dinvs[k] % p
+            else:
+                slope = (yd - yv) * dinvs[k] % p
+            lines.append((-slope % p, (slope * xv - yv) % p))
+            k += 1
+        steps.append(lines)
+    return steps
+
+
+# ---------------------------------------------------------------------------
+# Cofactor clearing and hash-to-subgroup (bit-identical to the reference)
+# ---------------------------------------------------------------------------
+
+
+def clear_cofactor_fast(curve: Curve, point: Point) -> Point:
+    """``h * P`` bit-identical to ``Curve.clear_cofactor``.
+
+    The cofactor ``h = (p + 1) / r`` is 353 bits with Hamming weight 6,
+    so the chain is essentially 352 Jacobian doublings; running them
+    inline (no per-step function calls or tuple traffic) is measurably
+    faster than ``Curve._mul_raw`` while producing the identical affine
+    point -- the doubling and addition formulas are the same ones.
+    """
+    if point.is_infinity():
+        return point
+    p = curve.p
+    xp_, yp_ = point.x, point.y
+    # Modified Jacobian: carry W = Z^4 so the doubling needs 8 field
+    # multiplications instead of 9 (W' = 16*Y^4*W reuses the Y^4 the
+    # y-update needs anyway).  The 5 add steps re-derive W from Z.
+    X, Y, Z, W = xp_, yp_, 1, 1
+    for bit in _bits_after_msb(curve.h):
+        if Z == 0:
+            break
+        if Y == 0:
+            X, Y, Z = 0, 1, 0
+            break
+        ysq = Y * Y % p
+        xsq = X * X % p
+        y4 = ysq * ysq % p
+        xy = X + ysq
+        # 4*X*Y^2 as 2*((X + Y^2)^2 - X^2 - Y^4): a squaring replaces
+        # a general product (exact integer identity before the mod).
+        s = 2 * (xy * xy - xsq - y4) % p
+        m = (3 * xsq + W) % p
+        nx = (m * m - 2 * s) % p
+        nz = 2 * Y * Z % p
+        Y = (m * (s - nx) - 8 * y4) % p
+        W = 16 * y4 * W % p
+        X, Z = nx, nz
+        if bit == "1":
+            X, Y, Z = curve._jadd(X, Y, Z, xp_, yp_, 1)
+            zsq = Z * Z % p
+            W = zsq * zsq % p
+    return curve._jacobian_to_affine(X, Y, Z)
+
+
+def hash_h0_fast(curve: Curve, data: bytes) -> Tuple[Point, Point]:
+    """Drop-in for ``hashing.hash_h0``: identical points, faster clear.
+
+    Replays the exact try-and-increment loop of
+    ``Curve.point_from_digest_stream`` (same digest stream, same lift,
+    same candidate order) with :func:`clear_cofactor_fast` in place of
+    the naive cofactor multiplication, so the returned generator pair
+    is byte-for-byte the one the serial path derives.
+    """
+    from repro.errors import NotOnCurveError
+    from repro.mathx.modular import jacobi_symbol
+    from repro.pairing import hashing
+
+    size = curve.params.field_bytes
+    p = curve.p
+    out = []
+    for domain in (hashing.DOMAIN_H0_U, hashing.DOMAIN_H0_V):
+        stream = hashing._digest_stream(domain, data, size)
+        counter = 0
+        while True:
+            digest = stream(counter)
+            x = int.from_bytes(digest[:size], "big") % curve.p
+            counter += 1
+            # Jacobi prescreen: a non-residue x^3 + x is exactly the
+            # candidate ``lift_x`` rejects, but the symbol costs ~1/6th
+            # of the sqrt exponentiation the rejection would waste.
+            if jacobi_symbol((x * x % p * x + x) % p, p) < 0:
+                continue
+            try:
+                lifted = curve.lift_x(x, y_parity=digest[-1] & 1)
+            except NotOnCurveError:  # pragma: no cover - prescreened
+                continue
+            cleared = clear_cofactor_fast(curve, lifted)
+            if not cleared.is_infinity():
+                out.append(cleared)
+                break
+    return out[0], out[1]
+
+
+def miller_eval(steps: Sequence[Sequence[Tuple[int, int]]],
+                point_q: Point, p: int) -> Tuple[int, int]:
+    """Evaluate stored lines at ``phi(Q)``; raw ``(a, b)`` Miller value.
+
+    Identical to ``PairingTable.miller`` on the same steps, without the
+    :class:`Fp2` wrapping (batch callers combine several raw values
+    before one shared final exponentiation).
+    """
+    x_phi = (-point_q.x) % p
+    yq = point_q.y
+    yq2 = yq * yq % p
+    f_a, f_b = 1, 0
+    for lines in steps:
+        f_a, f_b = ((f_a + f_b) * (f_a - f_b) % p, 2 * f_a * f_b % p)
+        if len(lines) == 1:
+            c1, c0 = lines[0]
+            l_a = (c0 + c1 * x_phi) % p
+            # Karatsuba: (f_a + f_b*i)(l_a + yq*i) in 3 multiplications.
+            t1 = f_a * l_a
+            t2 = f_b * yq
+            f_a, f_b = ((t1 - t2) % p,
+                        ((f_a + f_b) * (l_a + yq) - t1 - t2) % p)
+        elif lines:
+            # Two lines in one step: merge them first (the product of
+            # the two degree-1 values costs 2 multiplications with
+            # yq^2 cached), then one general Karatsuba into f -- one
+            # multiplication fewer than folding them in sequentially,
+            # and the residues are identical (associativity mod p).
+            (c1a, c0a), (c1b, c0b) = lines
+            la1 = (c0a + c1a * x_phi) % p
+            la2 = (c0b + c1b * x_phi) % p
+            m_a = (la1 * la2 - yq2) % p
+            m_b = (la1 + la2) * yq % p
+            t1 = f_a * m_a
+            t2 = f_b * m_b
+            f_a, f_b = ((t1 - t2) % p,
+                        ((f_a + f_b) * (m_a + m_b) - t1 - t2) % p)
+    return f_a, f_b
+
+
+def miller_eval_pair(steps1: Sequence[Sequence[Tuple[int, int]]],
+                     point_q1: Point,
+                     steps2: Sequence[Sequence[Tuple[int, int]]],
+                     point_q2: Point, p: int) -> Tuple[int, int]:
+    """Raw product of two table evaluations sharing one accumulator.
+
+    Computes ``miller_eval(steps1, q1) * miller_eval(steps2, q2)`` --
+    the exact same F_p2 residue, by commutativity -- but the two Miller
+    accumulators ride one shared square-and-multiply chain, so each
+    iteration pays one F_p2 squaring instead of two.  Requires aligned
+    step structure: both tables built over the same scalar with no
+    early degeneration (true for every order-``r`` table point); the
+    caller falls back to two plain evaluations otherwise.
+    """
+    if len(steps1) != len(steps2):
+        f1 = miller_eval(steps1, point_q1, p)
+        f2 = miller_eval(steps2, point_q2, p)
+        return ((f1[0] * f2[0] - f1[1] * f2[1]) % p,
+                (f1[0] * f2[1] + f1[1] * f2[0]) % p)
+    x1 = (-point_q1.x) % p
+    y1 = point_q1.y
+    x2 = (-point_q2.x) % p
+    y2 = point_q2.y
+    y1y2 = y1 * y2 % p
+    f_a, f_b = 1, 0
+    for lines1, lines2 in zip(steps1, steps2):
+        f_a, f_b = ((f_a + f_b) * (f_a - f_b) % p, 2 * f_a * f_b % p)
+        if len(lines1) == 1 and len(lines2) == 1:
+            c1, c0 = lines1[0]
+            la1 = (c0 + c1 * x1) % p
+            c1, c0 = lines2[0]
+            la2 = (c0 + c1 * x2) % p
+            # (la1 + y1*i) * (la2 + y2*i) with y1*y2 cached: 3 mults.
+            m_a = (la1 * la2 - y1y2) % p
+            m_b = (la1 * y2 + la2 * y1) % p
+            t1 = f_a * m_a
+            t2 = f_b * m_b
+            f_a, f_b = ((t1 - t2) % p,
+                        ((f_a + f_b) * (m_a + m_b) - t1 - t2) % p)
+            continue
+        for c1, c0 in lines1:
+            l_a = (c0 + c1 * x1) % p
+            t1 = f_a * l_a
+            t2 = f_b * y1
+            f_a, f_b = ((t1 - t2) % p,
+                        ((f_a + f_b) * (l_a + y1) - t1 - t2) % p)
+        for c1, c0 in lines2:
+            l_a = (c0 + c1 * x2) % p
+            t1 = f_a * l_a
+            t2 = f_b * y2
+            f_a, f_b = ((t1 - t2) % p,
+                        ((f_a + f_b) * (l_a + y2) - t1 - t2) % p)
+    return f_a, f_b
+
+
+# ---------------------------------------------------------------------------
+# Unit-circle arithmetic for revocation tags
+# ---------------------------------------------------------------------------
+
+
+def unitary_pow_h(a: int, b: int, curve: Curve) -> Tuple[int, int]:
+    """Raise a norm-1 element to the cofactor ``h`` (plain square chain).
+
+    ``h = (p + 1) / r`` has Hamming weight 6 on the shipped presets, so
+    MSB-first square-and-multiply is within a few multiplications of
+    optimal and needs no recoding or table.
+    """
+    p = curve.p
+    ra, rb = a, b
+    for bit in _bits_after_msb(curve.h):
+        ra, rb = ((2 * (ra * ra) - 1) % p, 2 * ra * rb % p)
+        if bit == "1":
+            ra, rb = ((ra * a - rb * b) % p, (ra * b + rb * a) % p)
+    return ra, rb
+
+
+#: Split ``h = 2^s + t`` (with ``t = h - 2^s < 2^s``) when the
+#: real-part tag test below is provably exact for the curve, cached per
+#: ``(p, h)``.  ``None`` means "use the full complex chain".
+_H_SPLIT_CACHE: Dict[Tuple[int, int], Optional[Tuple[int, str]]] = {}
+
+
+def _h_split(curve: Curve) -> Optional[Tuple[int, str]]:
+    key = (curve.p, curve.h)
+    try:
+        return _H_SPLIT_CACHE[key]
+    except KeyError:
+        pass
+    import math
+
+    h = curve.h
+    s = h.bit_length() - 1
+    t = h - (1 << s)
+    d = (1 << s) - t  # d > 0 because h < 2^(s+1)
+    split: Optional[Tuple[int, str]] = None
+    # The real-part test accepts z iff z^h == 1 OR z^d == 1.  Any z in
+    # the unitary group (order p + 1) with z^d == 1 has order dividing
+    # g = gcd(d, p + 1); when g | h that z also satisfies z^h == 1, so
+    # the extra acceptance branch is vacuous and the test is exact.
+    if h % math.gcd(d, curve.p + 1) == 0:
+        split = (s, bin(t)[3:] if t else "")
+    _H_SPLIT_CACHE[key] = split
+    return split
+
+
+def unitary_tag_is_one(z_a: int, z_b: int, curve: Curve) -> bool:
+    """Decide ``z^h == 1`` for a norm-1 ``z`` -- the revocation tag test.
+
+    Splitting ``h = 2^s + t`` turns the test into ``z^(2^s) ==
+    z^(-t)``, i.e. ``Re(z^(2^s)) == Re(z^t)`` (conjugation inverts a
+    unitary element and preserves the real part).  The real part of a
+    unitary square needs no imaginary track -- ``Re(z^2) = 2*Re(z)^2 -
+    1`` (the Chebyshev recursion, using ``norm(z) == 1``) -- so the
+    ``s`` squarings cost one modular squaring each instead of the two
+    multiplications of the complex chain, almost halving the dominant
+    cost.  Comparing real parts also accepts ``z^(2^s) == z^t``, i.e.
+    ``z^d == 1`` for ``d = 2^s - t``; :func:`_h_split` enables the
+    shortcut only when every such ``z`` already satisfies ``z^h == 1``
+    (``h % gcd(d, p+1) == 0``), so the verdict is exactly ``z^h == 1``
+    -- on curves where that fails, the full complex chain runs instead.
+    """
+    split = _h_split(curve)
+    if split is None:  # pragma: no cover - not hit by shipped presets
+        ra, rb = unitary_pow_h(z_a, z_b, curve)
+        return ra == 1 and rb == 0
+    s, tail = split
+    p = curve.p
+    if tail or curve.h & ((1 << s) - 1):
+        # a = z^t by MSB-first square-and-multiply on the unit circle.
+        aa, ab = z_a, z_b
+        for bit in tail:
+            aa, ab = ((2 * (aa * aa) - 1) % p, 2 * aa * ab % p)
+            if bit == "1":
+                aa, ab = ((aa * z_a - ab * z_b) % p,
+                          (aa * z_b + ab * z_a) % p)
+        a_re = aa
+    else:  # t == 0: z^t == 1
+        a_re = 1
+    c = z_a
+    for _ in range(s):
+        c = (2 * (c * c) - 1) % p
+    return c == a_re
+
+
+def tag_matches(m_a: int, m_b: int, t_a: int, t_b: int,
+                norm_inv: int, curve: Curve) -> bool:
+    """Does ``FE(m) == FE(t)`` for raw Miller values ``m`` and ``t``?
+
+    Write ``w = m * conj(t)``; then ``FE(m) / FE(t) = (w^(p-1))^h``
+    (the norm of ``t`` is in F_p and dies under ``p - 1``), so the two
+    pairings agree iff ``z^h == 1`` for ``z = w^(p-1) = conj(w)^2 /
+    norm(w)``.  ``norm_inv`` is the caller-supplied inverse of
+    ``norm(w)`` -- batched across tokens via :func:`batch_inverse`.
+    Exact: scale factors in F_p* on either input cancel the same way.
+    """
+    p = curve.p
+    # w = m * conj(t)
+    w_a = (m_a * t_a + m_b * t_b) % p
+    w_b = (m_b * t_a - m_a * t_b) % p
+    # z = conj(w)^2 * norm(w)^-1  (norm-1 by construction)
+    c_a = (w_a * w_a - w_b * w_b) % p
+    c_b = (-2 * w_a * w_b) % p
+    z_a = c_a * norm_inv % p
+    z_b = c_b * norm_inv % p
+    return unitary_tag_is_one(z_a, z_b, curve)
+
+
+def fp2_norm(a: int, b: int, p: int) -> int:
+    """The field norm ``a^2 + b^2 mod p`` of a raw pair."""
+    return (a * a + b * b) % p
+
+
+def mul_conj(m_a: int, m_b: int, t_a: int, t_b: int, p: int
+             ) -> Tuple[int, int]:
+    """Return the raw product ``m * conj(t)``."""
+    return ((m_a * t_a + m_b * t_b) % p, (m_b * t_a - m_a * t_b) % p)
+
+
+# ---------------------------------------------------------------------------
+# Fixed-base exponentiation in GT
+# ---------------------------------------------------------------------------
+
+
+class GTFixedBase:
+    """Signed-window fixed-base powers of one unitary GT element.
+
+    Built once per engine for the cached base pairing ``e(g1, g2)``;
+    ``pow(k)`` then costs ~``bits/width`` unitary multiplications and
+    no squarings (negative digits conjugate the stored entry for
+    free).  Identical output to ``value ** (k % order)``.
+    """
+
+    __slots__ = ("p", "order", "width", "_blocks")
+
+    def __init__(self, value: Fp2, order: int, width: int = 4) -> None:
+        p = value.p
+        self.p = p
+        self.order = order
+        self.width = width
+        blocks = (order.bit_length() + width - 1) // width + 1
+        half = 1 << (width - 1)
+        self._blocks: List[List[Tuple[int, int]]] = []
+        ba, bb = value.a, value.b
+        for _ in range(blocks):
+            row = [(ba, bb)]
+            for _ in range(half - 1):
+                ra, rb = row[-1]
+                row.append(((ra * ba - rb * bb) % p,
+                            (ra * bb + rb * ba) % p))
+            self._blocks.append(row)
+            for _ in range(width):
+                ba, bb = ((ba + bb) * (ba - bb) % p, 2 * ba * bb % p)
+
+    def pow(self, exponent: int) -> Fp2:
+        from repro.mathx import signed_window_digits
+        p = self.p
+        exponent %= self.order
+        if exponent == 0:
+            return Fp2.one(p)
+        ra, rb = 1, 0
+        for j, digit in enumerate(signed_window_digits(exponent,
+                                                       self.width)):
+            if digit == 0:
+                continue
+            if digit > 0:
+                ga, gb = self._blocks[j][digit - 1]
+            else:
+                ga, gb = self._blocks[j][-digit - 1]
+                gb = -gb % p
+            ra, rb = ((ra * ga - rb * gb) % p, (ra * gb + rb * ga) % p)
+        return Fp2(ra, rb, p)
+
+
+# ---------------------------------------------------------------------------
+# Repeated 2-term multi-exponentiation over a fixed base pair
+# ---------------------------------------------------------------------------
+
+
+class DualMultiExp:
+    """Interleaved wNAF ``k1*P1 + k2*P2`` with shared affine tables.
+
+    The SPK verification performs four 2-term multi-exps over just two
+    base pairs (``{u, T1}`` for R1 and R3, ``{T2, v}`` for the two
+    pairing arguments of R2), so the odd-multiple tables are built once
+    per pair -- in affine coordinates via one batched inversion -- and
+    each evaluation uses *mixed* additions (affine table entry into the
+    Jacobian accumulator, ~11 field multiplications against ~16 for the
+    general addition).  Output points are identical to
+    ``Curve.multi_mul([(p1, k1), (p2, k2)])`` (affine coordinates are
+    canonical, and every edge case -- zero scalars, infinity bases,
+    accumulator collisions -- follows the same group law).
+    """
+
+    __slots__ = ("curve", "_odds1", "_odds2", "width")
+
+    def __init__(self, curve: Curve, point1: Point, point2: Point,
+                 width: int = 4) -> None:
+        self.curve = curve
+        self.width = width
+        count = 1 << (width - 2)
+        self._odds1 = _affine_odd_multiples(curve, point1, count)
+        self._odds2 = _affine_odd_multiples(curve, point2, count)
+
+    def mul(self, k1: int, k2: int) -> Point:
+        """Return ``(k1 mod r) * P1 + (k2 mod r) * P2`` (affine)."""
+        from repro.mathx import wnaf_digits
+
+        curve = self.curve
+        p = curve.p
+        width = self.width
+        entries = []
+        longest = 0
+        for odds, k in ((self._odds1, k1), (self._odds2, k2)):
+            k %= curve.r
+            if k == 0 or odds is None:
+                continue
+            digits = wnaf_digits(k, width)
+            entries.append((digits, odds))
+            longest = max(longest, len(digits))
+        if not entries:
+            return Point.infinity(p)
+        X, Y, Z = 0, 1, 0
+        for i in range(longest - 1, -1, -1):
+            # Inline Jacobian doubling of the accumulator.
+            if Z != 0:
+                if Y == 0:
+                    X, Y, Z = 0, 1, 0
+                else:
+                    ysq = Y * Y % p
+                    s = 4 * X * ysq % p
+                    zsq = Z * Z % p
+                    m = (3 * (X * X) + zsq * zsq) % p
+                    nx = (m * m - 2 * s) % p
+                    nz = 2 * Y * Z % p
+                    Y = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                    X, Z = nx, nz
+            for digits, odds in entries:
+                if i >= len(digits):
+                    continue
+                digit = digits[i]
+                if digit == 0:
+                    continue
+                if digit > 0:
+                    ax, ay = odds[(digit - 1) >> 1]
+                else:
+                    ax, ay = odds[(-digit - 1) >> 1]
+                    ay = -ay % p
+                # Mixed addition: affine (ax, ay) into Jacobian (X:Y:Z).
+                if Z == 0:
+                    X, Y, Z = ax, ay, 1
+                    continue
+                zsq = Z * Z % p
+                u2 = ax * zsq % p
+                s2 = ay * zsq % p * Z % p
+                if X == u2:
+                    if Y != s2:
+                        X, Y, Z = 0, 1, 0
+                        continue
+                    if Y == 0:          # doubling a 2-torsion point
+                        X, Y, Z = 0, 1, 0
+                        continue
+                    ysq = Y * Y % p
+                    s = 4 * X * ysq % p
+                    m = (3 * (X * X) + zsq * zsq) % p
+                    nx = (m * m - 2 * s) % p
+                    nz = 2 * Y * Z % p
+                    Y = (m * (s - nx) - 8 * (ysq * ysq)) % p
+                    X, Z = nx, nz
+                    continue
+                hh = (u2 - X) % p
+                rr = (s2 - Y) % p
+                hsq = hh * hh % p
+                hcu = hsq * hh % p
+                nx = (rr * rr - hcu - 2 * X * hsq) % p
+                nz = hh * Z % p
+                Y = (rr * (X * hsq - nx) - Y * hcu) % p
+                X, Z = nx, nz
+        return self.curve._jacobian_to_affine(X, Y, Z)
+
+
+def _affine_odd_multiples(curve: Curve, point: Point, count: int
+                          ) -> Optional[List[Tuple[int, int]]]:
+    """Affine ``[1P, 3P, ..., (2*count-1)P]`` via one batched inversion."""
+    if point.is_infinity():
+        return None
+    jacobian = curve._odd_multiples(point, count)
+    p = curve.p
+    zinvs = batch_inverse([z for _x, _y, z in jacobian], p)
+    odds: List[Tuple[int, int]] = []
+    for (jx, jy, jz), zi in zip(jacobian, zinvs):
+        zi2 = zi * zi % p
+        odds.append((jx * zi2 % p, jy * zi2 % p * zi % p))
+    return odds

@@ -150,6 +150,29 @@ class PairingTable:
                     xv, yv = x3, y3
             self._steps.append(lines)
 
+    @classmethod
+    def build_fast(cls, curve: Curve, point: Point) -> "PairingTable":
+        """Build a table via two batched inversions instead of one per step.
+
+        Delegates the chain walk to ``fastpath.table_steps``, which
+        replays the exact affine double-and-add above in Jacobian
+        coordinates and recovers bit-identical ``(c1, c0)`` line
+        coefficients with two Montgomery batch inversions (one for the
+        ``Z`` coordinates, one for the slope denominators).  The result
+        is indistinguishable from ``PairingTable(curve, point)`` --
+        ``tests/test_batch_core.py`` pins the step-for-step equality.
+        """
+        from repro.pairing import fastpath
+
+        table = cls.__new__(cls)
+        table.curve = curve
+        table.point = point
+        if point.is_infinity():
+            table._steps = []
+        else:
+            table._steps = fastpath.table_steps(curve, point)
+        return table
+
     def miller(self, point_q: Point) -> Fp2:
         """Evaluate the stored lines at ``phi(Q)`` (pre-final-exp value)."""
         curve = self.curve

@@ -17,10 +17,25 @@ result is wrapped into :class:`~repro.pairing.fields.Fp2` at the end.
 
 from __future__ import annotations
 
+from typing import Dict, Iterable, List, Tuple
+
 from repro.errors import ParameterError
 from repro.mathx import wnaf_digits
 from repro.pairing.curve import Curve, Point
 from repro.pairing.fields import Fp2
+
+#: wNAF digit strings keyed by ``(exponent, width)``.  The only exponent
+#: that flows through here is the curve cofactor ``h``, once per preset,
+#: so the cache stays tiny while saving a recoding pass per pairing.
+_WNAF_CACHE: Dict[Tuple[int, int], List[int]] = {}
+
+
+def _cached_wnaf(exponent: int, width: int) -> List[int]:
+    digits = _WNAF_CACHE.get((exponent, width))
+    if digits is None:
+        digits = wnaf_digits(exponent, width)
+        _WNAF_CACHE[(exponent, width)] = digits
+    return digits
 
 
 def final_exponentiation(curve: Curve, value: Fp2) -> Fp2:
@@ -39,9 +54,27 @@ def final_exponentiation(curve: Curve, value: Fp2) -> Fp2:
     return _unitary_pow(easy.a, easy.b, curve.h, p)
 
 
+def final_exponentiation_product(curve: Curve, values: Iterable[Fp2]) -> Fp2:
+    """Final-exponentiate the product of several Miller values at once.
+
+    ``FE(a) * FE(b) == FE(a * b)`` (the final exponentiation is a group
+    homomorphism), so verification equations that multiply several
+    pairings together can accumulate the raw Miller values and pay for a
+    single hard exponentiation on the product.  This shared tail is a
+    wall-clock optimisation only: callers still note one abstract
+    ``pairing`` per Miller evaluation (see ``PairingGroup.pair_product``
+    for the billing convention).
+    """
+    p = curve.p
+    acc = Fp2.one(p)
+    for value in values:
+        acc = acc * value
+    return final_exponentiation(curve, acc)
+
+
 def _unitary_pow(base_a: int, base_b: int, exponent: int, p: int) -> Fp2:
     """wNAF exponentiation of a norm-1 Fp2 element (raw-integer loop)."""
-    digits = wnaf_digits(exponent, 4)
+    digits = _cached_wnaf(exponent, 4)
     # Odd powers g, g^3, g^5, g^7; negative digits conjugate for free.
     square_a = (2 * base_a * base_a - 1) % p
     square_b = 2 * base_a * base_b % p

@@ -47,6 +47,17 @@ class TestCheckMetric:
         with pytest.raises(ValueError):
             bench_gate.check_metric("m", {"kind": "median"}, 1, 1)
 
+    def test_min_value_is_baseline_independent(self):
+        rule = {"kind": "min_value", "value": 6.0}
+        assert bench_gate.check_metric("s", rule, None, 6.2) is None
+        message = bench_gate.check_metric("s", rule, None, 5.8)
+        assert "below required 6" in message
+
+    def test_min_value_slack_widens_the_floor(self):
+        rule = {"kind": "min_value", "value": 6.0, "slack": 0.05}
+        assert bench_gate.check_metric("s", rule, None, 5.75) is None
+        assert bench_gate.check_metric("s", rule, None, 5.6) is not None
+
 
 class TestCompare:
     BASE = {"values": {"bytes_M_2": 132, "speedup": 4.0, "note": "x"}}
@@ -81,13 +92,53 @@ class TestCompare:
         assert not result["ok"]
         assert any("absent from baseline" in f for f in result["failures"])
 
+    def test_min_value_gate_needs_no_baseline(self):
+        """Absolute floors check the fresh run even without a baseline."""
+        gates = {"speedup": {"kind": "min_value", "value": 1.0}}
+        result = bench_gate.compare("X", {"values": {}},
+                                    {"values": {"speedup": 1.02}}, gates)
+        assert result["ok"] and result["checked"] == ["speedup"]
+        result = bench_gate.compare("X", {"values": {}},
+                                    {"values": {"speedup": 0.8}}, gates)
+        assert not result["ok"]
+
+    def test_conditional_gate_follows_fresh_host(self):
+        gates = {"speedup_parallel": {
+            "kind": "min_value", "metric": "speedup", "value": 2.0,
+            "when": {"metric": "host_cores", "at_least": 4}}}
+        # 1-core fresh run: the rule is skipped, not silently passed.
+        one_core = {"values": {"speedup": 1.0, "host_cores": 1}}
+        result = bench_gate.compare("X", {"values": {}}, one_core, gates)
+        assert result["ok"]
+        assert result["skipped"] == ["speedup_parallel"]
+        assert result["checked"] == []
+        # 8-core fresh run below the floor: enforced and failing.
+        big = {"values": {"speedup": 1.4, "host_cores": 8}}
+        result = bench_gate.compare("X", {"values": {}}, big, gates)
+        assert not result["ok"]
+        assert result["checked"] == ["speedup_parallel"]
+        assert any("speedup_parallel" in f for f in result["failures"])
+        # 8-core fresh run above the floor: enforced and passing.
+        big["values"]["speedup"] = 2.3
+        assert bench_gate.compare("X", {"values": {}}, big, gates)["ok"]
+
+    def test_metric_override_keeps_metric_out_of_informational(self):
+        gates = {"speedup_parallel": {
+            "kind": "min_value", "metric": "speedup", "value": 2.0,
+            "when": {"metric": "host_cores", "at_least": 4}}}
+        fresh = {"values": {"speedup": 1.0, "host_cores": 1}}
+        result = bench_gate.compare("X", {"values": {}}, fresh, gates)
+        assert "speedup" not in result["informational"]
+
     def test_default_gates_cover_committed_baselines(self):
         """Every gated metric exists in its committed BENCH file."""
         for slug, gates in bench_gate.GATES.items():
             path = os.path.join(bench_gate.REPO_ROOT, f"BENCH_{slug}.json")
             with open(path) as handle:
                 values = json.load(handle)["values"]
-            missing = sorted(set(gates) - set(values))
+            metrics = {rule.get("metric", name)
+                       for name, rule in gates.items()}
+            missing = sorted(metrics - set(values))
             assert not missing, f"{slug}: gates without baseline {missing}"
 
 
@@ -130,15 +181,25 @@ class TestMainExitCodes:
         assert code != 0
 
     def test_full_mode_checks_all_experiments(self, tmp_path):
-        for slug in ("E4", "E2", "handshake_loss", "obs_overhead"):
+        slugs = ("E4", "E2", "handshake_loss", "obs_overhead",
+                 "batch_core", "parallel_verify")
+        for slug in slugs:
             self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"
         code = bench_gate.main(["--fresh-dir", str(tmp_path),
                                 "--json", str(out)])
         assert code == 0
         summary = json.loads(out.read_text())
-        assert [r["experiment"] for r in summary["results"]] \
-            == ["E4", "E2", "handshake_loss", "obs_overhead"]
+        assert [r["experiment"] for r in summary["results"]] == list(slugs)
+
+    def test_batch_core_floor_is_absolute(self, tmp_path):
+        """A re-recorded slower baseline cannot lower the 6x bar."""
+        values = dict(self._baseline_values("batch_core"))
+        values["batch_speedup_16"] = 4.2
+        result = bench_gate.compare("batch_core", {"values": values},
+                                    {"values": values})
+        assert not result["ok"]
+        assert any("batch_speedup_16" in f for f in result["failures"])
 
     def test_loss_sweep_completion_counts_gated_exactly(self, tmp_path):
         values = dict(self._baseline_values("handshake_loss"))
