@@ -1,0 +1,295 @@
+"""revocation_scale -- sharded URL + tag cache vs the serial Eq.3 scan.
+
+The paper's verifier-local revocation walks the whole URL (one table
+pairing per listed token per verification).  The sharded path
+(:mod:`repro.core.revocation`) computes the signature's period tag --
+2 pairings, |URL|-independent -- and consults exactly one shard.  This
+experiment measures the crossover at metropolitan URL sizes and holds
+the fast path to *bit-identical* behaviour: same outcomes, same error
+message, same ``token_index`` as the serial first-match scan, including
+under shuffled URL orderings (chaos seeds 101/202/303).
+
+The second half measures epidemic CRL/URL distribution: a single
+router refreshes from the NO, every other router starts stale, and
+push-pull anti-entropy (delta-first, full-list fallback) must converge
+the whole overlay within a bounded number of rounds under 15%
+per-exchange loss.
+
+CI runs |URL| in {100, 1000} and a 24-router overlay; the nightly
+job sets ``BENCH_REVOCATION_LARGE=1`` to add |URL| = 10^4, a
+1000-router overlay, and a telemetry-rollup JSONL from a full gossip
+scenario.  Gates (scripts/bench_gate.py): sharded+cached >= 5x the
+linear scan at |URL| = 1000, identity booleans, and convergence.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro import instrument
+from repro.core import groupsig
+from repro.core.groupsig import RevocationToken
+from repro.core.operator_entity import NetworkOperator
+from repro.core.revocation import (
+    RevocationState,
+    RevocationTagCache,
+    epoch_period,
+    serial_scan_outcome,
+)
+from repro.core.router import MeshRouter
+from repro.pairing import PairingGroup
+from repro.wmn.gossip import ListGossip
+from repro.wmn.simclock import EventLoop, SimClock
+
+URL_SIZES = (100, 1000)
+LARGE_URL_SIZE = 10_000
+GATE_URL_SIZE = 1000
+REQUIRED_SPEEDUP = 5.0
+NUM_SHARDS = 64
+CHAOS_SEEDS = (101, 202, 303)
+
+EPIDEMIC_ROUTERS = 24
+LARGE_EPIDEMIC_ROUTERS = 1000
+EPIDEMIC_LOSS = 0.15
+EPIDEMIC_MAX_ROUNDS = 48
+
+LARGE = os.environ.get("BENCH_REVOCATION_LARGE") == "1"
+
+
+def _interleaved_best(fn_a, fn_b, rounds):
+    """Min-of-rounds for two callables with alternating measurement
+    (same estimator as bench_batch_core: host drift on a shared 1-core
+    box must not land on one side of the ratio only)."""
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def _check_outcome(state, message, signature):
+    """The sharded check's outcome in the serial scan's shape."""
+    try:
+        state.check(message, signature)
+    except groupsig.RevokedKeyError as exc:
+        return exc
+    return None
+
+
+def _build_overlay(router_count, seed):
+    """One stale overlay: NO + routers all holding version-0 lists,
+    then a burst of revocations only the seed router fetches."""
+    loop = EventLoop(start=1_000_000.0)
+    clock = SimClock(loop)
+    operator = NetworkOperator(PairingGroup("TEST"), clock=clock,
+                               rng=random.Random(seed))
+    routers = [MeshRouter(f"MR-{i:04d}", operator, clock=clock,
+                          rng=random.Random(seed + 1 + i))
+               for i in range(router_count)]
+    # Revocations happen *after* every router snapshotted version 0.
+    gm_bundle, _ttp = operator.register_user_group("Metro", 8)
+    for index, _x in gm_bundle.entries[:4]:
+        operator.revoke_user_key(index)
+    operator.provision_router("decoy-router")
+    operator.revoke_router("decoy-router")
+    routers[0].refresh_lists()
+    gossip = ListGossip(loop, routers, round_period=30.0, fanout=2,
+                        loss_probability=EPIDEMIC_LOSS,
+                        rng=random.Random(seed + 0x60551))
+    return gossip
+
+
+@pytest.fixture(scope="module")
+def scale_scheme():
+    group = PairingGroup("TEST")
+    rng = random.Random(2026)
+    gpk, master = groupsig.keygen_master(group, rng)
+    keys = [groupsig.issue_member_key(group, master, 700 + i, (i, 0), rng)
+            for i in range(2)]
+    return group, gpk, keys, rng
+
+
+def test_revocation_scale(reporter, scale_scheme):
+    group, gpk, keys, rng = scale_scheme
+    revoked_key, clean_key = keys
+    period = epoch_period(gpk.epoch)
+    message = b"revocation-scale"
+    sig_revoked = groupsig.sign(gpk, revoked_key, message, rng=rng,
+                                period=period)
+    sig_clean = groupsig.sign(gpk, clean_key, message, rng=rng,
+                              period=period)
+
+    sizes = URL_SIZES + ((LARGE_URL_SIZE,) if LARGE else ())
+    # Decoys are random G1 points (any URL entry is just a token): the
+    # clean signer's scan walks every one of them, the paper's
+    # worst case and the cost sharding removes.
+    decoys = [RevocationToken(group.random_g1(rng))
+              for _ in range(max(sizes) - 1)]
+
+    cache = RevocationTagCache(capacity=2 * max(sizes))
+    report = reporter("revocation_scale: sharded URL + tag cache vs "
+                      "serial Eq.3 scan; epidemic spread under loss")
+
+    outcomes_identical = True
+    token_index_identical = True
+    rows = []
+    speedups = {}
+    for size in sizes:
+        # The revoked signer's token sits at the END of the URL: the
+        # serial scan's worst case for a revoked signature, and the
+        # largest token_index the identity check can get wrong.
+        tokens = tuple(decoys[:size - 1]) + (RevocationToken(revoked_key.a),)
+        state = RevocationState(gpk, num_shards=NUM_SHARDS, cache=cache)
+        state.update(tokens, url_version=size)
+
+        # Bit-identity at this size: clean passes both paths, revoked
+        # raises the same error text and token_index on both paths.
+        serial_clean = serial_scan_outcome(gpk, message, sig_clean,
+                                           tokens, period)
+        serial_revoked = serial_scan_outcome(gpk, message, sig_revoked,
+                                             tokens, period)
+        sharded_clean = _check_outcome(state, message, sig_clean)
+        sharded_revoked = _check_outcome(state, message, sig_revoked)
+        outcomes_identical &= (serial_clean is None
+                               and sharded_clean is None
+                               and serial_revoked is not None
+                               and sharded_revoked is not None
+                               and str(serial_revoked)
+                               == str(sharded_revoked))
+        token_index_identical &= (
+            serial_revoked is not None and sharded_revoked is not None
+            and serial_revoked.token_index == sharded_revoked.token_index
+            == size - 1)
+
+        linear_s, sharded_s = _interleaved_best(
+            lambda t=tokens: serial_scan_outcome(gpk, message, sig_clean,
+                                                 t, period),
+            lambda s=state: s.check(message, sig_clean),
+            rounds=3)
+        speedups[size] = linear_s / sharded_s
+        rows.append((size, f"{linear_s * 1000:.2f}",
+                     f"{sharded_s * 1e6:.1f}",
+                     f"{speedups[size]:.1f}x"))
+
+    # Shuffled-URL identity at the gated size: the sharded lookup must
+    # report the *same first-match index* the serial scan does for any
+    # ordering (chaos seeds fixed by the issue).
+    base = list(tuple(decoys[:GATE_URL_SIZE - 1])
+                + (RevocationToken(revoked_key.a),))
+    for seed in CHAOS_SEEDS:
+        shuffled = list(base)
+        random.Random(seed).shuffle(shuffled)
+        state = RevocationState(gpk, num_shards=NUM_SHARDS, cache=cache)
+        state.update(tuple(shuffled), url_version=seed)
+        serial = serial_scan_outcome(gpk, message, sig_revoked,
+                                     tuple(shuffled), period)
+        sharded = _check_outcome(state, message, sig_revoked)
+        outcomes_identical &= (serial is not None and sharded is not None
+                               and str(serial) == str(sharded))
+        token_index_identical &= (
+            serial is not None and sharded is not None
+            and serial.token_index == sharded.token_index)
+
+    # Cache contract on the measured state: a warm rebuild derives no
+    # tags at all (every lookup hits), the property that makes delta
+    # updates cheap at metropolitan scale.
+    warm_state = RevocationState(gpk, num_shards=NUM_SHARDS, cache=cache)
+    with instrument.count_operations() as warm_ops:
+        warm_state.update(tuple(base), url_version=GATE_URL_SIZE + 1)
+    rebuild_pairing_free = warm_ops.total("pairing") == 0
+
+    report.table(("|URL|", "linear ms", "sharded us", "speedup"),
+                 [(str(s), lin, sh, sp) for s, lin, sh, sp in rows])
+    report.row(f"gate: sharded+cached >= {REQUIRED_SPEEDUP:g}x at "
+               f"|URL| = {GATE_URL_SIZE}")
+    report.record("url_sizes", list(sizes))
+    report.record("num_shards", NUM_SHARDS)
+    report.record("required_speedup", REQUIRED_SPEEDUP)
+    for size in sizes:
+        report.record(f"speedup_url{size}", speedups[size])
+    report.record("outcomes_identical", outcomes_identical)
+    report.record("token_index_identical", token_index_identical)
+    report.record("rebuild_pairing_free", rebuild_pairing_free)
+    report.record("chaos_seeds", list(CHAOS_SEEDS))
+
+    assert outcomes_identical
+    assert token_index_identical
+    assert rebuild_pairing_free
+    assert speedups[GATE_URL_SIZE] >= REQUIRED_SPEEDUP, speedups
+
+    # -- epidemic CRL/URL distribution under loss ----------------------
+    router_count = LARGE_EPIDEMIC_ROUTERS if LARGE else EPIDEMIC_ROUTERS
+    gossip = _build_overlay(router_count, seed=7)
+    rounds = gossip.run_until_converged(EPIDEMIC_MAX_ROUNDS)
+    converged = gossip.converged()
+
+    # Replayability: the same seeds converge in the same number of
+    # rounds with the same exchange/loss tallies.
+    replay = _build_overlay(router_count, seed=7)
+    replay_rounds = replay.run_until_converged(EPIDEMIC_MAX_ROUNDS)
+    deterministic = (replay_rounds == rounds
+                     and replay.exchanges == gossip.exchanges
+                     and replay.losses == gossip.losses)
+
+    report.table(
+        ("routers", "loss", "rounds", "exchanges", "deltas", "full",
+         "lost"),
+        [(router_count, f"{EPIDEMIC_LOSS:.0%}", rounds, gossip.exchanges,
+          gossip.deltas_applied, gossip.full_syncs, gossip.losses)])
+    report.record("epidemic_routers", router_count)
+    report.record("epidemic_loss_pct", EPIDEMIC_LOSS * 100)
+    report.record("epidemic_rounds", rounds)
+    report.record("epidemic_max_rounds", EPIDEMIC_MAX_ROUNDS)
+    report.record("epidemic_converged", converged)
+    report.record("epidemic_deterministic", deterministic)
+    report.record("epidemic_exchanges", gossip.exchanges)
+    report.record("epidemic_deltas_applied", gossip.deltas_applied)
+    report.record("epidemic_full_syncs", gossip.full_syncs)
+    report.record("epidemic_losses", gossip.losses)
+
+    assert converged
+    assert deterministic
+    assert rounds <= EPIDEMIC_MAX_ROUNDS
+    # Delta-first protocol: at least one exchange moved a delta, and
+    # losses actually occurred (the 15% is real, not vacuous).
+    assert gossip.deltas_applied + gossip.full_syncs > 0
+    assert gossip.losses > 0
+
+
+@pytest.mark.skipif(not LARGE, reason="nightly only "
+                    "(BENCH_REVOCATION_LARGE=1)")
+def test_nightly_gossip_scenario_telemetry(reporter):
+    """Full-stack nightly run: a gossip + sharded-revocation scenario
+    with telemetry windows, dumped as JSONL for the artifact upload."""
+    from repro.wmn.scenario import Scenario, ScenarioConfig
+
+    scenario = Scenario(ScenarioConfig(
+        seed=42, gossip_period=45.0, gossip_loss=EPIDEMIC_LOSS,
+        sharded_revocation=True, telemetry_window=60.0,
+        list_refresh_period=120.0))
+    scenario.run(600.0)
+    scenario.publish_metrics()
+    jsonl = scenario.telemetry_jsonl()
+
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR")
+    report_dir = (os.path.join(out_dir, "reports") if out_dir
+                  else os.path.join(os.path.dirname(__file__), "reports"))
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, "revocation_scale_telemetry.jsonl")
+    with open(path, "w") as handle:
+        handle.write(jsonl)
+
+    report = reporter("revocation_scale_nightly: gossip scenario "
+                      "telemetry rollups")
+    report.record("telemetry_windows", jsonl.count("\n"))
+    report.record("gossip_rounds",
+                  scenario.gossip.rounds if scenario.gossip else 0)
+    report.row(f"telemetry JSONL -> {path}")
+    assert scenario.gossip is not None and scenario.gossip.rounds > 0
+    assert jsonl

@@ -29,13 +29,14 @@ hold is recorded as skipped, not passed.
 
 Modes:
 
-* ``--smoke``  -- E4 only: TEST-preset message sizes, deterministic
-  and fast (seconds).  This is the CI pull-request gate.
-* default      -- E4 plus E2 (SS512 operation counts; slower), the
-  virtual-time handshake-loss sweep (exact completion counts), the
-  obs overhead boolean, and the two batch-verification benches
-  (``batch_core``, ``parallel_verify``; minutes on slow hosts, which
-  is why they ride the full gate and not --smoke).
+* ``--smoke``  -- E4 (TEST-preset message sizes) plus the
+  ``revocation_scale`` scale/identity gate, both deterministic and
+  fast (seconds).  This is the CI pull-request gate.
+* default      -- the smoke slugs plus E2 (SS512 operation counts;
+  slower), the virtual-time handshake-loss sweep (exact completion
+  counts), the obs overhead boolean, and the two batch-verification
+  benches (``batch_core``, ``parallel_verify``; minutes on slow
+  hosts, which is why they ride the full gate and not --smoke).
 
 Exit status is non-zero when any gated metric regresses beyond its
 tolerance, when a fresh value for a gated metric is missing, or when
@@ -67,6 +68,8 @@ BENCH_TARGETS: Dict[str, List[str]] = {
         "benchmarks/bench_batch_core.py::test_batch_core_speedup"],
     "parallel_verify": [
         "benchmarks/bench_parallel_verify.py::test_e10_parallel_verify"],
+    "revocation_scale": [
+        "benchmarks/bench_revocation_scale.py::test_revocation_scale"],
 }
 
 #: slug -> rule-key -> rule.  A rule is ``{"kind": "exact"}``,
@@ -144,6 +147,25 @@ GATES: Dict[str, Dict[str, dict]] = {
         "batch_size": {"kind": "exact"},
         "url_size": {"kind": "exact"},
         "chunk_size": {"kind": "exact"},
+    },
+    # Metropolitan revocation (ISSUE 8 acceptance): the sharded+cached
+    # scan must beat the linear Eq.3 scan >= 5x at |URL| = 1000 as an
+    # absolute floor, the bit-identity and cache contracts are
+    # booleans checked exactly, and the epidemic overlay must have
+    # converged deterministically under the 15% loss model.  Router
+    # count and URL sizes stay informational: the nightly large run
+    # (BENCH_REVOCATION_LARGE=1) legitimately changes them.
+    "revocation_scale": {
+        "speedup_url1000": {"kind": "min_value", "value": 5.0,
+                            "slack": 0.05},
+        "outcomes_identical": {"kind": "exact"},
+        "token_index_identical": {"kind": "exact"},
+        "rebuild_pairing_free": {"kind": "exact"},
+        "epidemic_converged": {"kind": "exact"},
+        "epidemic_deterministic": {"kind": "exact"},
+        "epidemic_loss_pct": {"kind": "exact"},
+        "num_shards": {"kind": "exact"},
+        "required_speedup": {"kind": "exact"},
     },
 }
 
@@ -258,9 +280,9 @@ def main(argv=None) -> int:
                         help="write the full comparison result here")
     args = parser.parse_args(argv)
 
-    slugs = ["E4"] if args.smoke else ["E4", "E2", "handshake_loss",
-                                       "obs_overhead", "batch_core",
-                                       "parallel_verify"]
+    slugs = (["E4", "revocation_scale"] if args.smoke
+             else ["E4", "E2", "handshake_loss", "obs_overhead",
+                   "batch_core", "parallel_verify", "revocation_scale"])
     results = []
     exit_code = 0
 

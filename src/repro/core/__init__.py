@@ -22,8 +22,20 @@ from repro.core.groupsig import (
     verify,
     verify_batch,
 )
+from repro.core.revocation import (
+    RevocationState,
+    RevocationTagCache,
+    ShardedURL,
+    epoch_period,
+    shard_of_tag,
+)
 
 __all__ = [
+    "RevocationState",
+    "RevocationTagCache",
+    "ShardedURL",
+    "epoch_period",
+    "shard_of_tag",
     "CryptoEngine",
     "GroupMasterSecret",
     "GroupPrivateKey",

@@ -195,3 +195,138 @@ class UserRevocationList:
         limit = self.update_period if max_staleness is None else max_staleness
         if now - self.issued_at > limit:
             raise CertificateError("URL stale")
+
+
+# ---------------------------------------------------------------------------
+# Delta updates (epidemic distribution)
+# ---------------------------------------------------------------------------
+#
+# A delta is *self-authenticating*: it carries the NO signature over the
+# signed_payload of the TARGET list it reconstructs, not a signature of
+# its own.  ``apply`` rebuilds the target list from the base plus the
+# delta; the caller then runs the ordinary ``validate`` on the result,
+# so a tampered delta (or one applied to the wrong base) can only yield
+# a list whose NO signature fails -- adoption is refused and the peer
+# falls back to a full signed list.  Reconstruction is exact because the
+# operator only ever appends new entries at the end and removes entries
+# anywhere (preserving survivor order): filter-by-removed + append-added
+# reproduces the target byte-for-byte.
+
+
+@dataclass(frozen=True)
+class CrlDelta:
+    """CRL version-to-version delta, authenticated by the target list."""
+
+    from_version: int
+    to_version: int
+    issued_at: float
+    update_period: float
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    list_signature: bytes  # NO's signature over the TARGET CRL payload
+
+    def encode(self) -> bytes:
+        writer = (Writer().raw(b"CRD").u64(self.from_version)
+                  .u64(self.to_version).f64(self.issued_at)
+                  .f64(self.update_period)
+                  .u32(len(self.added)))
+        for router_id in self.added:
+            writer.string(router_id)
+        writer.u32(len(self.removed))
+        for router_id in self.removed:
+            writer.string(router_id)
+        return writer.var(self.list_signature).done()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CrlDelta":
+        reader = Reader(data)
+        if reader.raw(3) != b"CRD":
+            raise CertificateError("not a CRL delta blob")
+        from_version = reader.u64()
+        to_version = reader.u64()
+        issued_at = reader.f64()
+        update_period = reader.f64()
+        added = tuple(reader.string() for _ in range(reader.u32()))
+        removed = tuple(reader.string() for _ in range(reader.u32()))
+        signature = reader.var()
+        reader.expect_end()
+        return cls(from_version, to_version, issued_at, update_period,
+                   added, removed, signature)
+
+    def apply(self, base: CertificateRevocationList
+              ) -> CertificateRevocationList:
+        """Reconstruct the target CRL; the caller must ``validate`` it."""
+        if base.version != self.from_version:
+            raise CertificateError(
+                f"CRL delta targets base version {self.from_version}, "
+                f"have {base.version}")
+        if self.to_version <= self.from_version:
+            raise CertificateError("CRL delta does not advance the version")
+        ids = ((base.revoked_router_ids - frozenset(self.removed))
+               | frozenset(self.added))
+        return CertificateRevocationList(
+            self.to_version, self.issued_at, self.update_period,
+            ids, self.list_signature)
+
+
+@dataclass(frozen=True)
+class UrlDelta:
+    """URL version-to-version delta, authenticated by the target list.
+
+    ``removed`` carries token *encodings* (the URL is order-significant,
+    tokens are matched by their canonical bytes); ``added`` carries
+    whole tokens, appended in order after the surviving base tokens --
+    exactly how the operator grows the list.
+    """
+
+    from_version: int
+    to_version: int
+    issued_at: float
+    update_period: float
+    added: Tuple[RevocationToken, ...]
+    removed: Tuple[bytes, ...]
+    list_signature: bytes  # NO's signature over the TARGET URL payload
+
+    def encode(self) -> bytes:
+        writer = (Writer().raw(b"URD").u64(self.from_version)
+                  .u64(self.to_version).f64(self.issued_at)
+                  .f64(self.update_period)
+                  .u32(len(self.added)))
+        for token in self.added:
+            writer.var(token.encode())
+        writer.u32(len(self.removed))
+        for encoding in self.removed:
+            writer.var(encoding)
+        return writer.var(self.list_signature).done()
+
+    @classmethod
+    def decode(cls, group: PairingGroup, data: bytes) -> "UrlDelta":
+        reader = Reader(data)
+        if reader.raw(3) != b"URD":
+            raise CertificateError("not a URL delta blob")
+        from_version = reader.u64()
+        to_version = reader.u64()
+        issued_at = reader.f64()
+        update_period = reader.f64()
+        added = tuple(RevocationToken.decode(group, reader.var())
+                      for _ in range(reader.u32()))
+        removed = tuple(reader.var() for _ in range(reader.u32()))
+        signature = reader.var()
+        reader.expect_end()
+        return cls(from_version, to_version, issued_at, update_period,
+                   added, removed, signature)
+
+    def apply(self, base: UserRevocationList) -> UserRevocationList:
+        """Reconstruct the target URL; the caller must ``validate`` it."""
+        if base.version != self.from_version:
+            raise CertificateError(
+                f"URL delta targets base version {self.from_version}, "
+                f"have {base.version}")
+        if self.to_version <= self.from_version:
+            raise CertificateError("URL delta does not advance the version")
+        gone = frozenset(self.removed)
+        survivors = tuple(token for token in base.tokens
+                          if token.encode() not in gone)
+        return UserRevocationList(
+            self.to_version, self.issued_at, self.update_period,
+            survivors + tuple(self.added), self.list_signature)

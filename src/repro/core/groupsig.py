@@ -43,7 +43,7 @@ from __future__ import annotations
 import random
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro import instrument, obs
@@ -67,10 +67,18 @@ from repro.pairing.tate import tate_pairing
 
 @dataclass(frozen=True)
 class GroupPublicKey:
-    """``gpk = (g1, g2, w)`` with ``w = g2^gamma``."""
+    """``gpk = (g1, g2, w)`` with ``w = g2^gamma``.
+
+    ``epoch`` is operator-side bookkeeping (which key generation this
+    is), not key material: it is excluded from equality/hashing and from
+    the wire encoding -- ``decode`` yields epoch 0 and the operator
+    re-stamps it.  The revocation layer keys its tag cache and period
+    derivation on it (see :mod:`repro.core.revocation`).
+    """
 
     group: PairingGroup
     w: G2Element
+    epoch: int = field(default=0, compare=False)
 
     @property
     def g1(self) -> G1Element:
@@ -289,6 +297,11 @@ class GeneratorContext:
     v: G1Element
     u_table: Optional[PairingTable] = None
     v_table: Optional[PairingTable] = None
+    #: gpk epoch the memoized ``u_table`` was built under.  The scan
+    #: refuses a memo whose epoch disagrees with the verifying gpk's, so
+    #: a context replayed across a key rotation rebuilds instead of
+    #: serving a table for the retired epoch's generators.
+    u_table_epoch: int = 0
 
 
 class CryptoEngine:
@@ -532,7 +545,8 @@ class CryptoEngine:
         context = GeneratorContext(
             u_hat, v_hat, u, v,
             u_table=self._build_table(u_hat),
-            v_table=self._build_table(v_hat))
+            v_table=self._build_table(v_hat),
+            u_table_epoch=self.gpk.epoch)
         with self._lock:
             self._periods[key] = context
             self._periods.move_to_end(key)
@@ -769,14 +783,18 @@ def _scan_url(gpk: GroupPublicKey, signature: GroupSignature,
         else:
             curve = group.curve
             u_table = context.u_table
-            if u_table is None:
+            if u_table is None or context.u_table_epoch != gpk.epoch:
                 # Build once and memoize on the context: repeat scans
                 # with the same generators (re-verification, audits, the
                 # batch core's per-item path) must not pay the build
                 # again.  The dataclass is frozen to keep the *derived*
                 # fields immutable; the table is a pure cache of them.
+                # The memo is keyed on the gpk epoch: a context carried
+                # across a key rotation (or a table poisoned before a
+                # URL delta) must rebuild, never serve stale lines.
                 u_table = group.make_pairing_table(u_hat)
                 object.__setattr__(context, "u_table", u_table)
+                object.__setattr__(context, "u_table_epoch", gpk.epoch)
             if context.v_table is not None:
                 t1_side = context.v_table.pairing(signature.t1.point)
             else:

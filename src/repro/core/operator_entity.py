@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core import groupsig
 from repro.core.certs import (
     CertificateRevocationList,
+    CrlDelta,
     RouterCertificate,
+    UrlDelta,
     UserRevocationList,
 )
 from repro.core.clock import Clock, SystemClock
@@ -115,6 +117,9 @@ def _int_bytes(value: int) -> bytes:
 class NetworkOperator:
     """NO: key generation, router provisioning, revocation, audit."""
 
+    #: How many past CRL/URL versions stay answerable with a delta.
+    max_list_snapshots = 32
+
     def __init__(self, group: PairingGroup,
                  clock: Optional[Clock] = None,
                  rng: Optional[random.Random] = None,
@@ -146,6 +151,12 @@ class NetworkOperator:
         self._url_version = 0
         self.epoch = 0
         self._archives: List[_EpochArchive] = []
+        # Bounded per-version list snapshots so NO can answer "what
+        # changed since version v" with a delta instead of the full
+        # list.  A version older than the window gets no delta and the
+        # requester falls back to the full signed list.
+        self._crl_snapshots: Dict[int, FrozenSet[str]] = {0: frozenset()}
+        self._url_snapshots: Dict[int, Tuple[RevocationToken, ...]] = {0: ()}
 
     # -- public key material -------------------------------------------------
 
@@ -238,12 +249,24 @@ class NetworkOperator:
 
     # -- revocation ---------------------------------------------------------
 
+    def _snapshot_crl(self) -> None:
+        self._crl_snapshots[self._crl_version] = frozenset(
+            self._revoked_routers)
+        while len(self._crl_snapshots) > self.max_list_snapshots:
+            del self._crl_snapshots[min(self._crl_snapshots)]
+
+    def _snapshot_url(self) -> None:
+        self._url_snapshots[self._url_version] = tuple(self._revoked_tokens)
+        while len(self._url_snapshots) > self.max_list_snapshots:
+            del self._url_snapshots[min(self._url_snapshots)]
+
     def revoke_router(self, router_id: str) -> None:
         """Put a router on the CRL (effective at the next publication)."""
         if router_id not in self._router_certs:
             raise ParameterError(f"unknown router {router_id!r}")
         self._revoked_routers.add(router_id)
         self._crl_version += 1
+        self._snapshot_crl()
 
     def revoke_user_key(self, index: KeyIndex) -> RevocationToken:
         """Dynamic user revocation: move grt[i,j] into the URL."""
@@ -253,6 +276,26 @@ class NetworkOperator:
         if all(existing.a != token.a for existing in self._revoked_tokens):
             self._revoked_tokens.append(token)
             self._url_version += 1
+            self._snapshot_url()
+        return token
+
+    def unrevoke_user_key(self, index: KeyIndex) -> RevocationToken:
+        """Reinstate a key: drop grt[i,j]'s token from the URL.
+
+        The paper's revocation is one-way, but an audit that clears a
+        suspected key (or an administrative mistake) needs the reverse
+        path; the version still advances so every relying party
+        re-syncs and evicts the token's cached tag.
+        """
+        token = self._token_by_index.get(index)
+        if token is None:
+            raise ParameterError(f"unknown key index {index}")
+        before = len(self._revoked_tokens)
+        self._revoked_tokens = [existing for existing in self._revoked_tokens
+                                if existing.a != token.a]
+        if len(self._revoked_tokens) != before:
+            self._url_version += 1
+            self._snapshot_url()
         return token
 
     def issue_crl(self, now: Optional[float] = None
@@ -280,6 +323,61 @@ class NetworkOperator:
             url.version, url.issued_at, url.update_period, url.tokens,
             self.signing_key.sign(url.signed_payload()))
 
+    def issue_crl_delta(self, from_version: int,
+                        now: Optional[float] = None) -> Optional[CrlDelta]:
+        """Delta from a past CRL version to the current one, or ``None``.
+
+        ``None`` means no delta can be served -- the requester is
+        already current, or ``from_version`` has aged out of the
+        snapshot window -- and the caller falls back to the full list.
+        The delta carries NO's signature over the *target* list it
+        reconstructs, so applying it yields a normally-validatable CRL.
+        """
+        base = self._crl_snapshots.get(from_version)
+        if base is None or from_version >= self._crl_version:
+            return None
+        now = self.clock.now() if now is None else now
+        current = frozenset(self._revoked_routers)
+        target = CertificateRevocationList(
+            version=self._crl_version, issued_at=now,
+            update_period=self.crl_update_period,
+            revoked_router_ids=current, signature=b"")
+        return CrlDelta(
+            from_version=from_version, to_version=self._crl_version,
+            issued_at=now, update_period=self.crl_update_period,
+            added=tuple(sorted(current - base)),
+            removed=tuple(sorted(base - current)),
+            list_signature=self.signing_key.sign(target.signed_payload()))
+
+    def issue_url_delta(self, from_version: int,
+                        now: Optional[float] = None) -> Optional[UrlDelta]:
+        """Delta from a past URL version to the current one, or ``None``.
+
+        Exact because the URL only ever mutates by append (revoke) and
+        remove-anywhere (unrevoke, epoch rotation): the current list is
+        always the base's survivors in base order followed by the newly
+        appended tokens, which is precisely how
+        :meth:`~repro.core.certs.UrlDelta.apply` reconstructs it.
+        """
+        base = self._url_snapshots.get(from_version)
+        if base is None or from_version >= self._url_version:
+            return None
+        now = self.clock.now() if now is None else now
+        current = tuple(self._revoked_tokens)
+        current_encodings = {token.encode() for token in current}
+        base_encodings = {token.encode() for token in base}
+        target = UserRevocationList(
+            version=self._url_version, issued_at=now,
+            update_period=self.url_update_period,
+            tokens=current, signature=b"")
+        return UrlDelta(
+            from_version=from_version, to_version=self._url_version,
+            issued_at=now, update_period=self.url_update_period,
+            added=tuple(token for token in current
+                        if token.encode() not in base_encodings),
+            removed=tuple(sorted(base_encodings - current_encodings)),
+            list_signature=self.signing_key.sign(target.signed_payload()))
+
     # -- membership renewal: group public key update -----------------------
 
     def rotate_system_keys(self) -> Dict[str, Tuple["GmKeyBundle",
@@ -304,10 +402,16 @@ class NetworkOperator:
         self.epoch += 1
         self.gpk, self._master = groupsig.keygen_master(self.group,
                                                         self.rng)
+        # Stamp the fresh gpk with its generation so epoch-keyed state
+        # (tag caches, period derivation) rotates with it; epoch is
+        # compare-excluded, so equality/wire behaviour is unchanged.
+        self.gpk = GroupPublicKey(self.gpk.group, self.gpk.w,
+                                  epoch=self.epoch)
         self._grt.clear()
         self._token_by_index.clear()
         self._revoked_tokens.clear()
         self._url_version += 1
+        self._snapshot_url()
         bundles: Dict[str, Tuple[GmKeyBundle, TtpShareBundle]] = {}
         for record in self._groups.values():
             pool_size = record.next_member

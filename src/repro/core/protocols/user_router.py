@@ -237,6 +237,17 @@ class RouterAuthEngine:
                       "duplicate_requests": 0,
                       "rejected_replay": 0, "rejected_signature": 0,
                       "rejected_revoked": 0, "rejected_puzzle": 0}
+        #: Period label for period-mode (Section V.C) generators; None
+        #: keeps the default per-signature mode.  Set (together with the
+        #: user side's matching ``auth_period``) by
+        #: :meth:`MeshRouter.enable_sharded_revocation` -- the challenge
+        #: binds the generators, so both sides must agree on the label.
+        self.auth_period: Optional[bytes] = None
+        #: Sharded fast-revocation state
+        #: (:class:`repro.core.revocation.RevocationState`); when set,
+        #: verification runs the SPK check as usual and replaces the
+        #: linear Eq.3 scan with the O(1) shard check.
+        self.revocation_state = None
 
     def _bump(self, key: str) -> None:
         """Increment one protocol stat, mirrored into the obs registry.
@@ -409,12 +420,27 @@ class RouterAuthEngine:
             r_router = self._precheck(request, now)
 
         url = self.url_provider()
+        state = self.revocation_state
         try:
             # groupsig.verify opens its own "groupsig.verify" span (with
             # spk/scan children), so the stage needs no extra span here.
             with obs.timer("router.verify_seconds"):
-                groupsig.verify(self.gpk, request.signed_payload(),
-                                request.group_signature, url=url.tokens)
+                if state is not None:
+                    # Sharded path: SPK correctness first (same order as
+                    # the serial scan -- a forged signature is rejected
+                    # as invalid, never as revoked), then the O(1)
+                    # shard check instead of the linear Eq.3 scan.
+                    payload = request.signed_payload()
+                    groupsig.verify(self.gpk, payload,
+                                    request.group_signature,
+                                    period=self.auth_period,
+                                    check_revocation=False)
+                    state.check(payload, request.group_signature)
+                else:
+                    groupsig.verify(self.gpk, request.signed_payload(),
+                                    request.group_signature,
+                                    url=url.tokens,
+                                    period=self.auth_period)
         except groupsig.RevokedKeyError:
             self._bump("rejected_revoked")
             raise
@@ -483,7 +509,22 @@ class RouterAuthEngine:
 
         if batch:
             url = self.url_provider()
-            if pool is not None and pool.matches(self.gpk, url.tokens):
+            state = self.revocation_state
+            if state is not None:
+                # Sharded path: batch-verify the SPKs, then run the
+                # O(1) shard check per survivor.  The pool is skipped --
+                # its workers snapshot the flat URL, and the whole point
+                # here is not to scan it.
+                errors = groupsig.verify_batch(self.gpk, batch,
+                                               period=self.auth_period,
+                                               check_revocation=False)
+                for slot, (payload, sig) in enumerate(batch):
+                    if errors[slot] is None:
+                        try:
+                            state.check(payload, sig)
+                        except groupsig.RevokedKeyError as exc:
+                            errors[slot] = exc
+            elif pool is not None and pool.matches(self.gpk, url.tokens):
                 batch_traces = None
                 if traces is not None:
                     batch_traces = [traces[position]
@@ -491,7 +532,8 @@ class RouterAuthEngine:
                 errors = pool.verify_batch(batch, traces=batch_traces)
             else:
                 errors = groupsig.verify_batch(self.gpk, batch,
-                                               url=url.tokens)
+                                               url=url.tokens,
+                                               period=self.auth_period)
             for position, error in zip(positions, errors):
                 if error is None:
                     outcomes[position] = self._accept(
@@ -525,6 +567,10 @@ class UserAuthEngine:
         self.rng = rng or random.SystemRandom()
         self.ts_window = ts_window
         self.max_puzzle_difficulty = max_puzzle_difficulty
+        #: Period label for period-mode signing; must equal the
+        #: router's ``auth_period`` (the Fiat-Shamir challenge binds
+        #: the period-derived generators).  ``None`` = default mode.
+        self.auth_period: Optional[bytes] = None
 
     # -- validate M.1, produce M.2 -------------------------------------------
 
@@ -565,7 +611,8 @@ class UserAuthEngine:
                                 g_r_router=beacon.g_r_router, ts2=ts2,
                                 group_signature=None)  # placeholder
         signature = groupsig.sign(self.gpk, self.credential,
-                                  request.signed_payload(), rng=self.rng)
+                                  request.signed_payload(), rng=self.rng,
+                                  period=self.auth_period)
         solution = None
         if beacon.puzzle is not None:
             if beacon.puzzle.difficulty_bits > self.max_puzzle_difficulty:

@@ -26,14 +26,18 @@ Two distinct ways a router stops getting fresh lists:
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro import obs
 from repro.core.certs import (
     CertificateRevocationList,
+    CrlDelta,
     RouterCertificate,
+    UrlDelta,
     UserRevocationList,
 )
+from repro.core.revocation import RevocationState, RevocationTagCache
 from repro.core.clock import Clock, SystemClock
 from repro.core.messages import AccessConfirm, AccessRequest, Beacon
 from repro.core.operator_entity import NetworkOperator
@@ -48,6 +52,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class MeshRouter:
     """One mesh router, provisioned by ``operator``."""
+
+    #: How many past CRL/URL versions this router can serve as deltas.
+    max_list_history = 16
 
     def __init__(self, router_id: str, operator: NetworkOperator,
                  clock: Optional[Clock] = None,
@@ -75,6 +82,17 @@ class MeshRouter:
             gpk=operator.gpk, crl_provider=lambda: self._crl,
             url_provider=lambda: self._url, clock=self.clock, rng=self.rng,
             dos_policy=dos_policy)
+        # Bounded history of adopted list versions, so this router can
+        # serve *deltas* to gossip peers that are only a few versions
+        # behind (anything older gets the full signed list).
+        self._crl_history: "OrderedDict[int, CertificateRevocationList]" \
+            = OrderedDict()
+        self._url_history: "OrderedDict[int, UserRevocationList]" \
+            = OrderedDict()
+        self._record_history()
+        #: Sharded fast-revocation state; ``None`` keeps the default
+        #: linear-scan verification path untouched.
+        self.revocation_state: Optional[RevocationState] = None
 
     # -- list refresh over the NO secure channel ------------------------------
 
@@ -92,7 +110,17 @@ class MeshRouter:
             self._crl = self.operator.issue_crl()
             self._url = self.operator.issue_url()
         self._lists_fetched_at = self.clock.now()
+        self._record_history()
+        self._sync_revocation_state()
         obs.counter("router.list_refresh_total")
+
+    def _record_history(self) -> None:
+        for history, current in ((self._crl_history, self._crl),
+                                 (self._url_history, self._url)):
+            history[current.version] = current
+            history.move_to_end(current.version)
+            while len(history) > self.max_list_history:
+                history.popitem(last=False)
 
     def sever_operator_channel(self) -> None:
         """Called when NO revokes this router: no more fresh lists."""
@@ -158,6 +186,127 @@ class MeshRouter:
             return
         self.engine.gpk = self.operator.gpk
         self.refresh_lists()
+        # The backhaul may be down; the state must still follow the gpk
+        # the engine now verifies under (refresh_lists syncs only when
+        # it actually fetched).
+        self._sync_revocation_state()
+
+    # -- sharded fast revocation ----------------------------------------------
+
+    def enable_sharded_revocation(self, num_shards: int = 16,
+                                  cache: Optional[RevocationTagCache] = None
+                                  ) -> RevocationState:
+        """Opt this router into the sharded epoch-tag revocation path.
+
+        Builds a :class:`~repro.core.revocation.RevocationState` over
+        the current URL and threads it (plus the epoch period) into the
+        auth engine: handshakes verify SPK correctness as usual, then
+        run the O(1) shard check instead of the linear Eq.3 scan.
+        Users must sign under the same epoch period (see
+        ``NetworkUser.auth_period``); outcomes are bit-identical to the
+        serial scan.  ``cache`` may be shared across routers.
+        """
+        state = RevocationState(self.engine.gpk, num_shards=num_shards,
+                                cache=cache)
+        state.update(self._url.tokens, self._url.version)
+        self.revocation_state = state
+        self.engine.revocation_state = state
+        self.engine.auth_period = state.period
+        return state
+
+    def _sync_revocation_state(self) -> None:
+        """Re-shard after any list or epoch change (no-op when off)."""
+        state = self.revocation_state
+        if state is None:
+            return
+        if state.epoch != self.engine.gpk.epoch:
+            state.rotate(self.engine.gpk, self._url.tokens,
+                         self._url.version)
+            self.engine.auth_period = state.period
+        elif state.url_version != self._url.version:
+            state.update(self._url.tokens, self._url.version)
+
+    # -- epidemic (router-to-router) list distribution ------------------------
+
+    def list_versions(self) -> Tuple[int, int]:
+        """The anti-entropy digest: ``(crl_version, url_version)``."""
+        return (self._crl.version, self._url.version)
+
+    def adopt_lists(self, crl: Optional[CertificateRevocationList] = None,
+                    url: Optional[UserRevocationList] = None) -> bool:
+        """Adopt gossiped lists; the epidemic-distribution sink.
+
+        Every candidate must carry a valid NO signature and advance the
+        version this router holds (freshness is governed separately by
+        the degraded-mode clockwork, so an old-but-authentic list from
+        a peer is acceptable while it advances us).  A revoked router
+        (``_cut_off``) refuses adoption outright: its stale lists are
+        the E7 behaviour under test, and gossip must not launder fresh
+        lists into it.  Successful adoption re-dates the lists to
+        ``min(now, issued_at)`` so a degraded router healed by gossip
+        counts staleness from the lists' real issue time.
+        """
+        if self._cut_off:
+            return False
+        now = self.clock.now()
+        adopted = False
+        if crl is not None and crl.version > self._crl.version:
+            crl.validate(self.operator.public_key, now,
+                         max_staleness=float("inf"))
+            self._crl = crl
+            adopted = True
+        if url is not None and url.version > self._url.version:
+            url.validate(self.operator.public_key, now,
+                         max_staleness=float("inf"))
+            self._url = url
+            adopted = True
+        if adopted:
+            self._lists_fetched_at = min(
+                now, min(self._crl.issued_at, self._url.issued_at))
+            self._record_history()
+            self._sync_revocation_state()
+            obs.counter("router.gossip_adopted_total")
+        return adopted
+
+    def crl_delta_for(self, peer_version: int) -> Optional[CrlDelta]:
+        """Delta lifting a peer from ``peer_version`` to this CRL.
+
+        Requires the peer's version in this router's bounded history
+        (to know exactly what the peer holds); otherwise ``None`` and
+        the peer gets the full signed list.  The delta reuses NO's
+        signature over this router's current list, so the peer's
+        reconstruction validates like any published CRL.
+        """
+        base = self._crl_history.get(peer_version)
+        if base is None or peer_version >= self._crl.version:
+            return None
+        current = self._crl
+        return CrlDelta(
+            from_version=peer_version, to_version=current.version,
+            issued_at=current.issued_at,
+            update_period=current.update_period,
+            added=tuple(sorted(current.revoked_router_ids
+                               - base.revoked_router_ids)),
+            removed=tuple(sorted(base.revoked_router_ids
+                                 - current.revoked_router_ids)),
+            list_signature=current.signature)
+
+    def url_delta_for(self, peer_version: int) -> Optional[UrlDelta]:
+        """Delta lifting a peer from ``peer_version`` to this URL."""
+        base = self._url_history.get(peer_version)
+        if base is None or peer_version >= self._url.version:
+            return None
+        current = self._url
+        base_encodings = {token.encode() for token in base.tokens}
+        current_encodings = {token.encode() for token in current.tokens}
+        return UrlDelta(
+            from_version=peer_version, to_version=current.version,
+            issued_at=current.issued_at,
+            update_period=current.update_period,
+            added=tuple(token for token in current.tokens
+                        if token.encode() not in base_encodings),
+            removed=tuple(sorted(base_encodings - current_encodings)),
+            list_signature=current.signature)
 
     @property
     def crl(self) -> CertificateRevocationList:

@@ -51,15 +51,24 @@ class NetworkUser:
         # Receipt-signing key (non-repudiation during setup).
         self.signing_key: EcdsaKeyPair = ecdsa_generate(curve, rng=self.rng)
         self.credentials: Dict[str, GroupPrivateKey] = {}
+        #: Period-mode signing label; set to the routers' epoch period
+        #: when the deployment runs sharded revocation (``None`` keeps
+        #: default per-signature generators).
+        self.auth_period: Optional[bytes] = None
 
     def adopt_gpk(self, gpk: GroupPublicKey) -> None:
         """Adopt a rotated group public key (membership renewal).
 
         Existing credentials are dead under the new gpk and are
         dropped; the user must re-enroll with each group manager.
+        A period-mode user follows the rotation to the new epoch's
+        period label (the routers' sharded state does the same).
         """
         self.gpk = gpk
         self.credentials.clear()
+        if self.auth_period is not None:
+            from repro.core.revocation import epoch_period
+            self.auth_period = epoch_period(gpk.epoch)
 
     # -- enrollment (setup, user side) ----------------------------------------
 
@@ -128,9 +137,11 @@ class NetworkUser:
 
     def auth_engine(self, context: Optional[str] = None) -> UserAuthEngine:
         """User-router engine signing under the chosen role."""
-        return UserAuthEngine(self.gpk, self.operator_public_key,
-                              self.credential_for(context),
-                              clock=self.clock, rng=self.rng)
+        engine = UserAuthEngine(self.gpk, self.operator_public_key,
+                                self.credential_for(context),
+                                clock=self.clock, rng=self.rng)
+        engine.auth_period = self.auth_period
+        return engine
 
     def peer_engine(self, context: Optional[str] = None) -> PeerAuthEngine:
         """User-user engine signing under the chosen role."""

@@ -31,12 +31,19 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import FaultInjectionError
-from repro.faults.plan import FaultPlan, PoolFault, RadioFault, RouterFault
+from repro.faults.plan import (
+    FaultPlan,
+    GossipFault,
+    PoolFault,
+    RadioFault,
+    RouterFault,
+)
 from repro.wmn.radio import Frame, RadioMedium
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.router import MeshRouter
     from repro.core.verifier_pool import VerifierPool
+    from repro.wmn.gossip import ListGossip
     from repro.wmn.simclock import EventLoop
 
 
@@ -196,15 +203,53 @@ class FaultInjector:
             router.set_refresh_silent_failure(True)
         self._note(fault.kind)
 
+    # -- gossip overlay --------------------------------------------------
+
+    def arm_gossip(self, gossip: "ListGossip",
+                   loop: "Optional[EventLoop]" = None) -> None:
+        """Schedule (or immediately fire) this plan's gossip faults.
+
+        ``router_id`` of ``None`` matches every router in the overlay.
+        """
+        for fault in self.plan.gossip:
+            targets = ([fault.router_id] if fault.router_id is not None
+                       else list(gossip.routers))
+            for router_id in targets:
+                if router_id not in gossip.routers:
+                    raise FaultInjectionError(
+                        f"gossip fault names unknown router {router_id!r}")
+                if loop is not None and fault.at > 0:
+                    loop.schedule(
+                        fault.at,
+                        self._make_gossip_firing(gossip, fault, router_id))
+                else:
+                    self._fire_gossip_fault(gossip, fault, router_id)
+
+    def _make_gossip_firing(self, gossip: "ListGossip",
+                            fault: GossipFault, router_id: str):
+        def fire() -> None:
+            self._fire_gossip_fault(gossip, fault, router_id)
+        return fire
+
+    def _fire_gossip_fault(self, gossip: "ListGossip",
+                           fault: GossipFault, router_id: str) -> None:
+        if fault.kind == "isolate":
+            gossip.isolate(router_id)
+        else:
+            gossip.rejoin(router_id)
+        self._note(fault.kind)
+
     # -- scenario convenience -------------------------------------------
 
     def arm_scenario(self, scenario) -> None:
-        """Arm radio + every router of a built
-        :class:`~repro.wmn.scenario.Scenario` (pools are armed
+        """Arm radio + every router + the gossip overlay (if any) of a
+        built :class:`~repro.wmn.scenario.Scenario` (pools are armed
         separately -- the simulator does not own one)."""
         self.arm_radio(scenario.radio)
         for sim_router in scenario.sim_routers.values():
             self.arm_router(sim_router.router, loop=scenario.loop)
+        if getattr(scenario, "gossip", None) is not None:
+            self.arm_gossip(scenario.gossip, loop=scenario.loop)
 
     def snapshot(self) -> Dict[str, int]:
         """Copy of the per-kind injected-fault tallies."""

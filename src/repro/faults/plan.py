@@ -30,6 +30,9 @@ POOL_FAULT_KINDS = ("kill_worker", "hang_worker")
 #: Router fault kinds, applied to the NO secure channel / list state.
 ROUTER_FAULT_KINDS = ("sever_channel", "restore_channel", "stale_lists")
 
+#: Gossip fault kinds, applied to the epidemic-distribution overlay.
+GOSSIP_FAULT_KINDS = ("isolate", "rejoin")
+
 
 @dataclass(frozen=True)
 class RadioFault:
@@ -135,6 +138,30 @@ class RouterFault:
 
 
 @dataclass(frozen=True)
+class GossipFault:
+    """One fault against a :class:`~repro.wmn.gossip.ListGossip` overlay.
+
+    ``isolate`` severs a router from anti-entropy exchanges entirely
+    (it neither initiates nor answers); ``rejoin`` restores it.  The
+    router's own NO channel is untouched -- compose with a
+    :class:`RouterFault` to model a router that lost *both* its
+    backhaul and its mesh neighbours.
+    """
+
+    kind: str
+    at: float = 0.0
+    router_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in GOSSIP_FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown gossip fault kind {self.kind!r} "
+                f"(want one of {GOSSIP_FAULT_KINDS})")
+        if self.at < 0:
+            raise FaultInjectionError("gossip fault time must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded chaos specification.
 
@@ -147,17 +174,18 @@ class FaultPlan:
     radio: Tuple[RadioFault, ...] = ()
     pool: Tuple[PoolFault, ...] = ()
     router: Tuple[RouterFault, ...] = ()
+    gossip: Tuple[GossipFault, ...] = ()
 
     def __post_init__(self) -> None:
         # Normalize lists to tuples so plans stay hashable/frozen.
-        for name in ("radio", "pool", "router"):
+        for name in ("radio", "pool", "router", "gossip"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
 
     @property
     def empty(self) -> bool:
-        return not (self.radio or self.pool or self.router)
+        return not (self.radio or self.pool or self.router or self.gossip)
 
     def describe(self) -> str:
         """One-line human summary (logged by chaos harnesses)."""
@@ -165,4 +193,5 @@ class FaultPlan:
         parts += [f"radio:{f.kind}@p={f.probability:g}" for f in self.radio]
         parts += [f"pool:{f.kind}@t={f.at:g}" for f in self.pool]
         parts += [f"router:{f.kind}@t={f.at:g}" for f in self.router]
+        parts += [f"gossip:{f.kind}@t={f.at:g}" for f in self.gossip]
         return " ".join(parts)

@@ -9,6 +9,7 @@ authenticated peer sessions, and a family of adversary nodes.
 """
 
 from repro.wmn.simclock import EventLoop, SimClock
+from repro.wmn.gossip import ListGossip
 from repro.wmn.radio import Frame, RadioMedium
 from repro.wmn.topology import MetroTopology, TopologyConfig, build_topology
 from repro.wmn.costmodel import CostModel
@@ -19,6 +20,7 @@ __all__ = [
     "CostModel",
     "EventLoop",
     "Frame",
+    "ListGossip",
     "MetroTopology",
     "RadioMedium",
     "Scenario",

@@ -18,6 +18,7 @@ from repro.core.deployment import Deployment
 from repro.obs.rollup import TelemetryRollup, to_jsonl
 from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.user_router import RetryPolicy
+from repro.core.revocation import RevocationTagCache, epoch_period
 from repro.core.router import MeshRouter
 from repro.wmn.costmodel import CostModel
 from repro.wmn.metrics import (
@@ -26,6 +27,7 @@ from repro.wmn.metrics import (
     merge_counters,
 )
 from repro.wmn.backbone import BackboneNetwork, UplinkDirectory
+from repro.wmn.gossip import ListGossip
 from repro.wmn.mobility import RandomWaypoint
 from repro.wmn.nodes import SimMeshRouter, SimUser
 from repro.wmn.radio import RadioMedium
@@ -65,6 +67,11 @@ class ScenarioConfig:
     tracing: bool = False                # own obs registry + causal spans
     telemetry_window: float = 0.0        # >0: rollup every N sim seconds
     max_spans: int = 4096                # span-log bound when tracing
+    gossip_period: float = 0.0           # >0: epidemic CRL/URL rounds
+    gossip_fanout: int = 2               # peers contacted per round
+    gossip_loss: float = 0.0             # per-exchange loss probability
+    sharded_revocation: bool = False     # O(1) epoch-tag revocation path
+    revocation_shards: int = 16          # shards when sharding is on
 
 
 class Scenario:
@@ -126,6 +133,34 @@ class Scenario:
                 self.loop.schedule_every(
                     config.expire_interval,
                     self.sim_routers[router_id].router.expire)
+
+        # Epidemic CRL/URL distribution over the backbone adjacency.
+        self.gossip: Optional[ListGossip] = None
+        if config.gossip_period > 0:
+            graph = self.topology.backbone
+            peers = {router_id: list(graph.neighbors(router_id))
+                     for router_id in graph.nodes}
+            self.gossip = ListGossip(
+                self.loop,
+                [sim.router for sim in self.sim_routers.values()],
+                round_period=config.gossip_period,
+                fanout=config.gossip_fanout,
+                loss_probability=config.gossip_loss,
+                rng=random.Random(config.seed + 0x60551),
+                peers=peers)
+            self.gossip.start()
+
+        # Sharded revocation: every router gets the O(1) epoch-tag
+        # check (one tag cache shared process-wide -- tags are public),
+        # every user signs under the matching epoch period.
+        if config.sharded_revocation:
+            shared_cache = RevocationTagCache()
+            for sim in self.sim_routers.values():
+                sim.router.enable_sharded_revocation(
+                    num_shards=config.revocation_shards, cache=shared_cache)
+            period = epoch_period(self.deployment.operator.gpk.epoch)
+            for user in self.deployment.users.values():
+                user.auth_period = period
 
         user_class = RelayUser if config.relay_capable else SimUser
         self.sim_users: Dict[str, SimUser] = {}
