@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import random
 import sys
 
@@ -84,6 +85,14 @@ class Reporter:
         json_path = os.path.join(json_root, f"BENCH_{self.slug}.json")
         with open(json_path, "w") as handle:
             json.dump({"experiment": self.experiment,
+                       # Timing numbers are host-relative; stamp where
+                       # they came from so baseline diffs across
+                       # machines are recognizable as such.
+                       "host": {
+                           "cpu_count": os.cpu_count(),
+                           "python_version": platform.python_version(),
+                           "machine": platform.machine(),
+                       },
                        "tables": self.tables,
                        "values": self.values}, handle, indent=2,
                       default=str)

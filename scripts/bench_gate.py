@@ -30,8 +30,9 @@ hold is recorded as skipped, not passed.
 Modes:
 
 * ``--smoke``  -- E4 (TEST-preset message sizes) plus the
-  ``revocation_scale`` scale/identity gate, both deterministic and
-  fast (seconds).  This is the CI pull-request gate.
+  ``revocation_scale`` and ``crash_recovery`` scale/identity gates,
+  all deterministic and fast (seconds).  This is the CI pull-request
+  gate.
 * default      -- the smoke slugs plus E2 (SS512 operation counts;
   slower), the virtual-time handshake-loss sweep (exact completion
   counts), the obs overhead boolean, and the two batch-verification
@@ -70,6 +71,8 @@ BENCH_TARGETS: Dict[str, List[str]] = {
         "benchmarks/bench_parallel_verify.py::test_e10_parallel_verify"],
     "revocation_scale": [
         "benchmarks/bench_revocation_scale.py::test_revocation_scale"],
+    "crash_recovery": [
+        "benchmarks/bench_crash_recovery.py::test_crash_recovery"],
 }
 
 #: slug -> rule-key -> rule.  A rule is ``{"kind": "exact"}``,
@@ -166,6 +169,26 @@ GATES: Dict[str, Dict[str, dict]] = {
         "epidemic_loss_pct": {"kind": "exact"},
         "num_shards": {"kind": "exact"},
         "required_speedup": {"kind": "exact"},
+    },
+    # Durable crash recovery (ISSUE 9 acceptance): a crashed/restored
+    # router must be observably indistinguishable from one that never
+    # crashed -- the four identity booleans and the degraded re-entry
+    # check are exact -- and the signed-checkpoint warm-up must beat
+    # the cold shard build >= 5x at |URL| = 1000 with *zero* pairings
+    # on the warm path (both absolute floors, baseline-independent).
+    "crash_recovery": {
+        "outcomes_identical": {"kind": "exact"},
+        "messages_identical": {"kind": "exact"},
+        "token_index_identical": {"kind": "exact"},
+        "replay_storm_identical": {"kind": "exact"},
+        "degraded_reentry": {"kind": "exact"},
+        "warmup_speedup": {"kind": "min_value", "value": 5.0,
+                           "slack": 0.05},
+        "warm_pairings": {"kind": "exact"},
+        "cold_pairings": {"kind": "exact"},
+        "warmup_url_size": {"kind": "exact"},
+        "warmup_num_shards": {"kind": "exact"},
+        "required_warmup_speedup": {"kind": "exact"},
     },
 }
 
@@ -280,9 +303,10 @@ def main(argv=None) -> int:
                         help="write the full comparison result here")
     args = parser.parse_args(argv)
 
-    slugs = (["E4", "revocation_scale"] if args.smoke
+    slugs = (["E4", "revocation_scale", "crash_recovery"] if args.smoke
              else ["E4", "E2", "handshake_loss", "obs_overhead",
-                   "batch_core", "parallel_verify", "revocation_scale"])
+                   "batch_core", "parallel_verify", "revocation_scale",
+                   "crash_recovery"])
     results = []
     exit_code = 0
 

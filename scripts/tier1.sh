@@ -14,7 +14,8 @@
 #
 # The chaos subset runs the seeded fault-injection suites (radio
 # drop/duplicate/corrupt/delay, verifier-pool worker kill/hang,
-# router degraded mode) across the three fixed CI seeds.
+# router degraded mode, durable-journal corruption, and crash/restart
+# recovery) across the three fixed CI seeds.
 
 set -e
 cd "$(dirname "$0")/.."
@@ -56,7 +57,10 @@ if [ "$mode" = "chaos" ]; then
     exec python -m pytest -x -q ${junit:+"$junit"} \
         tests/test_faults.py \
         tests/test_chaos_handshake.py \
-        tests/test_pool_recovery.py
+        tests/test_pool_recovery.py \
+        tests/test_durable.py \
+        tests/test_durable_fuzz.py \
+        tests/test_crash_recovery.py
 fi
 
 exec python -m pytest -x -q ${junit:+"$junit"}

@@ -247,6 +247,20 @@ class NetworkOperator:
         self._router_certs[router_id] = cert
         return keypair, cert
 
+    def reprovision_router(self, router_id: str
+                           ) -> Tuple[EcdsaKeyPair, RouterCertificate]:
+        """Return the credentials already issued to ``router_id``.
+
+        A router restarting from its durable journal keeps its original
+        (RPK_k, RSK_k) and ``Cert_k``; minting fresh ones (or consuming
+        operator randomness) would make a restart observably different
+        from a router that never crashed.
+        """
+        if router_id not in self._router_keys:
+            raise ParameterError(
+                f"router {router_id!r} was never provisioned")
+        return self._router_keys[router_id], self._router_certs[router_id]
+
     # -- revocation ---------------------------------------------------------
 
     def _snapshot_crl(self) -> None:

@@ -54,7 +54,8 @@ from repro.core.groupsig import (
     GroupSignature,
     RevocationToken,
 )
-from repro.errors import ParameterError
+from repro.core.wire import Reader, Writer
+from repro.errors import EncodingError, ParameterError
 from repro.pairing.group import GTElement
 
 
@@ -116,6 +117,13 @@ class RevocationTagCache:
         else:
             obs.counter("revocation.cache.hit")
         return tag
+
+    def contains(self, epoch: int, token_encoding: bytes) -> bool:
+        """Counter-free peek: is this tag warm?  Used by gossip to
+        decide whether a peer needs a checkpoint without skewing the
+        hit/miss counters or the LRU order."""
+        with self._lock:
+            return (epoch, token_encoding) in self._entries
 
     def put(self, epoch: int, token_encoding: bytes, tag: bytes) -> None:
         evicted = 0
@@ -354,6 +362,64 @@ class RevocationState:
         if hit is not None:
             obs.counter("revocation.check_revoked_total")
             raise groupsig._revoked_error(hit)
+
+
+@dataclass(frozen=True)
+class TagCheckpoint:
+    """A signed export of one router's warm epoch tags.
+
+    A cold or freshly-restarted router adopts a peer's checkpoint to
+    skip the per-token pairing re-derivation (|URL| pairings at
+    metropolitan scale).  The serving router signs the whole entry set
+    with its RPK/RSK pair and attaches its operator-issued ``Cert_k``,
+    so adoption is gated on the same PKI a beacon is: certificate
+    validity, CRL membership, and the ECDSA signature.  Tags are pure
+    functions of ``(epoch, token)`` -- they transfer between routers
+    verbatim -- so a checkpoint never grants authority, it only saves
+    pairings; a *tampered* checkpoint would poison accept/reject
+    decisions, which is why verification failure is a
+    ``CertificateError``, not a silent skip.
+    """
+
+    router_id: str
+    epoch: int
+    url_version: int
+    num_shards: int
+    entries: Tuple[Tuple[bytes, bytes], ...]  # (token encoding, tag)
+    certificate: bytes                        # serving router's Cert_k
+    signature: bytes                          # ECDSA over signed_payload
+
+    def signed_payload(self) -> bytes:
+        writer = (Writer().raw(b"TCK").string(self.router_id)
+                  .u64(self.epoch).u64(self.url_version)
+                  .u32(self.num_shards).u32(len(self.entries)))
+        for token_encoding, tag in self.entries:
+            writer.var(token_encoding)
+            writer.var(tag)
+        return writer.done()
+
+    def encode(self) -> bytes:
+        return (Writer().raw(self.signed_payload())
+                .var(self.certificate).var(self.signature).done())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TagCheckpoint":
+        reader = Reader(data)
+        if reader.raw(3) != b"TCK":
+            raise EncodingError("not a tag checkpoint")
+        router_id = reader.string()
+        epoch = reader.u64()
+        url_version = reader.u64()
+        num_shards = reader.u32()
+        count = reader.u32()
+        entries = tuple((reader.var(), reader.var()) for _ in range(count))
+        certificate = reader.var()
+        signature = reader.var()
+        reader.expect_end()
+        return cls(router_id=router_id, epoch=epoch,
+                   url_version=url_version, num_shards=num_shards,
+                   entries=entries, certificate=certificate,
+                   signature=signature)
 
 
 def serial_scan_outcome(gpk: GroupPublicKey, message: bytes,

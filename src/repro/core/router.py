@@ -37,14 +37,25 @@ from repro.core.certs import (
     UrlDelta,
     UserRevocationList,
 )
-from repro.core.revocation import RevocationState, RevocationTagCache
+from repro.core.durable import DurableRouterStore, DurableState, RecoveryInfo
+from repro.core.groupsig import GroupPublicKey
+from repro.core.revocation import (
+    RevocationState,
+    RevocationTagCache,
+    TagCheckpoint,
+)
 from repro.core.clock import Clock, SystemClock
 from repro.core.messages import AccessConfirm, AccessRequest, Beacon
 from repro.core.operator_entity import NetworkOperator
 from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.session import SecureSession
 from repro.core.protocols.user_router import RouterAuthEngine
-from repro.errors import DegradedModeError, SimulationError
+from repro.errors import (
+    CertificateError,
+    DegradedModeError,
+    EncodingError,
+    SimulationError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.verifier_pool import VerifierPool
@@ -61,22 +72,39 @@ class MeshRouter:
                  rng: Optional[random.Random] = None,
                  cert_validity: float = 30 * 86400.0,
                  dos_policy: Optional[DosPolicy] = None,
-                 staleness_grace: float = 600.0) -> None:
+                 staleness_grace: float = 600.0,
+                 provisioned: Optional[Tuple] = None,
+                 initial_lists: Optional[Tuple] = None,
+                 channel_up: bool = True) -> None:
         self.router_id = router_id
         self.operator = operator
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
-        keypair, certificate = operator.provision_router(
-            router_id, validity=cert_validity)
+        if provisioned is not None:
+            # Restart path: keep the credentials NO already issued (and
+            # consume no operator randomness -- see ``restore``).
+            keypair, certificate = provisioned
+        else:
+            keypair, certificate = operator.provision_router(
+                router_id, validity=cert_validity)
         self.keypair = keypair
         self.certificate: RouterCertificate = certificate
-        self._crl: CertificateRevocationList = operator.issue_crl()
-        self._url: UserRevocationList = operator.issue_url()
+        if initial_lists is not None:
+            # Restart path: the journaled lists, not a fresh NO fetch
+            # (a partitioned router cannot reach NO at boot).
+            self._crl, self._url, fetched_at = initial_lists
+        else:
+            self._crl = operator.issue_crl()
+            self._url = operator.issue_url()
+            fetched_at = self.clock.now()
         self._cut_off = False   # set when NO severs the secure channel
         self.staleness_grace = staleness_grace
-        self._channel_up = True          # honest backhaul state
+        self._channel_up = channel_up    # honest backhaul state
         self._refresh_silent_failure = False   # chaos: refreshes no-op
-        self._lists_fetched_at = self.clock.now()
+        self._lists_fetched_at = fetched_at
+        self._durable: Optional[DurableRouterStore] = None
+        #: Set by :meth:`restore` -- what the journal recovery found.
+        self.recovery: Optional[RecoveryInfo] = None
         self.engine = RouterAuthEngine(
             router_id=router_id, keypair=keypair, certificate=certificate,
             gpk=operator.gpk, crl_provider=lambda: self._crl,
@@ -112,6 +140,7 @@ class MeshRouter:
         self._lists_fetched_at = self.clock.now()
         self._record_history()
         self._sync_revocation_state()
+        self._journal_lists()
         obs.counter("router.list_refresh_total")
 
     def _record_history(self) -> None:
@@ -125,6 +154,8 @@ class MeshRouter:
     def sever_operator_channel(self) -> None:
         """Called when NO revokes this router: no more fresh lists."""
         self._cut_off = True
+        if self._durable is not None:
+            self._durable.record_channel(self._channel_up, self._cut_off)
 
     # -- degraded mode (honest channel loss, NOT revocation) ------------------
 
@@ -141,10 +172,16 @@ class MeshRouter:
         if up and not self._channel_up:
             self._channel_up = True
             obs.counter("router.channel_restored_total")
+            if self._durable is not None:
+                self._durable.record_channel(self._channel_up,
+                                             self._cut_off)
             self.refresh_lists()
         elif not up and self._channel_up:
             self._channel_up = False
             obs.counter("router.channel_severed_total")
+            if self._durable is not None:
+                self._durable.record_channel(self._channel_up,
+                                             self._cut_off)
 
     def set_refresh_silent_failure(self, failing: bool) -> None:
         """Chaos hook: make :meth:`refresh_lists` silently do nothing,
@@ -190,12 +227,19 @@ class MeshRouter:
         # the engine now verifies under (refresh_lists syncs only when
         # it actually fetched).
         self._sync_revocation_state()
+        if self._durable is not None:
+            self._durable.record_epoch(
+                self.engine.gpk.epoch, self.engine.gpk.encode(),
+                self._crl.encode(), self._url.encode(),
+                self._lists_fetched_at)
+            self._journal_checkpoint()
 
     # -- sharded fast revocation ----------------------------------------------
 
     def enable_sharded_revocation(self, num_shards: int = 16,
-                                  cache: Optional[RevocationTagCache] = None
-                                  ) -> RevocationState:
+                                  cache: Optional[RevocationTagCache] = None,
+                                  warm_checkpoint: Optional[TagCheckpoint]
+                                  = None) -> RevocationState:
         """Opt this router into the sharded epoch-tag revocation path.
 
         Builds a :class:`~repro.core.revocation.RevocationState` over
@@ -205,13 +249,28 @@ class MeshRouter:
         Users must sign under the same epoch period (see
         ``NetworkUser.auth_period``); outcomes are bit-identical to the
         serial scan.  ``cache`` may be shared across routers.
+
+        ``warm_checkpoint`` pre-warms the cache from a peer's signed
+        :class:`~repro.core.revocation.TagCheckpoint` *before* the
+        first shard build, so a cold router skips the per-token pairing
+        re-derivation entirely (verified exactly like a gossiped
+        checkpoint; tampering raises ``CertificateError`` and the build
+        falls back to full re-derivation).
         """
         state = RevocationState(self.engine.gpk, num_shards=num_shards,
                                 cache=cache)
-        state.update(self._url.tokens, self._url.version)
         self.revocation_state = state
         self.engine.revocation_state = state
         self.engine.auth_period = state.period
+        if warm_checkpoint is not None:
+            try:
+                self.adopt_tag_checkpoint(warm_checkpoint)
+            except CertificateError:
+                # Full re-derive fallback: the update below pays the
+                # pairings a valid checkpoint would have saved.
+                pass
+        state.update(self._url.tokens, self._url.version)
+        self._journal_checkpoint()
         return state
 
     def _sync_revocation_state(self) -> None:
@@ -265,6 +324,7 @@ class MeshRouter:
                 now, min(self._crl.issued_at, self._url.issued_at))
             self._record_history()
             self._sync_revocation_state()
+            self._journal_lists()
             obs.counter("router.gossip_adopted_total")
         return adopted
 
@@ -315,6 +375,217 @@ class MeshRouter:
     @property
     def url(self) -> UserRevocationList:
         return self._url
+
+    # -- shard-checkpoint gossip ----------------------------------------------
+
+    def make_tag_checkpoint(self) -> Optional[TagCheckpoint]:
+        """Export this router's warm epoch tags, signed with RPK/RSK.
+
+        ``None`` when there is nothing trustworthy to serve: the
+        sharded path is off, no shard build happened yet, or NO cut
+        this router off (a revoked router must not seed peers' caches
+        any more than it may adopt their lists -- E7).
+        """
+        state = self.revocation_state
+        if self._cut_off or state is None or state.sharded is None:
+            return None
+        entries = tuple((entry.token.encode(), entry.tag)
+                        for shard in state.sharded.shards
+                        for entry in shard)
+        unsigned = TagCheckpoint(
+            router_id=self.router_id, epoch=state.epoch,
+            url_version=state.url_version,
+            num_shards=state.num_shards, entries=entries,
+            certificate=self.certificate.encode(), signature=b"")
+        signature = self.keypair.sign(unsigned.signed_payload())
+        obs.counter("gossip.checkpoint.served")
+        return TagCheckpoint(
+            router_id=unsigned.router_id, epoch=unsigned.epoch,
+            url_version=unsigned.url_version,
+            num_shards=unsigned.num_shards, entries=unsigned.entries,
+            certificate=unsigned.certificate, signature=signature)
+
+    def _reject_checkpoint(self, reason: str) -> None:
+        obs.counter("gossip.checkpoint.rejected")
+        raise CertificateError(reason)
+
+    def adopt_tag_checkpoint(self, checkpoint: TagCheckpoint) -> int:
+        """Warm the tag cache from a peer's signed checkpoint.
+
+        Verification chain: the embedded ``Cert_k`` must decode,
+        validate against NO's key, name the claimed serving router, and
+        that router must not be on this router's CRL; the ECDSA
+        signature must cover the exact entry set.  Any failure raises
+        :class:`~repro.errors.CertificateError` (and bumps
+        ``gossip.checkpoint.rejected``) -- the caller falls back to
+        full tag re-derivation.  A ``_cut_off`` router adopts nothing.
+        Returns the number of tags adopted (0 when the checkpoint is
+        authentic but for another epoch, or sharding is off here).
+        """
+        if self._cut_off:
+            return 0
+        try:
+            cert = RouterCertificate.decode(
+                self.operator.curve, checkpoint.certificate)
+        except EncodingError:
+            self._reject_checkpoint(
+                f"checkpoint from {checkpoint.router_id!r}: certificate "
+                "does not decode")
+        try:
+            cert.validate(self.operator.public_key, self.clock.now())
+        except CertificateError:
+            obs.counter("gossip.checkpoint.rejected")
+            raise
+        if cert.router_id != checkpoint.router_id:
+            self._reject_checkpoint(
+                f"checkpoint claims {checkpoint.router_id!r} but its "
+                f"certificate names {cert.router_id!r}")
+        if self._crl.is_revoked(cert.router_id):
+            self._reject_checkpoint(
+                f"checkpoint from revoked router {cert.router_id!r}")
+        if not cert.public_key.verify(checkpoint.signed_payload(),
+                                      checkpoint.signature):
+            self._reject_checkpoint(
+                f"checkpoint from {checkpoint.router_id!r} has a bad "
+                "signature")
+        state = self.revocation_state
+        if state is None or checkpoint.epoch != state.epoch:
+            obs.counter("gossip.checkpoint.ignored")
+            return 0
+        for token_encoding, tag in checkpoint.entries:
+            state.cache.put(checkpoint.epoch, token_encoding, tag)
+        obs.counter("gossip.checkpoint.adopted")
+        obs.counter("gossip.checkpoint.tags_adopted",
+                    len(checkpoint.entries))
+        return len(checkpoint.entries)
+
+    def tag_warm_fraction(self) -> float:
+        """Fraction of this URL's tags already cached for this epoch
+        (counter-free; used to decide whether a peer checkpoint is
+        worth offering)."""
+        state = self.revocation_state
+        if state is None or not self._url.tokens:
+            return 1.0
+        warm = sum(1 for token in self._url.tokens
+                   if state.cache.contains(state.epoch, token.encode()))
+        return warm / len(self._url.tokens)
+
+    # -- durable state --------------------------------------------------------
+
+    def attach_durable(self, store: DurableRouterStore,
+                       record_initial: bool = True) -> None:
+        """Journal this router's security state into ``store``.
+
+        With ``record_initial`` the store is reset to one snapshot of
+        the state as of now; a :meth:`restore`-d router passes False to
+        keep appending to the journal it just recovered from.
+        """
+        self._durable = store
+        if record_initial:
+            store.initialize(self._capture_state())
+
+    def _capture_state(self) -> DurableState:
+        state = self.revocation_state
+        num_shards = 0
+        tag_epoch = self.engine.gpk.epoch
+        entries: Tuple[Tuple[bytes, bytes], ...] = ()
+        if state is not None and state.sharded is not None:
+            num_shards = state.num_shards
+            tag_epoch = state.epoch
+            entries = tuple((entry.token.encode(), entry.tag)
+                            for shard in state.sharded.shards
+                            for entry in shard)
+        return DurableState(
+            store_id=self.router_id, epoch=self.engine.gpk.epoch,
+            gpk_blob=self.engine.gpk.encode(),
+            crl_blob=self._crl.encode(), url_blob=self._url.encode(),
+            lists_fetched_at=self._lists_fetched_at,
+            channel_up=self._channel_up, cut_off=self._cut_off,
+            num_shards=num_shards, tag_epoch=tag_epoch,
+            tag_entries=entries)
+
+    def _journal_lists(self) -> None:
+        if self._durable is None:
+            return
+        self._durable.record_lists(self._crl.encode(), self._url.encode(),
+                                   self._lists_fetched_at)
+        self._journal_checkpoint()
+
+    def _journal_checkpoint(self) -> None:
+        """Persist the current shard tags so a local restart warms its
+        cache from disk without peers (no-op when sharding is off)."""
+        if self._durable is None:
+            return
+        state = self.revocation_state
+        if state is None or state.sharded is None:
+            return
+        entries = tuple((entry.token.encode(), entry.tag)
+                        for shard in state.sharded.shards
+                        for entry in shard)
+        self._durable.record_checkpoint(state.epoch, state.num_shards,
+                                        entries)
+
+    @classmethod
+    def restore(cls, store: DurableRouterStore, operator: NetworkOperator,
+                clock: Optional[Clock] = None,
+                rng: Optional[random.Random] = None,
+                dos_policy: Optional[DosPolicy] = None,
+                staleness_grace: float = 600.0,
+                cache: Optional[RevocationTagCache] = None
+                ) -> "MeshRouter":
+        """Rebuild a router from its journal after a crash.
+
+        Recovery semantics:
+
+        * Credentials come from :meth:`NetworkOperator
+          .reprovision_router` -- same RPK/RSK and ``Cert_k``, no
+          operator randomness consumed.
+        * Lists, epoch, and channel state come from the journal, NOT a
+          fresh NO fetch: a partitioned router reboots into degraded
+          mode and re-enters the refusal path once its recovered lists
+          age past ``staleness_grace``.
+        * If the journal carried shard checkpoints, the sharded path is
+          re-enabled with the cache pre-warmed from them (zero pairing
+          re-derivation for journaled tags).
+        * The recovered journal is re-attached, so post-restart changes
+          keep appending where the crash left off.
+        """
+        with obs.span("recovery.restore"):
+            info = store.load()
+            state = info.state
+            crl = CertificateRevocationList.decode(state.crl_blob)
+            url = UserRevocationList.decode(operator.group, state.url_blob)
+            router = cls(
+                store.store_id, operator, clock=clock, rng=rng,
+                dos_policy=dos_policy, staleness_grace=staleness_grace,
+                provisioned=operator.reprovision_router(store.store_id),
+                initial_lists=(crl, url, state.lists_fetched_at),
+                channel_up=state.channel_up)
+            if state.cut_off:
+                router._cut_off = True
+            # The journaled gpk, not NO's current one: an epoch
+            # rotation that happened while this router was down must
+            # reach it through adopt_new_epoch / gossip, exactly as if
+            # it had merely been partitioned.  (GroupPublicKey wire
+            # encoding drops the epoch; re-stamp it from the journal.)
+            if (state.epoch != operator.gpk.epoch
+                    or state.gpk_blob != operator.gpk.encode()):
+                gpk = GroupPublicKey.decode(operator.group, state.gpk_blob)
+                router.engine.gpk = GroupPublicKey(
+                    gpk.group, gpk.w, epoch=state.epoch)
+            if state.num_shards:
+                warm_cache = cache if cache is not None \
+                    else RevocationTagCache()
+                for token_encoding, tag in state.tag_entries:
+                    warm_cache.put(state.tag_epoch, token_encoding, tag)
+                router.enable_sharded_revocation(
+                    num_shards=state.num_shards, cache=warm_cache)
+            router.attach_durable(store, record_initial=False)
+            router.recovery = info
+        obs.counter("recovery.restores_total")
+        if not info.clean:
+            obs.counter("recovery.torn_tail_total")
+        return router
 
     # -- protocol passthroughs ------------------------------------------------
 

@@ -85,6 +85,16 @@ DEFAULT_TASK_TIMEOUT = 120.0
 #: giving up and running serially for good.
 DEFAULT_MAX_WORKER_RESTARTS = 2
 
+#: Backoff between worker-set respawns *within one submission*: the
+#: first respawn is immediate (a transient death should not stall the
+#: batch), then delays double from this base up to the cap below.  A
+#: crash-looping worker set burns its restart budget at a bounded
+#: rate instead of spinning through spawn/SIGKILL cycles.
+DEFAULT_RESPAWN_BACKOFF = 0.05
+
+#: Ceiling for the doubled respawn delay.
+DEFAULT_MAX_RESPAWN_BACKOFF = 1.0
+
 
 def available_cores() -> int:
     """Cores this process may run on (affinity-aware, min 1)."""
@@ -281,7 +291,9 @@ class VerifierPool:
                  max_inflight: Optional[int] = None,
                  task_timeout: float = DEFAULT_TASK_TIMEOUT,
                  start_method: Optional[str] = None,
-                 max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS
+                 max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
+                 respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
+                 max_respawn_backoff: float = DEFAULT_MAX_RESPAWN_BACKOFF
                  ) -> None:
         if chunk_size < 1:
             raise ParameterError("chunk_size must be at least 1")
@@ -289,6 +301,8 @@ class VerifierPool:
             raise ParameterError("processes must be >= 0")
         if max_worker_restarts < 0:
             raise ParameterError("max_worker_restarts must be >= 0")
+        if respawn_backoff < 0 or max_respawn_backoff < 0:
+            raise ParameterError("respawn backoff must be >= 0")
         self.gpk = gpk
         self.tokens: Tuple[RevocationToken, ...] = tuple(url)
         self.chunk_size = chunk_size
@@ -297,6 +311,10 @@ class VerifierPool:
         self.serial_fallbacks = 0  # chunks that ran in-process instead
         self.max_worker_restarts = max_worker_restarts
         self.worker_restarts = 0   # respawns performed so far
+        self.respawn_backoff = respawn_backoff
+        self.max_respawn_backoff = max_respawn_backoff
+        self.respawn_delays: List[float] = []  # applied delays, in order
+        self._batch_respawns = 0   # respawns within the current batch
         self.host_cores = available_cores()
         self.auto_serial = False
         if processes is None:
@@ -359,6 +377,27 @@ class VerifierPool:
             return False
         self._pool.apply_async(_chaos_hang, (seconds,))
         return True
+
+    def _next_respawn_delay(self) -> float:
+        """Delay to apply before the next respawn of this submission.
+
+        Capped exponential: respawn 1 is free, respawn ``n`` waits
+        ``respawn_backoff * 2**(n-2)`` bounded by
+        ``max_respawn_backoff``.  The counter resets per
+        :meth:`verify_batch` call, so a later healthy batch is not
+        taxed for an earlier sick one.
+        """
+        self._batch_respawns += 1
+        if self._batch_respawns <= 1 or self.respawn_backoff <= 0:
+            delay = 0.0
+        else:
+            delay = min(
+                self.respawn_backoff * (2 ** (self._batch_respawns - 2)),
+                self.max_respawn_backoff)
+        self.respawn_delays.append(delay)
+        if delay > 0:
+            obs.counter("pool.respawn_backoffs_total")
+        return delay
 
     def respawn_workers(self) -> bool:
         """Replace the (dead/hung) worker set with a fresh one.
@@ -428,6 +467,7 @@ class VerifierPool:
             return []
         if traces is not None and len(traces) != len(batch):
             raise ParameterError("traces must align 1:1 with batch items")
+        self._batch_respawns = 0
         reg = obs.active()
         batch_start = reg.clock() if reg is not None else 0.0
         chunks: List[List[Tuple[int, bytes, GroupSignature,
@@ -490,6 +530,11 @@ class VerifierPool:
             while pending:
                 chunk, _handle, _submitted, _deadline = pending.pop()
                 run_serial(chunk)
+            if self.processes \
+                    and self.worker_restarts < self.max_worker_restarts:
+                delay = self._next_respawn_delay()
+                if delay > 0:
+                    time.sleep(delay)
             self.respawn_workers()
 
         def collect_one() -> None:

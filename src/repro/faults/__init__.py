@@ -7,7 +7,8 @@ exception.  This package drives those conditions on demand:
 * :class:`FaultPlan` -- a frozen, seeded description of every fault a
   run will inject (radio frame drop/duplicate/corrupt/delay/reorder,
   verifier-pool worker kill/hang, router operator-channel sever or
-  silent stale lists);
+  silent stale lists, router kill/restart from the durable journal,
+  storage fsync-loss);
 * :class:`FaultInjector` -- arms a plan against live targets, drawing
   every probabilistic choice from ``random.Random(plan.seed)`` on the
   simulator's virtual clock, so chaos runs replay bit-for-bit.
@@ -20,23 +21,31 @@ hang, crash, or silent partial session.
 
 from repro.faults.injector import FaultInjector, corrupt_frame
 from repro.faults.plan import (
+    GOSSIP_FAULT_KINDS,
     POOL_FAULT_KINDS,
     RADIO_FAULT_KINDS,
     ROUTER_FAULT_KINDS,
+    STORAGE_FAULT_KINDS,
     FaultPlan,
+    GossipFault,
     PoolFault,
     RadioFault,
     RouterFault,
+    StorageFault,
 )
 
 __all__ = [
     "FaultInjector",
     "FaultPlan",
+    "GossipFault",
+    "GOSSIP_FAULT_KINDS",
     "PoolFault",
     "POOL_FAULT_KINDS",
     "RadioFault",
     "RADIO_FAULT_KINDS",
     "RouterFault",
     "ROUTER_FAULT_KINDS",
+    "StorageFault",
+    "STORAGE_FAULT_KINDS",
     "corrupt_frame",
 ]

@@ -174,10 +174,17 @@ class FaultInjector:
 
     # -- router ---------------------------------------------------------
 
+    #: Router fault kinds that need scenario-level lifecycle support
+    #: (arm_crashes), not a live MeshRouter reference.
+    CRASH_KINDS = ("kill", "restart")
+
     def arm_router(self, router: "MeshRouter",
                    loop: "Optional[EventLoop]" = None) -> None:
-        """Schedule (or immediately fire) matching router faults."""
+        """Schedule (or immediately fire) matching router faults
+        (kill/restart are lifecycle faults -- see :meth:`arm_crashes`)."""
         for fault in self.plan.router:
+            if fault.kind in self.CRASH_KINDS:
+                continue
             if fault.router_id is not None \
                     and fault.router_id != router.router_id:
                 continue
@@ -239,6 +246,62 @@ class FaultInjector:
             gossip.rejoin(router_id)
         self._note(fault.kind)
 
+    # -- crash / storage lifecycle faults --------------------------------
+
+    def arm_crashes(self, scenario) -> None:
+        """Schedule kill/restart router faults and storage fsync-loss
+        events against a durable-enabled scenario.
+
+        These are *lifecycle* faults: a kill destroys the in-memory
+        router object and a restart rebuilds a new one from its
+        journal, so they route through the scenario (which owns the
+        stores and the sim wrappers), not a ``MeshRouter`` reference
+        that would dangle after the first kill.
+        """
+        crash_faults = [fault for fault in self.plan.router
+                        if fault.kind in self.CRASH_KINDS]
+        if not crash_faults and not self.plan.storage:
+            return
+        if not getattr(scenario, "supports_crashes", False):
+            raise FaultInjectionError(
+                "plan contains kill/restart or storage faults but the "
+                "scenario was not built with durable=True")
+        loop = scenario.loop
+        for fault in crash_faults:
+            targets = ([fault.router_id] if fault.router_id is not None
+                       else list(scenario.sim_routers))
+            for router_id in targets:
+                if router_id not in scenario.sim_routers:
+                    raise FaultInjectionError(
+                        f"crash fault names unknown router {router_id!r}")
+                loop.schedule(fault.at, self._make_crash_firing(
+                    scenario, fault.kind, router_id))
+        for fault in self.plan.storage:
+            targets = ([fault.router_id] if fault.router_id is not None
+                       else list(scenario.sim_routers))
+            for router_id in targets:
+                if router_id not in scenario.sim_routers:
+                    raise FaultInjectionError(
+                        f"storage fault names unknown router "
+                        f"{router_id!r}")
+                loop.schedule(fault.at, self._make_storage_firing(
+                    scenario, router_id))
+
+    def _make_crash_firing(self, scenario, kind: str, router_id: str):
+        def fire() -> None:
+            if kind == "kill":
+                scenario.kill_router(router_id)
+            else:
+                scenario.restart_router(router_id)
+            self._note(kind)
+        return fire
+
+    def _make_storage_firing(self, scenario, router_id: str):
+        def fire() -> None:
+            scenario.lose_unsynced(router_id)
+            self._note("fsync_loss")
+        return fire
+
     # -- scenario convenience -------------------------------------------
 
     def arm_scenario(self, scenario) -> None:
@@ -250,6 +313,7 @@ class FaultInjector:
             self.arm_router(sim_router.router, loop=scenario.loop)
         if getattr(scenario, "gossip", None) is not None:
             self.arm_gossip(scenario.gossip, loop=scenario.loop)
+        self.arm_crashes(scenario)
 
     def snapshot(self) -> Dict[str, int]:
         """Copy of the per-kind injected-fault tallies."""

@@ -27,11 +27,16 @@ RADIO_FAULT_KINDS = ("drop", "duplicate", "corrupt", "delay", "reorder")
 #: Verifier-pool fault kinds, applied to worker processes.
 POOL_FAULT_KINDS = ("kill_worker", "hang_worker")
 
-#: Router fault kinds, applied to the NO secure channel / list state.
-ROUTER_FAULT_KINDS = ("sever_channel", "restore_channel", "stale_lists")
+#: Router fault kinds, applied to the NO secure channel / list state
+#: ("kill"/"restart" additionally need a durable-enabled scenario).
+ROUTER_FAULT_KINDS = ("sever_channel", "restore_channel", "stale_lists",
+                      "kill", "restart")
 
 #: Gossip fault kinds, applied to the epidemic-distribution overlay.
 GOSSIP_FAULT_KINDS = ("isolate", "rejoin")
+
+#: Storage fault kinds, applied to a router's durable journal backend.
+STORAGE_FAULT_KINDS = ("fsync_loss",)
 
 
 @dataclass(frozen=True)
@@ -120,8 +125,11 @@ class RouterFault:
     ``sever_channel`` / ``restore_channel`` flip the operator secure
     channel (degraded mode); ``stale_lists`` silently skips refreshes
     by severing without marking -- modelled as a plain sever here, the
-    distinction being which routers the plan names.  ``router_id`` of
-    ``None`` matches every armed router.
+    distinction being which routers the plan names.  ``kill`` crashes
+    the router process (it vanishes from the mesh; its in-memory state
+    is gone) and ``restart`` boots it back up from its durable journal
+    -- both require a scenario built with ``durable=True``.
+    ``router_id`` of ``None`` matches every armed router.
     """
 
     kind: str
@@ -162,6 +170,30 @@ class GossipFault:
 
 
 @dataclass(frozen=True)
+class StorageFault:
+    """One fault against a router's durable storage backend.
+
+    ``fsync_loss`` models a power cut racing the page cache: every
+    journal byte appended since the backend's last ``sync`` is dropped
+    (:meth:`~repro.core.durable.MemoryStorage.lose_unsynced`), so a
+    subsequent restart recovers an older-but-consistent state.
+    ``router_id`` of ``None`` hits every durable store in the scenario.
+    """
+
+    kind: str
+    at: float = 0.0
+    router_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown storage fault kind {self.kind!r} "
+                f"(want one of {STORAGE_FAULT_KINDS})")
+        if self.at < 0:
+            raise FaultInjectionError("storage fault time must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded chaos specification.
 
@@ -175,17 +207,19 @@ class FaultPlan:
     pool: Tuple[PoolFault, ...] = ()
     router: Tuple[RouterFault, ...] = ()
     gossip: Tuple[GossipFault, ...] = ()
+    storage: Tuple[StorageFault, ...] = ()
 
     def __post_init__(self) -> None:
         # Normalize lists to tuples so plans stay hashable/frozen.
-        for name in ("radio", "pool", "router", "gossip"):
+        for name in ("radio", "pool", "router", "gossip", "storage"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
 
     @property
     def empty(self) -> bool:
-        return not (self.radio or self.pool or self.router or self.gossip)
+        return not (self.radio or self.pool or self.router or self.gossip
+                    or self.storage)
 
     def describe(self) -> str:
         """One-line human summary (logged by chaos harnesses)."""
@@ -194,4 +228,5 @@ class FaultPlan:
         parts += [f"pool:{f.kind}@t={f.at:g}" for f in self.pool]
         parts += [f"router:{f.kind}@t={f.at:g}" for f in self.router]
         parts += [f"gossip:{f.kind}@t={f.at:g}" for f in self.gossip]
+        parts += [f"storage:{f.kind}@t={f.at:g}" for f in self.storage]
         return " ".join(parts)

@@ -21,14 +21,28 @@ push-pull anti-entropy on the sim clock:
   replayable), modelling the lossy mesh links the paper's setting
   assumes.
 
+**Shard-checkpoint warm-up** (``checkpoints=True``): after the list
+reconcile, each side offers its signed
+:class:`~repro.core.revocation.TagCheckpoint` to a peer whose epoch-tag
+cache is cold (a restarted or newly joined router), so the peer warms
+its :class:`~repro.core.revocation.RevocationTagCache` from one
+exchange instead of re-deriving |URL| pairings.  Adoption runs the full
+PKI chain at the receiving router (certificate validity, CRL, ECDSA
+over the entry set); a tampered checkpoint raises ``CertificateError``
+-- counted in ``gossip.checkpoint.rejected`` -- and the receiver falls
+back to full tag re-derivation.  ``_cut_off`` routers neither serve
+nor adopt checkpoints (E7 again).
+
 Composition with the fault model: routers can be *isolated* from the
 gossip overlay and later *rejoin* (:class:`repro.faults.plan.GossipFault`
 armed through :meth:`repro.faults.injector.FaultInjector.arm_gossip`);
 a revoked (``_cut_off``) router keeps its stale lists -- adoption is
 refused at the router, preserving the E7 phishing-window behaviour.
-Counters: ``gossip.rounds_total``, ``gossip.exchanges_total``,
-``gossip.deltas_applied_total``, ``gossip.full_syncs_total``,
-``gossip.losses_total``.
+A killed/restarted router is swapped in with
+:meth:`ListGossip.replace_router`.  Counters: ``gossip.rounds_total``,
+``gossip.exchanges_total``, ``gossip.deltas_applied_total``,
+``gossip.full_syncs_total``, ``gossip.losses_total``, plus the
+``gossip.checkpoint.*`` family.
 """
 
 from __future__ import annotations
@@ -49,7 +63,8 @@ class ListGossip:
                  round_period: float = 30.0, fanout: int = 2,
                  loss_probability: float = 0.0,
                  rng: Optional[random.Random] = None,
-                 peers: Optional[Dict[str, List[str]]] = None) -> None:
+                 peers: Optional[Dict[str, List[str]]] = None,
+                 checkpoints: bool = False) -> None:
         if round_period <= 0:
             raise SimulationError("gossip round_period must be positive")
         if fanout < 1:
@@ -79,13 +94,28 @@ class ListGossip:
                               if peer != router_id]
             self._peers[router_id] = sorted(candidates)
         self._isolated: set = set()
+        self.checkpoints = checkpoints
+        #: Chaos hook: callable mutating a checkpoint in flight
+        #: (tamper-in-transit tests); None passes it through verbatim.
+        self.checkpoint_filter = None
         self.rounds = 0
         self.exchanges = 0
         self.deltas_applied = 0
         self.full_syncs = 0
         self.losses = 0
+        self.checkpoints_offered = 0
+        self.checkpoints_adopted = 0
+        self.checkpoints_rejected = 0
 
     # -- fault hooks --------------------------------------------------------
+
+    def replace_router(self, router: MeshRouter) -> None:
+        """Swap in a restarted router object under its existing id
+        (the overlay topology and isolation state are unchanged)."""
+        if router.router_id not in self.routers:
+            raise SimulationError(
+                f"unknown gossip router {router.router_id!r}")
+        self.routers[router.router_id] = router
 
     def isolate(self, router_id: str) -> None:
         """Sever a router from the overlay (both directions)."""
@@ -145,6 +175,9 @@ class ListGossip:
         self._reconcile(source=initiator, target=peer)
         # ...pull: and the peer lifts the initiator back.
         self._reconcile(source=peer, target=initiator)
+        if self.checkpoints:
+            self._offer_checkpoint(source=initiator, target=peer)
+            self._offer_checkpoint(source=peer, target=initiator)
 
     def _reconcile(self, source: MeshRouter, target: MeshRouter) -> None:
         """Move ``source``'s fresher lists into ``target``.
@@ -201,6 +234,41 @@ class ListGossip:
             else:
                 self.full_syncs += 1
                 obs.counter("gossip.full_syncs_total")
+
+    def _offer_checkpoint(self, source: MeshRouter,
+                          target: MeshRouter) -> None:
+        """Warm ``target``'s tag cache from ``source``'s checkpoint.
+
+        Offered only when both ends run the sharded path on the same
+        epoch and the target's cache is actually cold -- a checkpoint
+        is pure optimization, so an up-to-date peer costs nothing.
+        The target performs the full verification chain; rejection
+        (``CertificateError``) leaves its cache untouched and the next
+        shard build re-derives the tags it is missing.
+        """
+        src_state = source.revocation_state
+        dst_state = target.revocation_state
+        if src_state is None or dst_state is None:
+            return
+        if src_state.epoch != dst_state.epoch:
+            return
+        if target.tag_warm_fraction() >= 1.0:
+            return
+        checkpoint = source.make_tag_checkpoint()
+        if checkpoint is None:
+            return
+        if self.checkpoint_filter is not None:
+            checkpoint = self.checkpoint_filter(checkpoint)
+        self.checkpoints_offered += 1
+        obs.counter("gossip.checkpoint.offered")
+        try:
+            adopted = target.adopt_tag_checkpoint(checkpoint)
+        except CertificateError:
+            # The router already counted gossip.checkpoint.rejected.
+            self.checkpoints_rejected += 1
+            return
+        if adopted:
+            self.checkpoints_adopted += 1
 
     # -- convergence --------------------------------------------------------
 

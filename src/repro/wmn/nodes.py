@@ -33,7 +33,7 @@ from repro.core.protocols.user_router import Retransmitter, RetryPolicy
 from repro.core.router import MeshRouter
 from repro.core.user import NetworkUser
 from repro.errors import DegradedModeError, ProtocolError, ReproError, \
-    SessionError
+    SessionError, SimulationError
 from repro.wmn.costmodel import CostModel
 from repro.wmn.radio import Frame, Position, RadioMedium
 from repro.wmn.simclock import EventLoop
@@ -141,16 +141,50 @@ class SimMeshRouter(SimNode):
             "forward_failed": 0, "downlinks_sent": 0,
         }
         self.handshake_waits: List[float] = []
+        self.crashed = False
         loop.schedule_every(beacon_interval, self._beacon,
                             jitter_rng=self.rng)
-        loop.schedule_every(list_refresh_period, self.router.refresh_lists,
+        # NOT ``self.router.refresh_lists``: a restart swaps the router
+        # object, and a bound method would keep refreshing the dead one.
+        loop.schedule_every(list_refresh_period, self._refresh_lists,
                             jitter_rng=self.rng)
         if backbone is not None:
             backbone.attach_router(self.node_id, self._on_backbone_frame)
 
+    # -- crash / restart lifecycle ----------------------------------------
+
+    def crash(self) -> None:
+        """Kill this router: radio deaf, CPU dark, queue gone.
+
+        The ``MeshRouter`` object is abandoned (its in-memory sessions,
+        caches, and duplicate-suppression state die with it); whatever
+        it journaled through its durable store is all a restart gets.
+        """
+        self.crashed = True
+        self._queue.clear()
+        self._cpu_draining = False
+        self._session_nodes.clear()
+        self.metrics["crashes"] = self.metrics.get("crashes", 0) + 1
+
+    def restart(self, router: MeshRouter) -> None:
+        """Boot back up with ``router`` (recovered from durable state)."""
+        if router.router_id != self.node_id:
+            raise SimulationError(
+                f"restarting {self.node_id} with router object "
+                f"{router.router_id!r}")
+        self.router = router
+        self.crashed = False
+        self.metrics["restarts"] = self.metrics.get("restarts", 0) + 1
+
+    def _refresh_lists(self) -> None:
+        if not self.crashed:
+            self.router.refresh_lists()
+
     # -- beaconing ------------------------------------------------------
 
     def _beacon(self) -> None:
+        if self.crashed:
+            return
         try:
             beacon = self.router.make_beacon()
         except DegradedModeError:
@@ -164,6 +198,8 @@ class SimMeshRouter(SimNode):
     # -- frame intake ---------------------------------------------------
 
     def deliver(self, frame: Frame) -> None:
+        if self.crashed:
+            return
         if frame.dst not in (None, self.node_id):
             return
         if frame.kind == "M.2":
@@ -297,6 +333,9 @@ class SimMeshRouter(SimNode):
             self.metrics["forward_failed"] += 1
 
     def _on_backbone_frame(self, frame) -> None:
+        if self.crashed:
+            self.metrics["forward_failed"] += 1
+            return
         from repro.core.wire import Reader
         try:
             reader = Reader(frame.payload)

@@ -8,6 +8,7 @@ Benchmarks E4-E7 and the integration tests are all built on this.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -15,11 +16,13 @@ from typing import Dict, Optional, Tuple
 from repro import obs
 from repro.core.clock import Clock
 from repro.core.deployment import Deployment
+from repro.core.durable import DurableRouterStore, FileStorage, MemoryStorage
 from repro.obs.rollup import TelemetryRollup, to_jsonl
 from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.user_router import RetryPolicy
 from repro.core.revocation import RevocationTagCache, epoch_period
 from repro.core.router import MeshRouter
+from repro.errors import SimulationError
 from repro.wmn.costmodel import CostModel
 from repro.wmn.metrics import (
     HandshakeStats,
@@ -72,6 +75,10 @@ class ScenarioConfig:
     gossip_loss: float = 0.0             # per-exchange loss probability
     sharded_revocation: bool = False     # O(1) epoch-tag revocation path
     revocation_shards: int = 16          # shards when sharding is on
+    durable: bool = False                # journal router state (crashable)
+    durable_dir: Optional[str] = None    # None: in-memory storage backend
+    durable_sync_every: int = 1          # records per fsync (fault surface)
+    gossip_checkpoints: bool = False     # shard-checkpoint warm-up offers
 
 
 class Scenario:
@@ -130,9 +137,12 @@ class Scenario:
                 backbone=self.backbone, directory=self.directory,
                 rng=random.Random(config.seed + _stable_id(router_id)))
             if config.expire_interval is not None:
+                # Read ``sim.router`` at fire time: a restart swaps the
+                # router object, and a bound method captured here would
+                # keep ticking the dead one.
                 self.loop.schedule_every(
                     config.expire_interval,
-                    self.sim_routers[router_id].router.expire)
+                    self._make_expire_tick(self.sim_routers[router_id]))
 
         # Epidemic CRL/URL distribution over the backbone adjacency.
         self.gossip: Optional[ListGossip] = None
@@ -147,20 +157,45 @@ class Scenario:
                 fanout=config.gossip_fanout,
                 loss_probability=config.gossip_loss,
                 rng=random.Random(config.seed + 0x60551),
-                peers=peers)
+                peers=peers,
+                checkpoints=config.gossip_checkpoints)
             self.gossip.start()
 
         # Sharded revocation: every router gets the O(1) epoch-tag
-        # check (one tag cache shared process-wide -- tags are public),
-        # every user signs under the matching epoch period.
+        # check, every user signs under the matching epoch period.  In
+        # a durable scenario each router owns its cache (a crash must
+        # actually lose it -- that coldness is what checkpoint warm-up
+        # recovers); otherwise one cache is shared process-wide (tags
+        # are public).
+        self.tag_caches: Dict[str, RevocationTagCache] = {}
         if config.sharded_revocation:
-            shared_cache = RevocationTagCache()
-            for sim in self.sim_routers.values():
+            shared_cache = None if config.durable else RevocationTagCache()
+            for router_id, sim in self.sim_routers.items():
+                cache = (RevocationTagCache() if config.durable
+                         else shared_cache)
+                self.tag_caches[router_id] = cache
                 sim.router.enable_sharded_revocation(
-                    num_shards=config.revocation_shards, cache=shared_cache)
+                    num_shards=config.revocation_shards, cache=cache)
             period = epoch_period(self.deployment.operator.gpk.epoch)
             for user in self.deployment.users.values():
                 user.auth_period = period
+
+        # Durable journals: attached last so the initial snapshot
+        # already carries the sharded checkpoint state.
+        self.durable_stores: Dict[str, DurableRouterStore] = {}
+        self._incarnations: Dict[str, int] = {}
+        if config.durable:
+            for router_id, sim in self.sim_routers.items():
+                if config.durable_dir is not None:
+                    storage = FileStorage(os.path.join(
+                        config.durable_dir, f"{router_id}.journal"))
+                else:
+                    storage = MemoryStorage()
+                store = DurableRouterStore(
+                    storage, router_id,
+                    sync_every=config.durable_sync_every)
+                sim.router.attach_durable(store)
+                self.durable_stores[router_id] = store
 
         user_class = RelayUser if config.relay_capable else SimUser
         self.sim_users: Dict[str, SimUser] = {}
@@ -189,6 +224,83 @@ class Scenario:
                     rng=random.Random(config.seed * 7 + len(self.walkers)))
                 walker.start()
                 self.walkers[user_id] = walker
+
+    @staticmethod
+    def _make_expire_tick(sim: SimMeshRouter):
+        def tick() -> None:
+            if not sim.crashed:
+                sim.router.expire()
+        return tick
+
+    # -- crash / restart lifecycle -----------------------------------------
+
+    @property
+    def supports_crashes(self) -> bool:
+        """Kill/restart faults need a journal to restart from."""
+        return self.config.durable
+
+    def kill_router(self, router_id: str) -> None:
+        """Crash one router: its in-memory state is gone; only the
+        durable journal survives.  Idempotent on an already-dead one."""
+        sim = self._require_durable(router_id)
+        if sim.crashed:
+            return
+        sim.crash()
+        if self.gossip is not None:
+            self.gossip.isolate(router_id)
+        obs.counter("recovery.kills_total")
+
+    def restart_router(self, router_id: str) -> None:
+        """Boot a killed router back up from its durable journal.
+
+        The new incarnation gets a *fresh* rng stream (a rebooted
+        process does not resume its predecessor's entropy) and -- when
+        the sharded path is on -- a fresh cold cache, pre-warmed only
+        with whatever shard checkpoint the journal carried.  Degraded
+        re-entry is automatic: a router that journaled ``channel_up =
+        False`` comes back degraded, and its recovered lists' age
+        counts from their journaled fetch time.
+        """
+        sim = self._require_durable(router_id)
+        if not sim.crashed:
+            return
+        store = self.durable_stores[router_id]
+        incarnation = self._incarnations.get(router_id, 0) + 1
+        self._incarnations[router_id] = incarnation
+        rng = random.Random(self.config.seed + _stable_id(router_id)
+                            + 7919 * incarnation)
+        cache = None
+        if self.config.sharded_revocation:
+            cache = RevocationTagCache()
+            self.tag_caches[router_id] = cache
+        policy = (self.config.dos_policy_factory()
+                  if self.config.dos_policy_factory else None)
+        with obs.timer("recovery.restart_seconds"):
+            router = MeshRouter.restore(
+                store, self.deployment.operator, clock=self.clock,
+                rng=rng, dos_policy=policy, cache=cache)
+        self.deployment.routers[router_id] = router
+        sim.restart(router)
+        if self.gossip is not None:
+            self.gossip.replace_router(router)
+            self.gossip.rejoin(router_id)
+        obs.counter("recovery.restarts_total")
+
+    def lose_unsynced(self, router_id: str) -> int:
+        """Storage fault: drop this router's unsynced journal tail."""
+        self._require_durable(router_id)
+        lost = self.durable_stores[router_id].storage.lose_unsynced()
+        if lost:
+            obs.counter("durable.fsync_lost_bytes", lost)
+        return lost
+
+    def _require_durable(self, router_id: str) -> SimMeshRouter:
+        if not self.config.durable:
+            raise SimulationError(
+                "crash/storage lifecycle needs a durable=True scenario")
+        if router_id not in self.sim_routers:
+            raise SimulationError(f"unknown router {router_id!r}")
+        return self.sim_routers[router_id]
 
     # -- driving -----------------------------------------------------------
 

@@ -155,7 +155,7 @@ class TestMainExitCodes:
             return json.load(handle)["values"]
 
     def test_smoke_pass_with_identical_fresh_values(self, tmp_path):
-        for slug in ("E4", "revocation_scale"):
+        for slug in ("E4", "revocation_scale", "crash_recovery"):
             self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"
         code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path),
@@ -168,8 +168,8 @@ class TestMainExitCodes:
         values = dict(self._baseline_values("E4"))
         values["bytes_M_2"] = values["bytes_M_2"] + 8   # "grew the wire"
         self._write(str(tmp_path), "E4", values)
-        self._write(str(tmp_path), "revocation_scale",
-                    self._baseline_values("revocation_scale"))
+        for slug in ("revocation_scale", "crash_recovery"):
+            self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"
         code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path),
                                 "--json", str(out)])
@@ -185,7 +185,8 @@ class TestMainExitCodes:
 
     def test_full_mode_checks_all_experiments(self, tmp_path):
         slugs = ("E4", "E2", "handshake_loss", "obs_overhead",
-                 "batch_core", "parallel_verify", "revocation_scale")
+                 "batch_core", "parallel_verify", "revocation_scale",
+                 "crash_recovery")
         for slug in slugs:
             self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"

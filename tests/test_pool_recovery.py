@@ -180,3 +180,57 @@ class TestTimeoutRegression:
                 results = pool.verify_batch(chaos_batch)
         assert [outcome_key(r) for r in results] == expected
         assert ops.snapshot() == expected_ops
+
+
+class TestRespawnBackoff:
+    """Satellite: capped backoff between respawns of one submission.
+
+    A crash-looping worker set (every chunk "times out" instantly)
+    must walk through its ``max_worker_restarts`` budget -- first
+    respawn immediate, later ones delayed on a doubling, capped
+    schedule -- instead of spinning through spawn/kill cycles, and
+    still deliver serial-identical results.
+    """
+
+    def test_crash_loop_exhausts_budget_with_backoff(
+            self, gpk, url_tokens, chaos_batch):
+        expected, expected_ops = serial_reference(
+            gpk, url_tokens, chaos_batch)
+        with VerifierPool(gpk, url_tokens, processes=2, chunk_size=2,
+                          task_timeout=0.0, max_worker_restarts=2,
+                          respawn_backoff=0.01,
+                          max_respawn_backoff=0.04) as pool, \
+                obs.collecting() as registry:
+            with instrument.count_operations() as ops:
+                results = pool.verify_batch(chaos_batch)
+            assert registry.counter_value(
+                "pool.respawn_backoffs_total") == 1
+        assert [outcome_key(r) for r in results] == expected
+        assert ops.snapshot() == expected_ops
+        # Budget exhausted exactly, never exceeded, and the delays
+        # followed the schedule: respawn 1 free, respawn 2 backed off.
+        assert pool.worker_restarts == 2
+        assert not pool.is_parallel
+        assert pool.respawn_delays == [0.0, 0.01]
+
+    def test_backoff_schedule_doubles_and_caps(self, gpk, url_tokens):
+        pool = VerifierPool(gpk, url_tokens, processes=0,
+                            respawn_backoff=0.05,
+                            max_respawn_backoff=0.2)
+        try:
+            delays = [pool._next_respawn_delay() for _ in range(5)]
+            assert delays == [0.0, 0.05, 0.1, 0.2, 0.2]
+            # verify_batch resets the schedule per submission, so a
+            # healthy batch is never taxed for an earlier sick one.
+            pool._batch_respawns = 0
+            assert pool._next_respawn_delay() == 0.0
+        finally:
+            pool.close()
+
+    def test_zero_backoff_disables_delays(self, gpk, url_tokens,
+                                          chaos_batch):
+        with VerifierPool(gpk, url_tokens, processes=2, chunk_size=2,
+                          task_timeout=0.0, max_worker_restarts=1,
+                          respawn_backoff=0.0) as pool:
+            pool.verify_batch(chaos_batch)
+        assert all(d == 0.0 for d in pool.respawn_delays)
