@@ -30,9 +30,9 @@ hold is recorded as skipped, not passed.
 Modes:
 
 * ``--smoke``  -- E4 (TEST-preset message sizes) plus the
-  ``revocation_scale`` and ``crash_recovery`` scale/identity gates,
-  all deterministic and fast (seconds).  This is the CI pull-request
-  gate.
+  ``revocation_scale``, ``crash_recovery``, and ``health_detection``
+  scale/identity/detection gates, all deterministic and fast
+  (seconds).  This is the CI pull-request gate.
 * default      -- the smoke slugs plus E2 (SS512 operation counts;
   slower), the virtual-time handshake-loss sweep (exact completion
   counts), the obs overhead boolean, and the two batch-verification
@@ -73,6 +73,8 @@ BENCH_TARGETS: Dict[str, List[str]] = {
         "benchmarks/bench_revocation_scale.py::test_revocation_scale"],
     "crash_recovery": [
         "benchmarks/bench_crash_recovery.py::test_crash_recovery"],
+    "health_detection": [
+        "benchmarks/bench_health_detection.py::test_health_detection"],
 }
 
 #: slug -> rule-key -> rule.  A rule is ``{"kind": "exact"}``,
@@ -190,6 +192,22 @@ GATES: Dict[str, Dict[str, dict]] = {
         "warmup_num_shards": {"kind": "exact"},
         "required_warmup_speedup": {"kind": "exact"},
     },
+    # Health observatory (ISSUE 10 acceptance): every injected router
+    # kill and channel sever detected within two telemetry windows,
+    # zero alerts on the fault-free baseline, bit-identical incident
+    # timelines per seed, and health evaluation costing <= 3% of the
+    # run (a boolean like obs_overhead's, so host noise cannot flake
+    # the gate as long as the ceiling holds).
+    "health_detection": {
+        "all_incidents_detected": {"kind": "exact"},
+        "mttd_windows_le_2": {"kind": "exact"},
+        "baseline_alerts": {"kind": "exact"},
+        "timelines_identical": {"kind": "exact"},
+        "overhead_le_3pct": {"kind": "exact"},
+        "incidents_total": {"kind": "exact"},
+        "incidents_detected": {"kind": "exact"},
+        "chaos_seeds": {"kind": "exact"},
+    },
 }
 
 
@@ -303,10 +321,11 @@ def main(argv=None) -> int:
                         help="write the full comparison result here")
     args = parser.parse_args(argv)
 
-    slugs = (["E4", "revocation_scale", "crash_recovery"] if args.smoke
+    slugs = (["E4", "revocation_scale", "crash_recovery",
+              "health_detection"] if args.smoke
              else ["E4", "E2", "handshake_loss", "obs_overhead",
                    "batch_core", "parallel_verify", "revocation_scale",
-                   "crash_recovery"])
+                   "crash_recovery", "health_detection"])
     results = []
     exit_code = 0
 

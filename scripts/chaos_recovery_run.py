@@ -17,6 +17,11 @@ Artifacts (written into ``--out``):
 * ``telemetry-<seed>.jsonl`` -- windowed telemetry rollups from the
   first run of each seed (handshake outcomes, gossip traffic,
   recovery counters), one JSON object per window.
+* ``incidents-<seed>.jsonl`` -- fault-correlated incident timelines
+  with MTTD/MTTR from the health observatory, one JSON object per
+  incident.  The incident list and the injector's fault-event log are
+  part of the replay fingerprint, so detection timing diverging
+  between runs also fails the job.
 
 Usage: python scripts/chaos_recovery_run.py [--out DIR] [--seeds 101,202]
 """
@@ -63,7 +68,8 @@ def build_scenario(seed: int) -> Scenario:
         sharded_revocation=True,
         gossip_period=20.0,
         gossip_checkpoints=True,
-        telemetry_window=30.0))
+        telemetry_window=30.0,
+        health=True))
     for user in scenario.sim_users.values():
         user.connect_timeout = 60.0
     return scenario
@@ -97,8 +103,11 @@ def run_once(seed: int):
                        for rid, sim in scenario.sim_routers.items()
                        if sim.router.recovery is not None},
         "injected": injector.snapshot(),
+        "fault_events": injector.events_snapshot(),
+        "incidents": scenario.incidents(injector),
+        "alerts": scenario.alert_events(),
     }
-    return fingerprint, scenario
+    return fingerprint, scenario, injector
 
 
 def main(argv=None) -> int:
@@ -118,8 +127,8 @@ def main(argv=None) -> int:
     summary = {"duration": DURATION, "seeds": seeds, "runs": {}}
     ok = True
     for seed in seeds:
-        first, scenario = run_once(seed)
-        second, _ = run_once(seed)
+        first, scenario, injector = run_once(seed)
+        second, _, _ = run_once(seed)
         identical = first == second
         ok &= identical
         summary["runs"][str(seed)] = {
@@ -132,11 +141,16 @@ def main(argv=None) -> int:
         path = os.path.join(args.out, f"telemetry-{seed}.jsonl")
         with open(path, "w") as handle:
             handle.write(telemetry)
+        path = os.path.join(args.out, f"incidents-{seed}.jsonl")
+        with open(path, "w") as handle:
+            handle.write(scenario.incidents_jsonl(injector))
+        detected = sum(1 for i in first["incidents"] if i["detected"])
         status = "identical" if identical else "DIVERGED"
         print(f"chaos-recovery: seed {seed}: {status} "
               f"({first['injected']} faults, "
               f"{len(first['recoveries'])} recoveries, "
-              f"connected {first['connected']:.2f})")
+              f"{detected}/{len(first['incidents'])} incidents "
+              f"detected, connected {first['connected']:.2f})")
 
     summary["ok"] = ok
     with open(os.path.join(args.out, "recovery-summary.json"),

@@ -59,6 +59,27 @@ if [ -n "$bytecode" ]; then
     exit 1
 fi
 
+# Orphaned bytecode: a .pyc whose source .py is gone (e.g. a module
+# was renamed or deleted) still imports happily from __pycache__,
+# masking broken imports locally that CI's clean checkout will catch.
+# Fail on any cached .pyc with no matching source file.
+orphans=$(find src tests benchmarks -name '*.pyc' 2>/dev/null \
+          | while read -r pyc; do
+              base=$(basename "$pyc")
+              module=${base%%.*}
+              case "$pyc" in
+                  */__pycache__/*) src_dir=$(dirname "$(dirname "$pyc")") ;;
+                  *) src_dir=$(dirname "$pyc") ;;
+              esac
+              [ -f "$src_dir/$module.py" ] || echo "$pyc"
+          done)
+if [ -n "$orphans" ]; then
+    echo "lint: orphaned bytecode without matching .py source (run:" >&2
+    echo "      rm <paths>):" >&2
+    echo "$orphans" >&2
+    exit 1
+fi
+
 scratch=$(git ls-files | grep -E '^benchmarks/reports/' || true)
 if [ -n "$scratch" ]; then
     echo "lint: committed benchmark scratch output (run:" >&2

@@ -50,6 +50,16 @@ if [ "$mode" = "smoke" ]; then
              rm -f /tmp/obs-smoke.$$; exit 1; }
     rm -f /tmp/obs-smoke.$$
     echo "tier1.sh: obs-report smoke OK"
+    # Health observatory smoke: the seeded chaos scenario must detect
+    # its injected faults and render incident timelines.
+    python -m repro obs-report --format incidents > /tmp/obs-smoke.$$ \
+        || { echo "tier1.sh: obs-report incidents smoke failed" >&2
+             exit 1; }
+    grep -q "^incident " /tmp/obs-smoke.$$ \
+        || { echo "tier1.sh: obs-report produced no incidents" >&2
+             rm -f /tmp/obs-smoke.$$; exit 1; }
+    rm -f /tmp/obs-smoke.$$
+    echo "tier1.sh: obs-report incidents smoke OK"
     exit 0
 fi
 

@@ -21,6 +21,15 @@ can render the stitched causal handshake traces::
     python -m repro obs-report --workload scenario --format traces --top 3
     python -m repro obs-report --workload scenario --format folded \
         --rollup-out rollup.jsonl --folded-out stacks.folded
+
+The ``health`` and ``incidents`` formats run a seeded chaos scenario
+(router kill/restart + operator-channel sever/restore) with the health
+observatory enabled and print the ``/health`` judgment or the
+fault-correlated incident timelines with MTTD/MTTR::
+
+    python -m repro obs-report --format health
+    python -m repro obs-report --format incidents --seed 202 \
+        --incidents-out incidents.jsonl
 """
 
 from __future__ import annotations
@@ -50,27 +59,59 @@ def _obs_report(argv) -> int:
     parser.add_argument("--preset", default="TEST")
     parser.add_argument("--handshakes", type=int, default=4)
     parser.add_argument("--seed", type=int, default=None,
-                        help="default: 7 for demo, 11 for scenario")
-    parser.add_argument("--duration", type=float, default=40.0,
-                        help="scenario: virtual seconds to simulate")
+                        help="default: 7 for demo, 11 for scenario, "
+                             "101 for health/incidents")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="scenario: virtual seconds to simulate "
+                             "(default: 40, or 240 for "
+                             "health/incidents)")
     parser.add_argument("--routers", type=int, default=2)
     parser.add_argument("--users", type=int, default=4)
-    parser.add_argument("--window", type=float, default=10.0,
-                        help="scenario: telemetry rollup window "
-                             "(virtual seconds)")
+    parser.add_argument("--window", type=float, default=None,
+                        help="scenario: telemetry rollup window in "
+                             "virtual seconds (default: 10, or 30 for "
+                             "health/incidents)")
     parser.add_argument("--top", type=int, default=None, metavar="N",
                         help="traces format: only the N slowest traces")
     parser.add_argument("--rollup-out", metavar="PATH",
                         help="scenario: write telemetry rollup JSONL")
     parser.add_argument("--folded-out", metavar="PATH",
                         help="also write folded stacks to PATH")
+    parser.add_argument("--incidents-out", metavar="PATH",
+                        help="health/incidents: write incident "
+                             "timelines as JSONL")
     args = parser.parse_args(argv)
+
+    if args.format in obs_report.SCENARIO_FORMATS:
+        scenario, injector = obs_report.collect_incident_metrics(
+            seed=101 if args.seed is None else args.seed,
+            duration=240.0 if args.duration is None else args.duration,
+            telemetry_window=30.0 if args.window is None
+            else args.window)
+        if args.rollup_out:
+            with open(args.rollup_out, "w") as handle:
+                handle.write(scenario.telemetry_jsonl())
+        if args.incidents_out:
+            with open(args.incidents_out, "w") as handle:
+                handle.write(scenario.incidents_jsonl(injector))
+        if args.format == "health":
+            print(obs_report.render_health(scenario.health_snapshot(),
+                                           scenario.alert_events()),
+                  end="")
+        else:
+            print(obs_report.render_incidents(
+                scenario.incidents(injector)), end="")
+        return 0
+    if args.incidents_out:
+        parser.error("--incidents-out needs --format health|incidents")
 
     if args.workload == "scenario":
         scenario = obs_report.collect_scenario_metrics(
             routers=args.routers, users=args.users,
             seed=11 if args.seed is None else args.seed,
-            duration=args.duration, telemetry_window=args.window)
+            duration=40.0 if args.duration is None else args.duration,
+            telemetry_window=10.0 if args.window is None
+            else args.window)
         snapshot = scenario.registry.snapshot()
         if args.rollup_out:
             with open(args.rollup_out, "w") as handle:

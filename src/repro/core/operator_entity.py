@@ -337,6 +337,15 @@ class NetworkOperator:
             url.version, url.issued_at, url.update_period, url.tokens,
             self.signing_key.sign(url.signed_payload()))
 
+    def list_versions(self) -> Tuple[int, int]:
+        """Current authoritative ``(crl_version, url_version)``.
+
+        The freshest versions any relying party could hold; a
+        router's :meth:`~repro.core.router.MeshRouter.list_versions`
+        lag behind these is its gossip-convergence debt (the health
+        monitor's ``versions_behind`` signal)."""
+        return (self._crl_version, self._url_version)
+
     def issue_crl_delta(self, from_version: int,
                         now: Optional[float] = None) -> Optional[CrlDelta]:
         """Delta from a past CRL version to the current one, or ``None``.

@@ -11,7 +11,11 @@ exception.  This package drives those conditions on demand:
   storage fsync-loss);
 * :class:`FaultInjector` -- arms a plan against live targets, drawing
   every probabilistic choice from ``random.Random(plan.seed)`` on the
-  simulator's virtual clock, so chaos runs replay bit-for-bit.
+  simulator's virtual clock, so chaos runs replay bit-for-bit;
+* :class:`FaultEvent` -- the injector's structured log of every
+  discrete fault firing (kind, target router, virtual time): the
+  ground truth that :mod:`repro.obs.health` correlates alert firings
+  and health transitions against to measure MTTD/MTTR.
 
 The invariant the chaos suites assert: under any plan, a handshake
 either completes with outcomes identical to the fault-free run, or
@@ -19,7 +23,7 @@ fails closed with a typed :mod:`repro.errors` subclass -- never a
 hang, crash, or silent partial session.
 """
 
-from repro.faults.injector import FaultInjector, corrupt_frame
+from repro.faults.injector import FaultEvent, FaultInjector, corrupt_frame
 from repro.faults.plan import (
     GOSSIP_FAULT_KINDS,
     POOL_FAULT_KINDS,
@@ -35,6 +39,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "GossipFault",

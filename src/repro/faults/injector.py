@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import random
 import signal
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro import obs
@@ -61,12 +62,36 @@ def corrupt_frame(frame: Frame, rng: random.Random) -> Frame:
                  src=frame.src, dst=frame.dst, trace=frame.trace)
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One discrete injected fault, as ground truth for correlation.
+
+    The injector appends one event per *lifecycle* fault firing
+    (router sever/restore/kill/restart, gossip isolate/rejoin, pool
+    kill/hang, storage fsync loss) with the virtual-time instant it
+    fired and the router it targeted -- the record the incident
+    correlator joins alert firings and health transitions against.
+    Per-frame radio faults are deliberately not logged here (they are
+    continuous noise, tallied in ``counts``/``faults.injected.*``,
+    not discrete incidents).
+    """
+
+    kind: str
+    target: Optional[str] = None
+    t: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "target": self.target,
+                "t": self.t}
+
+
 class FaultInjector:
     """Executes one :class:`FaultPlan` deterministically.
 
-    One injector serves one run: it owns the plan's RNG stream and the
-    per-kind tallies.  Arm it against as many targets as the plan
-    names; re-arming the radio replaces any previous filter.
+    One injector serves one run: it owns the plan's RNG stream, the
+    per-kind tallies, and the structured :class:`FaultEvent` log.
+    Arm it against as many targets as the plan names; re-arming the
+    radio replaces any previous filter.
     """
 
     def __init__(self, plan: FaultPlan,
@@ -74,11 +99,19 @@ class FaultInjector:
         self.plan = plan
         self.rng = rng if rng is not None else random.Random(plan.seed)
         self.counts: Dict[str, int] = {}
+        self.events: List[FaultEvent] = []
         self._armed_at: Optional[float] = None
+        self._loop: "Optional[EventLoop]" = None
 
     def _note(self, kind: str, amount: int = 1) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + amount
         obs.counter(f"faults.injected.{kind}", amount)
+
+    def _event(self, kind: str, target: Optional[str] = None) -> None:
+        """Log one discrete fault firing at the loop's current
+        virtual time (0.0 when armed without a loop)."""
+        now = self._loop.now if self._loop is not None else 0.0
+        self.events.append(FaultEvent(kind=kind, target=target, t=now))
 
     # -- radio ----------------------------------------------------------
 
@@ -89,6 +122,7 @@ class FaultInjector:
         current virtual time).
         """
         self._armed_at = medium.loop.now
+        self._loop = medium.loop
 
         def fault_filter(frame: Frame, receiver_id: str,
                          base_delay: float
@@ -144,6 +178,8 @@ class FaultInjector:
     def arm_pool(self, pool: "VerifierPool",
                  loop: "Optional[EventLoop]" = None) -> None:
         """Schedule (or immediately fire) this plan's pool faults."""
+        if loop is not None:
+            self._loop = loop
         for fault in self.plan.pool:
             if loop is not None and fault.at > 0:
                 loop.schedule(fault.at,
@@ -168,9 +204,13 @@ class FaultInjector:
                 except (OSError, ProcessLookupError):  # already gone
                     continue
                 self._note("kill_worker")
+                # No target: worker pids are host-assigned, and the
+                # event log must stay bit-identical across replays.
+                self._event("kill_worker")
             return
         if pool.inject_worker_hang(fault.hang_seconds):
             self._note("hang_worker")
+            self._event("hang_worker")
 
     # -- router ---------------------------------------------------------
 
@@ -182,6 +222,8 @@ class FaultInjector:
                    loop: "Optional[EventLoop]" = None) -> None:
         """Schedule (or immediately fire) matching router faults
         (kill/restart are lifecycle faults -- see :meth:`arm_crashes`)."""
+        if loop is not None:
+            self._loop = loop
         for fault in self.plan.router:
             if fault.kind in self.CRASH_KINDS:
                 continue
@@ -209,6 +251,7 @@ class FaultInjector:
         else:  # stale_lists: refreshes silently do nothing
             router.set_refresh_silent_failure(True)
         self._note(fault.kind)
+        self._event(fault.kind, target=router.router_id)
 
     # -- gossip overlay --------------------------------------------------
 
@@ -218,6 +261,8 @@ class FaultInjector:
 
         ``router_id`` of ``None`` matches every router in the overlay.
         """
+        if loop is not None:
+            self._loop = loop
         for fault in self.plan.gossip:
             targets = ([fault.router_id] if fault.router_id is not None
                        else list(gossip.routers))
@@ -245,6 +290,7 @@ class FaultInjector:
         else:
             gossip.rejoin(router_id)
         self._note(fault.kind)
+        self._event(fault.kind, target=router_id)
 
     # -- crash / storage lifecycle faults --------------------------------
 
@@ -267,6 +313,7 @@ class FaultInjector:
                 "plan contains kill/restart or storage faults but the "
                 "scenario was not built with durable=True")
         loop = scenario.loop
+        self._loop = loop
         for fault in crash_faults:
             targets = ([fault.router_id] if fault.router_id is not None
                        else list(scenario.sim_routers))
@@ -294,12 +341,14 @@ class FaultInjector:
             else:
                 scenario.restart_router(router_id)
             self._note(kind)
+            self._event(kind, target=router_id)
         return fire
 
     def _make_storage_firing(self, scenario, router_id: str):
         def fire() -> None:
             scenario.lose_unsynced(router_id)
             self._note("fsync_loss")
+            self._event("fsync_loss", target=router_id)
         return fire
 
     # -- scenario convenience -------------------------------------------
@@ -318,3 +367,13 @@ class FaultInjector:
     def snapshot(self) -> Dict[str, int]:
         """Copy of the per-kind injected-fault tallies."""
         return dict(self.counts)
+
+    def events_snapshot(self) -> List[Dict[str, object]]:
+        """The discrete fault-event log as plain dicts, firing order.
+
+        This is the chaos run's *ground truth*: the incident
+        correlator (:func:`repro.obs.health.correlate_incidents`)
+        joins health transitions and alert firings against it, and
+        the replay-identity harnesses fingerprint it (the log is a
+        pure function of plan + scenario seed)."""
+        return [event.to_dict() for event in self.events]

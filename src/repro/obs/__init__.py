@@ -41,6 +41,17 @@ in one registry (every mutation takes the registry's lock).
 """
 
 from repro.obs.export import to_json, to_prometheus
+from repro.obs.health import (
+    AlertEngine,
+    AlertRule,
+    HealthMonitor,
+    HealthPolicy,
+    RouterSignals,
+    correlate_incidents,
+    default_metro_rules,
+    incidents_to_jsonl,
+    render_incidents,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Histogram,
@@ -59,18 +70,27 @@ from repro.obs.registry import (
 from repro.obs.spans import SpanRecord, TraceContext
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "DEFAULT_LATENCY_BUCKETS",
+    "HealthMonitor",
+    "HealthPolicy",
     "Histogram",
     "MetricsRegistry",
+    "RouterSignals",
     "SpanRecord",
     "TraceContext",
     "active",
     "collecting",
+    "correlate_incidents",
     "counter",
+    "default_metro_rules",
     "gauge",
+    "incidents_to_jsonl",
     "install",
     "merge_snapshots",
     "observe",
+    "render_incidents",
     "span",
     "timer",
     "to_json",

@@ -1,0 +1,576 @@
+"""Deterministic health evaluation over telemetry windows.
+
+:class:`~repro.obs.rollup.TelemetryRollup` records *what happened* per
+window; this module turns those records into *judgments*:
+
+* :class:`AlertRule` / :class:`AlertEngine` -- a declarative rule
+  engine (threshold / ratio / absence predicates over one window
+  record, with ``for_windows`` hold-downs) that drives a
+  firing -> resolved alert lifecycle, evaluated once per telemetry
+  roll on the sim clock;
+* :class:`HealthMonitor` -- a per-router state machine
+  (healthy -> degraded -> critical) classified each window from live
+  router signals (crash state, operator-channel loss, CRL/URL
+  staleness, gossip version lag, handshake failure ratios, journal
+  fsync losses) plus mesh-wide signals (verifier-pool worker
+  restarts), exported as ``health.*`` gauges and a ``/health``-shaped
+  snapshot dict that a future service-plane daemon can serve verbatim;
+* :func:`correlate_incidents` -- joins the fault injector's
+  ground-truth :class:`~repro.faults.injector.FaultEvent` log against
+  health transitions and alert firings to produce per-incident
+  timelines with detection latency (MTTD) and recovery time (MTTR).
+
+Everything here is a pure function of the window records and signal
+values it is fed -- no wall-clock reads feed any decision -- so a
+seeded chaos run produces bit-identical alert streams, health
+transitions, and incident timelines on every replay.  (The only
+wall-clock touch is :attr:`AlertEngine.eval_seconds` /
+:attr:`HealthMonitor.eval_seconds`, passive cost accounting for the
+<= 3% evaluation-overhead gate in ``bench_health_detection``.)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: Alert predicate kinds understood by :class:`AlertRule`.
+ALERT_KINDS = ("threshold", "ratio", "absence")
+
+#: Alert severities, mildest first.
+SEVERITIES = ("warning", "critical")
+
+#: Health states, healthiest first (index = numeric gauge level).
+HEALTH_STATES = ("healthy", "degraded", "critical")
+
+_COMPARATORS = {
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    "<": lambda a, b: a < b,
+    "==": lambda a, b: a == b,
+}
+
+
+def window_value(window: Dict[str, object], metric: str
+                 ) -> Optional[float]:
+    """Resolve ``metric`` against one rollup window record.
+
+    Lookup order: counter delta, then gauge level, then histogram
+    field addressed as ``name:field`` (e.g. ``latency_seconds:p95``).
+    ``metric`` may be a ``+``-joined sum of counter/gauge names --
+    missing addends count as 0, but a sum where *every* addend is
+    missing resolves to ``None`` (no signal this window).
+    """
+    parts = [p.strip() for p in metric.split("+")] if "+" in metric \
+        else [metric]
+    total = 0.0
+    seen = False
+    for part in parts:
+        if ":" in part:
+            name, fld = part.rsplit(":", 1)
+            hist = window.get("histograms", {}).get(name)
+            value = None if hist is None else hist.get(fld)
+        else:
+            value = window.get("counters", {}).get(part)
+            if value is None:
+                value = window.get("gauges", {}).get(part)
+        if value is not None:
+            total += float(value)
+            seen = True
+    return total if seen else None
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alert predicate over window records.
+
+    * ``threshold`` -- ``window_value(metric) <op> value``;
+    * ``ratio`` -- ``numerator / denominator <op> value``, with no
+      signal (predicate False) when the denominator resolves below
+      ``min_denominator`` *and* the numerator is silent too (a loud
+      numerator over a silent denominator is a 100% failure rate, not
+      missing data);
+    * ``absence`` -- true when ``metric`` resolves to ``None`` or 0
+      this window (a heartbeat that stopped).
+
+    ``for_windows`` is a hold-down: the predicate must hold for that
+    many *consecutive* windows before the alert fires; one false
+    window resets the streak and resolves a firing alert.
+    """
+
+    name: str
+    kind: str = "threshold"
+    metric: str = ""
+    op: str = ">="
+    value: float = 1.0
+    numerator: str = ""
+    denominator: str = ""
+    min_denominator: float = 1.0
+    for_windows: int = 1
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALERT_KINDS:
+            raise SimulationError(
+                f"unknown alert kind {self.kind!r} "
+                f"(want one of {ALERT_KINDS})")
+        if self.op not in _COMPARATORS:
+            raise SimulationError(
+                f"unknown alert comparator {self.op!r} "
+                f"(want one of {tuple(_COMPARATORS)})")
+        if self.severity not in SEVERITIES:
+            raise SimulationError(
+                f"unknown alert severity {self.severity!r} "
+                f"(want one of {SEVERITIES})")
+        if self.for_windows < 1:
+            raise SimulationError("for_windows must be >= 1")
+        if self.kind in ("threshold", "absence") and not self.metric:
+            raise SimulationError(
+                f"{self.kind} rule {self.name!r} needs a metric")
+        if self.kind == "ratio" \
+                and not (self.numerator and self.denominator):
+            raise SimulationError(
+                f"ratio rule {self.name!r} needs numerator "
+                "and denominator")
+
+    def holds(self, window: Dict[str, object]
+              ) -> Tuple[bool, Optional[float]]:
+        """Evaluate this rule's predicate against one window record;
+        returns ``(holds, observed_value)``."""
+        compare = _COMPARATORS[self.op]
+        if self.kind == "absence":
+            observed = window_value(window, self.metric)
+            return (observed is None or observed == 0), observed
+        if self.kind == "threshold":
+            observed = window_value(window, self.metric)
+            if observed is None:
+                return False, None
+            return compare(observed, self.value), observed
+        numerator = window_value(window, self.numerator) or 0.0
+        denominator = window_value(window, self.denominator) or 0.0
+        if denominator < self.min_denominator:
+            if numerator <= 0:
+                return False, None
+            denominator = max(denominator, numerator)
+        ratio = numerator / denominator
+        return compare(ratio, self.value), ratio
+
+
+class AlertEngine:
+    """Evaluates a rule pack once per window; owns alert lifecycle.
+
+    :meth:`evaluate` returns the *new* lifecycle events of that window
+    (``firing`` / ``resolved`` records as plain dicts); the full
+    ordered history stays in :attr:`events` and the currently firing
+    rule names in :meth:`firing`.
+    """
+
+    def __init__(self, rules: Sequence[AlertRule]) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                f"duplicate alert rule names in pack: {sorted(names)}")
+        self.rules = tuple(rules)
+        self.events: List[Dict[str, object]] = []
+        self.eval_seconds = 0.0
+        self._streaks: Dict[str, int] = {rule.name: 0 for rule in rules}
+        self._firing: Dict[str, bool] = {rule.name: False
+                                         for rule in rules}
+
+    def evaluate(self, window: Dict[str, object]
+                 ) -> List[Dict[str, object]]:
+        """Run every rule against one window record."""
+        started = time.perf_counter()
+        new_events: List[Dict[str, object]] = []
+        for rule in self.rules:
+            holds, observed = rule.holds(window)
+            if holds:
+                self._streaks[rule.name] += 1
+                if not self._firing[rule.name] \
+                        and self._streaks[rule.name] >= rule.for_windows:
+                    self._firing[rule.name] = True
+                    new_events.append(self._event("firing", rule,
+                                                  window, observed))
+            else:
+                self._streaks[rule.name] = 0
+                if self._firing[rule.name]:
+                    self._firing[rule.name] = False
+                    new_events.append(self._event("resolved", rule,
+                                                  window, observed))
+        self.events.extend(new_events)
+        self.eval_seconds += time.perf_counter() - started
+        return new_events
+
+    @staticmethod
+    def _event(lifecycle: str, rule: AlertRule,
+               window: Dict[str, object],
+               observed: Optional[float]) -> Dict[str, object]:
+        return {"event": lifecycle, "rule": rule.name,
+                "severity": rule.severity,
+                "window": int(window.get("index", -1)),
+                "t": float(window.get("t", 0.0)),
+                "observed": observed}
+
+    def firing(self) -> List[str]:
+        """Names of the currently firing rules, rule-pack order."""
+        return [rule.name for rule in self.rules
+                if self._firing[rule.name]]
+
+    def firing_count(self) -> int:
+        return sum(1 for rule in self.rules if self._firing[rule.name])
+
+
+def default_metro_rules() -> Tuple[AlertRule, ...]:
+    """The metro rule pack: every rule is quiet on a fault-free run.
+
+    The two ``health.routers_*`` thresholds piggyback on the
+    :class:`HealthMonitor` gauges (exported *before* the window rolls,
+    so the rule sees the same window that triggered the state), which
+    is what keeps detection inside one telemetry window.
+    """
+    return (
+        AlertRule(name="router-critical", kind="threshold",
+                  metric="health.routers_critical", op=">=", value=1,
+                  severity="critical"),
+        AlertRule(name="router-degraded", kind="threshold",
+                  metric="health.routers_degraded", op=">=", value=1,
+                  severity="warning"),
+        AlertRule(name="handshake-failures", kind="ratio",
+                  numerator="router.degraded_refusals_total",
+                  denominator="router.degraded_refusals_total"
+                              "+user.handshakes_completed_total",
+                  op=">=", value=0.5, min_denominator=4,
+                  severity="warning"),
+        AlertRule(name="journal-fsync-loss", kind="threshold",
+                  metric="durable.fsync_lost_bytes", op=">=", value=1,
+                  severity="warning"),
+        AlertRule(name="pool-worker-restarts", kind="threshold",
+                  metric="pool.worker_restarts", op=">=", value=1,
+                  severity="warning"),
+    )
+
+
+@dataclass(frozen=True)
+class RouterSignals:
+    """One router's raw health inputs at one evaluation instant.
+
+    Counts (``handshakes_*``, ``fsync_lost_bytes``) are *cumulative*;
+    the monitor diffs them against its previous observation itself, so
+    callers just report current totals.
+    """
+
+    router_id: str
+    crashed: bool = False
+    channel_up: bool = True
+    lists_age: float = 0.0
+    staleness_grace: float = 600.0
+    versions_behind: int = 0
+    handshakes_completed: float = 0.0
+    handshakes_rejected: float = 0.0
+    fsync_lost_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Classification thresholds for :class:`HealthMonitor`."""
+
+    failure_ratio_degraded: float = 0.5    # rejected / attempts
+    failure_ratio_critical: float = 0.9
+    min_handshake_samples: int = 4         # below: ratio has no signal
+    versions_behind_degraded: int = 2      # gossip convergence lag
+    stale_fraction_degraded: float = 0.5   # lists_age / staleness_grace
+
+
+class HealthMonitor:
+    """Per-router healthy/degraded/critical classification.
+
+    Call :meth:`observe` once per telemetry window, *before* the
+    rollup rolls, so the exported ``health.*`` gauges land in the same
+    window record the :class:`AlertEngine` then evaluates.  State
+    *changes* are appended to :attr:`transitions` (with the reasons
+    that justified the new state); :attr:`last_snapshot` always holds
+    the latest ``/health``-shaped dict.
+    """
+
+    def __init__(self, policy: Optional[HealthPolicy] = None) -> None:
+        self.policy = policy or HealthPolicy()
+        self.states: Dict[str, str] = {}
+        self.transitions: List[Dict[str, object]] = []
+        self.last_snapshot: Optional[Dict[str, object]] = None
+        self.eval_seconds = 0.0
+        self._prev: Dict[str, RouterSignals] = {}
+        self._prev_pool_restarts = 0.0
+
+    # -- classification -------------------------------------------------
+
+    def _classify(self, sig: RouterSignals
+                  ) -> Tuple[str, List[str]]:
+        """One router's state this window, plus why."""
+        policy = self.policy
+        prev = self._prev.get(sig.router_id)
+        reasons: List[str] = []
+        level = 0
+        if sig.crashed:
+            return "critical", ["router crashed"]
+        if sig.lists_age > sig.staleness_grace:
+            level = max(level, 2)
+            reasons.append(
+                f"CRL/URL past staleness grace "
+                f"(age {sig.lists_age:.0f}s > "
+                f"{sig.staleness_grace:.0f}s)")
+        elif not sig.channel_up and sig.lists_age \
+                > policy.stale_fraction_degraded * sig.staleness_grace:
+            level = max(level, 1)
+            reasons.append(
+                f"CRL/URL staleness {sig.lists_age:.0f}s "
+                "approaching grace with channel down")
+        if not sig.channel_up:
+            level = max(level, 1)
+            reasons.append("operator channel severed (degraded mode)")
+        if sig.versions_behind >= policy.versions_behind_degraded:
+            level = max(level, 1)
+            reasons.append(
+                f"gossip convergence lag: {sig.versions_behind} "
+                "list versions behind the operator")
+        completed = sig.handshakes_completed \
+            - (prev.handshakes_completed if prev else 0.0)
+        rejected = sig.handshakes_rejected \
+            - (prev.handshakes_rejected if prev else 0.0)
+        attempts = completed + rejected
+        if attempts >= policy.min_handshake_samples:
+            ratio = rejected / attempts
+            if ratio >= policy.failure_ratio_critical:
+                level = max(level, 2)
+                reasons.append(
+                    f"handshake failure ratio {ratio:.2f} critical")
+            elif ratio >= policy.failure_ratio_degraded:
+                level = max(level, 1)
+                reasons.append(
+                    f"handshake failure ratio {ratio:.2f} degraded")
+        fsync_lost = sig.fsync_lost_bytes \
+            - (prev.fsync_lost_bytes if prev else 0.0)
+        if fsync_lost > 0:
+            level = max(level, 1)
+            reasons.append(
+                f"journal fsync loss ({fsync_lost:.0f} bytes this "
+                "window)")
+        return HEALTH_STATES[level], reasons
+
+    # -- the per-window evaluation --------------------------------------
+
+    def observe(self, now: float, window_index: int,
+                signals: Iterable[RouterSignals],
+                pool_worker_restarts: float = 0.0,
+                registry=None) -> Dict[str, object]:
+        """Classify every router; export gauges; return the snapshot.
+
+        ``pool_worker_restarts`` is the mesh-wide cumulative restart
+        counter (verification pools are shared infrastructure, not
+        per-router); a restart during the window marks the *mesh*
+        degraded even when every router is individually healthy.
+        """
+        started = time.perf_counter()
+        routers: Dict[str, Dict[str, object]] = {}
+        tally = {state: 0 for state in HEALTH_STATES}
+        worst = 0
+        for sig in sorted(signals, key=lambda s: s.router_id):
+            state, reasons = self._classify(sig)
+            self._prev[sig.router_id] = sig
+            tally[state] += 1
+            worst = max(worst, HEALTH_STATES.index(state))
+            previous = self.states.get(sig.router_id, "healthy")
+            if state != previous:
+                self.transitions.append({
+                    "router": sig.router_id, "from": previous,
+                    "to": state, "t": float(now),
+                    "window": int(window_index), "reasons": reasons})
+            self.states[sig.router_id] = state
+            routers[sig.router_id] = {"state": state,
+                                      "reasons": reasons}
+        pool_delta = pool_worker_restarts - self._prev_pool_restarts
+        self._prev_pool_restarts = pool_worker_restarts
+        mesh_reasons: List[str] = []
+        if pool_delta > 0:
+            worst = max(worst, 1)
+            mesh_reasons.append(
+                f"{pool_delta:.0f} verifier-pool worker restarts "
+                "this window")
+        snapshot: Dict[str, object] = {
+            "status": HEALTH_STATES[worst],
+            "t": float(now),
+            "window": int(window_index),
+            "routers": routers,
+            "mesh": {"reasons": mesh_reasons,
+                     "pool_worker_restarts": pool_delta},
+        }
+        self.last_snapshot = snapshot
+        if registry is not None:
+            for state in HEALTH_STATES:
+                registry.gauge(f"health.routers_{state}", tally[state])
+            for router_id, entry in routers.items():
+                registry.gauge(
+                    f"health.state.{router_id}",
+                    HEALTH_STATES.index(str(entry["state"])))
+            registry.gauge("health.status_level", worst)
+        self.eval_seconds += time.perf_counter() - started
+        return snapshot
+
+
+# -- incident correlation ---------------------------------------------------
+
+#: Ground-truth fault kinds that open an incident, mapped to the fault
+#: kind whose later firing on the same target repairs it.
+INCIDENT_KINDS = {"kill": "restart",
+                  "sever_channel": "restore_channel"}
+
+
+def _window_of(window_times: Sequence[float], t: float) -> int:
+    """Index of the first telemetry window rolled at or after ``t``
+    (the earliest window that *could* observe an event at ``t``)."""
+    for index, when in enumerate(window_times):
+        if when >= t:
+            return index
+    return len(window_times)
+
+
+def correlate_incidents(fault_events: Sequence[object],
+                        transitions: Sequence[Dict[str, object]],
+                        alert_events: Sequence[Dict[str, object]],
+                        window_times: Sequence[float]
+                        ) -> List[Dict[str, object]]:
+    """Join injected faults against observed detections.
+
+    ``fault_events`` are :class:`~repro.faults.injector.FaultEvent`
+    records (or equivalent dicts); every event whose kind is in
+    :data:`INCIDENT_KINDS` opens one incident.  For each incident:
+
+    * **detection** -- the target router's first transition *out of*
+      ``healthy`` at ``t >= injected_at``; MTTD is reported both in
+      seconds and in telemetry windows (1 = caught by the first window
+      that could have seen it);
+    * **recovery** -- the matching repair fault on the same target,
+      and the router's first transition back to ``healthy`` at or
+      after it; MTTR is ``recovered_at - injected_at``;
+    * **timeline** -- every fault event, health transition, and global
+      alert lifecycle event for this incident's span, time-ordered.
+
+    Deterministic: order follows injection order, ties broken by
+    target id; all inputs are already deterministic per seed.
+    """
+    events = [e if isinstance(e, dict) else e.to_dict()
+              for e in fault_events]
+    incidents: List[Dict[str, object]] = []
+    for event in events:
+        kind = str(event["kind"])
+        if kind not in INCIDENT_KINDS:
+            continue
+        target = event.get("target")
+        injected_at = float(event["t"])
+        repair_kind = INCIDENT_KINDS[kind]
+        repair = next(
+            (e for e in events
+             if e["kind"] == repair_kind and e.get("target") == target
+             and float(e["t"]) >= injected_at), None)
+        detection = next(
+            (tr for tr in transitions
+             if tr["router"] == target and tr["to"] != "healthy"
+             and float(tr["t"]) >= injected_at), None)
+        recovered = None
+        if repair is not None:
+            recovered = next(
+                (tr for tr in transitions
+                 if tr["router"] == target and tr["to"] == "healthy"
+                 and float(tr["t"]) >= float(repair["t"])), None)
+        closes_at = (float(recovered["t"]) if recovered is not None
+                     else (window_times[-1] if window_times
+                           else injected_at))
+        timeline: List[Dict[str, object]] = [
+            {"t": injected_at, "event": "fault_injected",
+             "detail": kind}]
+        if repair is not None:
+            timeline.append({"t": float(repair["t"]),
+                             "event": "repair_injected",
+                             "detail": repair_kind})
+        for tr in transitions:
+            if tr["router"] == target \
+                    and injected_at <= float(tr["t"]) <= closes_at:
+                timeline.append({
+                    "t": float(tr["t"]), "event": "health_transition",
+                    "detail": f"{tr['from']} -> {tr['to']}",
+                    "reasons": list(tr.get("reasons", ()))})
+        for alert in alert_events:
+            if injected_at <= float(alert["t"]) <= closes_at:
+                timeline.append({
+                    "t": float(alert["t"]),
+                    "event": f"alert_{alert['event']}",
+                    "detail": str(alert["rule"]),
+                    "severity": str(alert["severity"])})
+        timeline.sort(key=lambda entry: (float(entry["t"]),
+                                         str(entry["event"])))
+        incident: Dict[str, object] = {
+            "incident": ("router-kill" if kind == "kill"
+                         else "channel-sever"),
+            "target": target,
+            "injected_at": injected_at,
+            "detected": detection is not None,
+            "detected_at": (float(detection["t"])
+                            if detection is not None else None),
+            "mttd_seconds": (float(detection["t"]) - injected_at
+                             if detection is not None else None),
+            "mttd_windows": (
+                int(detection["window"])
+                - _window_of(window_times, injected_at) + 1
+                if detection is not None else None),
+            "recovered": recovered is not None,
+            "recovered_at": (float(recovered["t"])
+                             if recovered is not None else None),
+            "mttr_seconds": (float(recovered["t"]) - injected_at
+                             if recovered is not None else None),
+            "timeline": timeline,
+        }
+        incidents.append(incident)
+    incidents.sort(key=lambda inc: (float(inc["injected_at"]),
+                                    str(inc["target"])))
+    return incidents
+
+
+def incidents_to_jsonl(incidents: Sequence[Dict[str, object]]) -> str:
+    """One JSON object per incident, key-sorted (CI artifact format;
+    read back with :func:`repro.obs.rollup.read_jsonl`)."""
+    return "".join(json.dumps(incident, sort_keys=True) + "\n"
+                   for incident in incidents)
+
+
+def render_incidents(incidents: Sequence[Dict[str, object]]) -> str:
+    """Human-readable per-incident timelines (the ``obs-report
+    --format incidents`` output)."""
+    if not incidents:
+        return "no incidents\n"
+    lines: List[str] = []
+    for incident in incidents:
+        mttd = incident.get("mttd_seconds")
+        mttr = incident.get("mttr_seconds")
+        lines.append(
+            f"incident {incident['incident']} target="
+            f"{incident['target']} injected_at="
+            f"{float(incident['injected_at']):.1f}"  # type: ignore
+            + (f" mttd={mttd:.1f}s"
+               f"/{incident['mttd_windows']}w" if mttd is not None
+               else " UNDETECTED")
+            + (f" mttr={mttr:.1f}s" if mttr is not None else ""))
+        for entry in incident.get("timeline", ()):   # type: ignore
+            detail = entry.get("detail", "")
+            extra = ""
+            if entry.get("reasons"):
+                extra = "  (" + "; ".join(entry["reasons"]) + ")"
+            if entry.get("severity"):
+                extra = f"  [{entry['severity']}]"
+            lines.append(f"  [{float(entry['t']):10.1f}s] "
+                         f"{entry['event']}: {detail}{extra}")
+        lines.append("")
+    return "\n".join(lines)

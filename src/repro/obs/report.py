@@ -14,9 +14,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.obs.health import render_incidents
 
 #: Formats understood by :func:`render_report`.
-FORMATS = ("json", "prom", "traces", "folded")
+FORMATS = ("json", "prom", "traces", "folded", "health", "incidents")
+
+#: Formats that need a chaos scenario run (health evaluation + fault
+#: ground truth) rather than the plain demo workload.
+SCENARIO_FORMATS = ("health", "incidents")
 
 
 def collect_demo_metrics(preset: str = "TEST", handshakes: int = 4,
@@ -91,6 +96,57 @@ def collect_scenario_metrics(routers: int = 2, users: int = 4,
     scenario.run(duration)
     scenario.publish_metrics()
     return scenario
+
+
+def collect_incident_metrics(seed: int = 101, duration: float = 240.0,
+                             telemetry_window: float = 30.0):
+    """Run a seeded chaos scenario with health evaluation enabled.
+
+    The workload is a compact version of the CI chaos driver: a
+    durable 4-router city under 15% loss where one router is killed
+    and restarted and another has its operator channel severed and
+    restored.  Returns ``(scenario, injector)`` -- the scenario holds
+    the health snapshot and alert history, the injector the
+    ground-truth fault log that :func:`~repro.obs.health.
+    correlate_incidents` joins against.
+    """
+    from repro.core.protocols.user_router import RetryPolicy
+    from repro.faults import FaultInjector, FaultPlan, RouterFault
+    from repro.wmn.scenario import Scenario, ScenarioConfig
+    from repro.wmn.topology import TopologyConfig
+
+    scenario = Scenario(ScenarioConfig(
+        preset="TEST", seed=seed,
+        topology=TopologyConfig(area_side=800.0, router_grid=2,
+                                user_count=6, seed=seed,
+                                access_range=600.0),
+        group_sizes=(("Company X", 8),),
+        beacon_interval=4.0,
+        loss_probability=0.15,
+        retry_policy=RetryPolicy(initial_timeout=2.0, backoff_factor=2.0,
+                                 max_timeout=8.0, max_retries=4,
+                                 jitter=0.1),
+        durable=True,
+        sharded_revocation=True,
+        gossip_period=20.0,
+        gossip_checkpoints=True,
+        telemetry_window=telemetry_window,
+        health=True))
+    for user in scenario.sim_users.values():
+        user.connect_timeout = 60.0
+    ids = sorted(scenario.sim_routers)
+    injector = FaultInjector(FaultPlan(
+        seed=seed,
+        router=(RouterFault("kill", at=40.0, router_id=ids[0]),
+                RouterFault("restart", at=90.0, router_id=ids[0]),
+                RouterFault("sever_channel", at=60.0,
+                            router_id=ids[-1]),
+                RouterFault("restore_channel", at=150.0,
+                            router_id=ids[-1]))))
+    injector.arm_scenario(scenario)
+    scenario.run(duration)
+    scenario.publish_metrics()
+    return scenario, injector
 
 
 # -- causal trace reconstruction ------------------------------------------
@@ -233,6 +289,34 @@ def to_folded(traces: Sequence[Dict[str, object]]) -> str:
                    for path, weight in sorted(stacks.items()))
 
 
+def render_health(snapshot: Dict[str, object],
+                  alerts: Sequence[Dict[str, object]] = ()) -> str:
+    """Human-readable ``/health`` judgment plus the alert history
+    (the ``obs-report --format health`` output)."""
+    lines = [f"status: {snapshot['status']}  "
+             f"(t={float(snapshot['t']):.1f}, "     # type: ignore[arg-type]
+             f"window {snapshot['window']})"]
+    routers: Dict[str, dict] = snapshot["routers"]  # type: ignore[assignment]
+    for router_id in sorted(routers):
+        entry = routers[router_id]
+        reasons = "; ".join(entry["reasons"]) or "-"
+        lines.append(f"  {router_id}: {entry['state']:<9} {reasons}")
+    mesh = dict(snapshot.get("mesh") or {})
+    if mesh.get("reasons"):
+        lines.append("  mesh: " + "; ".join(mesh["reasons"]))
+    if alerts:
+        lines.append("alerts:")
+        for event in alerts:
+            lines.append(
+                f"  [{event['event']:>8}] {event['rule']} "
+                f"({event['severity']}) window {event['window']} "
+                f"t={float(event['t']):.1f} "       # type: ignore[arg-type]
+                f"observed={event['observed']}")
+    else:
+        lines.append("alerts: none")
+    return "\n".join(lines) + "\n"
+
+
 def render_snapshot(snapshot, fmt: str = "json") -> str:
     """Render an already-collected snapshot in ``fmt``."""
     if fmt == "json":
@@ -248,9 +332,22 @@ def render_snapshot(snapshot, fmt: str = "json") -> str:
 
 def render_report(fmt: str = "json", preset: str = "TEST",
                   handshakes: int = 4, seed: int = 7) -> str:
-    """Collect the demo workload's metrics and render them."""
+    """Collect the matching workload's metrics and render them.
+
+    ``health``/``incidents`` run the chaos scenario
+    (:func:`collect_incident_metrics`, seeded 101 unless ``seed`` is
+    overridden away from the demo default); every other format runs
+    the plain demo workload.
+    """
     if fmt not in FORMATS:
         raise ValueError(f"unknown report format {fmt!r}; pick from {FORMATS}")
+    if fmt in SCENARIO_FORMATS:
+        scenario, injector = collect_incident_metrics(
+            seed=101 if seed == 7 else seed)
+        if fmt == "health":
+            return render_health(scenario.health_snapshot(),
+                                 scenario.alert_events())
+        return render_incidents(scenario.incidents(injector))
     registry = collect_demo_metrics(preset=preset, handshakes=handshakes,
                                     seed=seed)
     return render_snapshot(registry.snapshot(), fmt)

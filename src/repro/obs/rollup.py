@@ -26,6 +26,7 @@ quantiles.
 from __future__ import annotations
 
 import json
+import math
 from collections import deque
 from typing import Dict, List, Optional, Sequence
 
@@ -37,19 +38,24 @@ ROLLUP_QUANTILES = (0.5, 0.95, 0.99)
 
 def _quantile_from_buckets(bounds: Sequence[float], counts: Sequence[int],
                            q: float) -> Optional[float]:
-    """Nearest-rank quantile from bucket counts; None on empty."""
+    """Nearest-rank quantile from bucket counts; None on empty.
+
+    Samples landing in the implicit overflow bucket (beyond the last
+    finite bound) report that last bound -- never ``inf`` or ``None``
+    (documented: bucket-resolution estimates, pinned in
+    ``tests/test_obs_rollup.py``).
+    """
     total = sum(counts)
     if total == 0:
         return None
-    rank = max(1, int(q * total + 0.999999))   # ceil without math import
+    rank = min(total, max(1, math.ceil(q * total)))
     seen = 0
+    last = len(bounds) - 1
     for index, count in enumerate(counts):
         seen += count
         if seen >= rank:
-            # The overflow bucket has no upper bound; report the last
-            # finite one (documented: bucket-resolution estimates).
-            return float(bounds[min(index, len(bounds) - 1)])
-    return float(bounds[-1])
+            return float(bounds[min(index, last)])
+    return float(bounds[last])
 
 
 class TelemetryRollup:
@@ -112,6 +118,12 @@ class TelemetryRollup:
         self._last_counters = dict(snap["counters"])
         self._last_hist = dict(snap["histograms"])
         return window
+
+    @property
+    def next_index(self) -> int:
+        """Index the next :meth:`roll` will assign (what health
+        evaluation stamps on observations made just before a roll)."""
+        return self._index
 
     def windows(self) -> List[Dict[str, object]]:
         """Retained window records, oldest first."""

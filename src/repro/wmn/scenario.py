@@ -17,6 +17,16 @@ from repro import obs
 from repro.core.clock import Clock
 from repro.core.deployment import Deployment
 from repro.core.durable import DurableRouterStore, FileStorage, MemoryStorage
+from repro.obs.health import (
+    AlertEngine,
+    AlertRule,
+    HealthMonitor,
+    HealthPolicy,
+    RouterSignals,
+    correlate_incidents,
+    default_metro_rules,
+    incidents_to_jsonl,
+)
 from repro.obs.rollup import TelemetryRollup, to_jsonl
 from repro.core.protocols.dos import DosPolicy
 from repro.core.protocols.user_router import RetryPolicy
@@ -79,6 +89,9 @@ class ScenarioConfig:
     durable_dir: Optional[str] = None    # None: in-memory storage backend
     durable_sync_every: int = 1          # records per fsync (fault surface)
     gossip_checkpoints: bool = False     # shard-checkpoint warm-up offers
+    health: bool = False                 # per-window health + alert rules
+    health_rules: Optional[Tuple[AlertRule, ...]] = None  # None: metro pack
+    health_policy: Optional[HealthPolicy] = None
 
 
 class Scenario:
@@ -99,11 +112,27 @@ class Scenario:
         if config.tracing or config.telemetry_window > 0:
             self.registry = obs.MetricsRegistry(
                 clock=self.clock, max_spans=config.max_spans)
+        # Health evaluation rides the telemetry roll: monitor gauges
+        # are exported *before* the window closes so the alert rules
+        # see them in the same window record (detection stays inside
+        # one telemetry window).
+        self.health_monitor: Optional[HealthMonitor] = None
+        self.alert_engine: Optional[AlertEngine] = None
+        self._fsync_lost: Dict[str, float] = {}
+        if config.health:
+            if config.telemetry_window <= 0:
+                raise SimulationError(
+                    "health evaluation is window-driven: configure "
+                    "telemetry_window > 0 alongside health=True")
+            self.health_monitor = HealthMonitor(
+                policy=config.health_policy)
+            self.alert_engine = AlertEngine(
+                config.health_rules if config.health_rules is not None
+                else default_metro_rules())
         if config.telemetry_window > 0:
             self.rollup = TelemetryRollup(self.registry)
             self.loop.schedule_every(
-                config.telemetry_window,
-                lambda: self.rollup.roll(self.loop.now))
+                config.telemetry_window, self._telemetry_tick)
         self.topology: MetroTopology = build_topology(config.topology)
         self.radio = RadioMedium(
             self.loop, loss_probability=config.loss_probability,
@@ -292,6 +321,8 @@ class Scenario:
         lost = self.durable_stores[router_id].storage.lose_unsynced()
         if lost:
             obs.counter("durable.fsync_lost_bytes", lost)
+            self._fsync_lost[router_id] = \
+                self._fsync_lost.get(router_id, 0.0) + lost
         return lost
 
     def _require_durable(self, router_id: str) -> SimMeshRouter:
@@ -328,6 +359,93 @@ class Scenario:
         if self.rollup is None:
             return ""
         return to_jsonl(self.rollup.windows())
+
+    # -- health & incidents ------------------------------------------------
+
+    def _telemetry_tick(self) -> None:
+        """One telemetry roll, with health evaluation when configured:
+        classify -> export gauges -> close the window -> run rules."""
+        now = self.loop.now
+        if self.health_monitor is not None:
+            self.health_monitor.observe(
+                now, self.rollup.next_index,
+                self._health_signals(now),
+                pool_worker_restarts=self.registry.counter_value(
+                    "pool.worker_restarts"),
+                registry=self.registry)
+        window = self.rollup.roll(now)
+        if self.alert_engine is not None:
+            self.alert_engine.evaluate(window)
+
+    def _health_signals(self, now: float) -> "list[RouterSignals]":
+        latest = self.deployment.operator.list_versions()
+        signals = []
+        for router_id, sim in self.sim_routers.items():
+            if sim.crashed:
+                signals.append(RouterSignals(router_id=router_id,
+                                             crashed=True))
+                continue
+            router = sim.router
+            crl_version, url_version = router.list_versions()
+            behind = max(latest[0] - crl_version,
+                         latest[1] - url_version, 0)
+            signals.append(RouterSignals(
+                router_id=router_id,
+                channel_up=not router.degraded,
+                lists_age=router.lists_age(now),
+                staleness_grace=router.staleness_grace,
+                versions_behind=behind,
+                handshakes_completed=sim.metrics.get(
+                    "handshakes_completed", 0),
+                handshakes_rejected=sim.metrics.get(
+                    "handshakes_rejected", 0),
+                fsync_lost_bytes=self._fsync_lost.get(router_id, 0.0)))
+        return signals
+
+    def _require_health(self) -> None:
+        if self.health_monitor is None:
+            raise SimulationError(
+                "scenario was not built with health=True")
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """The latest ``/health``-shaped judgment (status, per-router
+        states + reasons) -- the payload a service-plane daemon's
+        ``/health`` endpoint would serve verbatim.  Evaluates on
+        demand if no telemetry window has closed yet."""
+        self._require_health()
+        if self.health_monitor.last_snapshot is None:
+            self._telemetry_tick()
+        return self.health_monitor.last_snapshot
+
+    def alert_events(self) -> "list[Dict[str, object]]":
+        """Full firing/resolved alert history, evaluation order."""
+        self._require_health()
+        return list(self.alert_engine.events)
+
+    def incidents(self, injector) -> "list[Dict[str, object]]":
+        """Per-incident timelines with MTTD/MTTR: the ``injector``'s
+        ground-truth :class:`~repro.faults.injector.FaultEvent` log
+        joined against this run's health transitions and alerts."""
+        self._require_health()
+        window_times = [float(w["t"]) for w in self.rollup.windows()]
+        return correlate_incidents(
+            injector.events_snapshot(),
+            self.health_monitor.transitions,
+            self.alert_engine.events, window_times)
+
+    def incidents_jsonl(self, injector) -> str:
+        """:meth:`incidents` as one JSON object per line (the CI
+        chaos artifact format)."""
+        return incidents_to_jsonl(self.incidents(injector))
+
+    @property
+    def health_eval_seconds(self) -> float:
+        """Wall-clock seconds spent on health classification + alert
+        rules so far (the <= 3% overhead gate's numerator)."""
+        if self.health_monitor is None:
+            return 0.0
+        return (self.health_monitor.eval_seconds
+                + self.alert_engine.eval_seconds)
 
     # -- results -----------------------------------------------------------
 

@@ -155,7 +155,8 @@ class TestMainExitCodes:
             return json.load(handle)["values"]
 
     def test_smoke_pass_with_identical_fresh_values(self, tmp_path):
-        for slug in ("E4", "revocation_scale", "crash_recovery"):
+        for slug in ("E4", "revocation_scale", "crash_recovery",
+                     "health_detection"):
             self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"
         code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path),
@@ -168,7 +169,8 @@ class TestMainExitCodes:
         values = dict(self._baseline_values("E4"))
         values["bytes_M_2"] = values["bytes_M_2"] + 8   # "grew the wire"
         self._write(str(tmp_path), "E4", values)
-        for slug in ("revocation_scale", "crash_recovery"):
+        for slug in ("revocation_scale", "crash_recovery",
+                     "health_detection"):
             self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"
         code = bench_gate.main(["--smoke", "--fresh-dir", str(tmp_path),
@@ -186,7 +188,7 @@ class TestMainExitCodes:
     def test_full_mode_checks_all_experiments(self, tmp_path):
         slugs = ("E4", "E2", "handshake_loss", "obs_overhead",
                  "batch_core", "parallel_verify", "revocation_scale",
-                 "crash_recovery")
+                 "crash_recovery", "health_detection")
         for slug in slugs:
             self._write(str(tmp_path), slug, self._baseline_values(slug))
         out = tmp_path / "gate.json"

@@ -1,0 +1,374 @@
+"""Health observatory: alert rules, router states, incident timelines.
+
+Unit coverage for the :mod:`repro.obs.health` layer -- rule
+validation, the threshold/ratio/absence predicates with ``for_windows``
+hold-downs and the firing -> resolved lifecycle, the per-router
+healthy/degraded/critical state machine with its exported gauges and
+``/health`` snapshot -- plus the scenario-level acceptance from the
+ISSUE: a seeded chaos run detects its injected router kill and channel
+sever within the MTTD bound, a fault-free run of the same mesh fires
+zero alerts, and the correlator's timelines replay bit-identically.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, RouterFault
+from repro.obs.health import (
+    HEALTH_STATES,
+    AlertEngine,
+    AlertRule,
+    HealthMonitor,
+    HealthPolicy,
+    RouterSignals,
+    correlate_incidents,
+    default_metro_rules,
+    incidents_to_jsonl,
+    render_incidents,
+    window_value,
+)
+from repro.obs.rollup import read_jsonl
+from repro.wmn.scenario import Scenario, ScenarioConfig
+from repro.wmn.topology import TopologyConfig
+
+
+def make_window(index=0, t=0.0, counters=None, gauges=None,
+                histograms=None):
+    return {"index": index, "t": t, "counters": counters or {},
+            "gauges": gauges or {}, "histograms": histograms or {}}
+
+
+class TestWindowValue:
+    def test_counter_then_gauge_then_histogram_field(self):
+        window = make_window(
+            counters={"a": 2.0}, gauges={"a": 9.0, "g": 0.5},
+            histograms={"lat": {"count": 3, "p95": 0.25}})
+        assert window_value(window, "a") == 2.0       # counter wins
+        assert window_value(window, "g") == 0.5
+        assert window_value(window, "lat:p95") == 0.25
+        assert window_value(window, "missing") is None
+
+    def test_sum_counts_missing_addends_as_zero(self):
+        window = make_window(counters={"a": 2.0, "b": 3.0})
+        assert window_value(window, "a+b") == 5.0
+        assert window_value(window, "a+missing") == 2.0
+        assert window_value(window, "gone+missing") is None
+
+
+class TestAlertRuleValidation:
+    def test_rejects_unknown_kind_op_severity(self):
+        with pytest.raises(SimulationError):
+            AlertRule(name="r", kind="spline", metric="m")
+        with pytest.raises(SimulationError):
+            AlertRule(name="r", metric="m", op="~=")
+        with pytest.raises(SimulationError):
+            AlertRule(name="r", metric="m", severity="meh")
+        with pytest.raises(SimulationError):
+            AlertRule(name="r", metric="m", for_windows=0)
+
+    def test_rejects_incomplete_rules(self):
+        with pytest.raises(SimulationError):
+            AlertRule(name="r", kind="threshold")
+        with pytest.raises(SimulationError):
+            AlertRule(name="r", kind="ratio", numerator="n")
+
+    def test_engine_rejects_duplicate_names(self):
+        rule = AlertRule(name="dup", metric="m")
+        with pytest.raises(SimulationError):
+            AlertEngine([rule, AlertRule(name="dup", metric="x")])
+
+
+class TestAlertLifecycle:
+    def test_threshold_fires_and_resolves(self):
+        engine = AlertEngine([AlertRule(name="hot", metric="errs",
+                                        op=">=", value=3,
+                                        severity="critical")])
+        assert engine.evaluate(make_window(0, counters={"errs": 2})) == []
+        events = engine.evaluate(make_window(1, t=10.0,
+                                             counters={"errs": 5}))
+        assert events == [{"event": "firing", "rule": "hot",
+                           "severity": "critical", "window": 1,
+                           "t": 10.0, "observed": 5.0}]
+        assert engine.firing() == ["hot"]
+        events = engine.evaluate(make_window(2, t=20.0))
+        assert events[0]["event"] == "resolved"
+        assert engine.firing() == [] and engine.firing_count() == 0
+        assert len(engine.events) == 2
+
+    def test_for_windows_hold_down_and_streak_reset(self):
+        engine = AlertEngine([AlertRule(name="slow", metric="q",
+                                        value=1, for_windows=3)])
+        hot = lambda i: make_window(i, counters={"q": 1})
+        cold = lambda i: make_window(i)
+        assert engine.evaluate(hot(0)) == []
+        assert engine.evaluate(hot(1)) == []
+        assert engine.evaluate(cold(2)) == []      # streak resets
+        assert engine.evaluate(hot(3)) == []
+        assert engine.evaluate(hot(4)) == []
+        assert engine.evaluate(hot(5))[0]["event"] == "firing"
+
+    def test_absence_detects_stopped_heartbeat(self):
+        engine = AlertEngine([AlertRule(name="hb", kind="absence",
+                                        metric="beats")])
+        assert engine.evaluate(
+            make_window(0, counters={"beats": 4})) == []
+        assert engine.evaluate(make_window(1))[0]["event"] == "firing"
+
+    def test_ratio_with_min_denominator(self):
+        engine = AlertEngine([AlertRule(
+            name="failures", kind="ratio", numerator="bad",
+            denominator="bad+good", op=">=", value=0.5,
+            min_denominator=4)])
+        # Below the sample floor with a silent numerator: no signal.
+        assert engine.evaluate(
+            make_window(0, counters={"good": 1})) == []
+        # A loud numerator over a silent denominator is 100% failure.
+        events = engine.evaluate(make_window(1, counters={"bad": 2}))
+        assert events[0]["observed"] == 1.0
+        events = engine.evaluate(
+            make_window(2, counters={"bad": 1, "good": 7}))
+        assert events[0]["event"] == "resolved"
+
+    def test_default_metro_pack_quiet_on_healthy_window(self):
+        engine = AlertEngine(default_metro_rules())
+        window = make_window(
+            counters={"user.handshakes_completed_total": 6},
+            gauges={"health.routers_critical": 0,
+                    "health.routers_degraded": 0})
+        assert engine.evaluate(window) == []
+
+
+class TestHealthMonitor:
+    def test_crash_and_recovery_transitions(self):
+        monitor = HealthMonitor()
+        registry = obs.MetricsRegistry(clock=lambda: 0.0)
+        monitor.observe(0.0, 0, [RouterSignals(router_id="MR-1")],
+                        registry=registry)
+        snapshot = monitor.observe(
+            30.0, 1, [RouterSignals(router_id="MR-1", crashed=True)],
+            registry=registry)
+        assert snapshot["status"] == "critical"
+        assert snapshot["routers"]["MR-1"]["reasons"] == \
+            ["router crashed"]
+        monitor.observe(60.0, 2, [RouterSignals(router_id="MR-1")],
+                        registry=registry)
+        assert [(tr["from"], tr["to"], tr["window"])
+                for tr in monitor.transitions] == \
+            [("healthy", "critical", 1), ("critical", "healthy", 2)]
+        snap = registry.snapshot()["gauges"]
+        assert snap["health.routers_critical"] == 0
+        assert snap["health.state.MR-1"] == 0
+        assert snap["health.status_level"] == 0
+
+    def test_staleness_and_channel_rules(self):
+        monitor = HealthMonitor()
+        state, reasons = monitor._classify(RouterSignals(
+            router_id="r", lists_age=700.0, staleness_grace=600.0))
+        assert state == "critical" and "staleness grace" in reasons[0]
+        state, reasons = monitor._classify(RouterSignals(
+            router_id="r", channel_up=False, lists_age=400.0,
+            staleness_grace=600.0))
+        assert state == "degraded" and len(reasons) == 2
+
+    def test_gossip_lag_and_fsync_loss_degrade(self):
+        monitor = HealthMonitor()
+        state, reasons = monitor._classify(RouterSignals(
+            router_id="r", versions_behind=2))
+        assert state == "degraded" and "gossip" in reasons[0]
+        monitor.observe(0.0, 0, [RouterSignals(router_id="r")])
+        state, reasons = monitor._classify(RouterSignals(
+            router_id="r", fsync_lost_bytes=128.0))
+        assert state == "degraded" and "fsync" in reasons[0]
+
+    def test_failure_ratio_windows_cumulative_counts(self):
+        policy = HealthPolicy(min_handshake_samples=4)
+        monitor = HealthMonitor(policy)
+        monitor.observe(0.0, 0, [RouterSignals(
+            router_id="r", handshakes_completed=100.0,
+            handshakes_rejected=0.0)])
+        # This window: 1 completed, 4 rejected -> 80% failure.
+        snapshot = monitor.observe(30.0, 1, [RouterSignals(
+            router_id="r", handshakes_completed=101.0,
+            handshakes_rejected=4.0)])
+        assert snapshot["routers"]["r"]["state"] == "degraded"
+        # Below the sample floor: no ratio signal.
+        snapshot = monitor.observe(60.0, 2, [RouterSignals(
+            router_id="r", handshakes_completed=101.0,
+            handshakes_rejected=5.0)])
+        assert snapshot["routers"]["r"]["state"] == "healthy"
+
+    def test_pool_restarts_degrade_the_mesh(self):
+        monitor = HealthMonitor()
+        snapshot = monitor.observe(
+            0.0, 0, [RouterSignals(router_id="r")],
+            pool_worker_restarts=2.0)
+        assert snapshot["status"] == "degraded"
+        assert snapshot["routers"]["r"]["state"] == "healthy"
+        assert snapshot["mesh"]["pool_worker_restarts"] == 2.0
+        # Cumulative counter unchanged next window: healthy again.
+        snapshot = monitor.observe(
+            30.0, 1, [RouterSignals(router_id="r")],
+            pool_worker_restarts=2.0)
+        assert snapshot["status"] == "healthy"
+
+
+class TestCorrelator:
+    WINDOWS = [0.0, 30.0, 60.0, 90.0, 120.0]
+
+    def test_detected_and_recovered_incident(self):
+        faults = [FaultEvent(kind="kill", target="MR-1", t=35.0),
+                  FaultEvent(kind="restart", target="MR-1", t=75.0)]
+        transitions = [
+            {"router": "MR-1", "from": "healthy", "to": "critical",
+             "t": 60.0, "window": 2, "reasons": ["router crashed"]},
+            {"router": "MR-1", "from": "critical", "to": "healthy",
+             "t": 90.0, "window": 3, "reasons": []}]
+        alerts = [{"event": "firing", "rule": "router-critical",
+                   "severity": "critical", "window": 2, "t": 60.0,
+                   "observed": 1.0}]
+        (incident,) = correlate_incidents(faults, transitions, alerts,
+                                          self.WINDOWS)
+        assert incident["incident"] == "router-kill"
+        assert incident["detected"] and incident["recovered"]
+        assert incident["mttd_seconds"] == 25.0
+        # Injected at 35 -> first window that could see it is t=60
+        # (index 2); detected in window 2 -> MTTD of 1 window.
+        assert incident["mttd_windows"] == 1
+        assert incident["mttr_seconds"] == 55.0
+        kinds = [e["event"] for e in incident["timeline"]]
+        assert kinds == ["fault_injected", "alert_firing",
+                         "health_transition", "repair_injected",
+                         "health_transition"]
+
+    def test_undetected_incident_is_reported_not_dropped(self):
+        faults = [FaultEvent(kind="sever_channel", target="MR-2",
+                             t=10.0)]
+        (incident,) = correlate_incidents(faults, [], [], self.WINDOWS)
+        assert incident["incident"] == "channel-sever"
+        assert not incident["detected"] and not incident["recovered"]
+        assert incident["mttd_windows"] is None
+        assert "UNDETECTED" in render_incidents([incident])
+
+    def test_non_incident_kinds_are_ignored(self):
+        faults = [FaultEvent(kind="fsync_loss", target="MR-1", t=5.0),
+                  FaultEvent(kind="kill_worker", t=6.0)]
+        assert correlate_incidents(faults, [], [], self.WINDOWS) == []
+
+    def test_jsonl_round_trip(self):
+        faults = [FaultEvent(kind="kill", target="MR-1", t=35.0)]
+        incidents = correlate_incidents(faults, [], [], self.WINDOWS)
+        text = incidents_to_jsonl(incidents)
+        assert read_jsonl(text) == incidents
+        assert render_incidents([]) == "no incidents\n"
+
+
+def chaos_scenario(seed, health=True, faults=True):
+    from repro.core.protocols.user_router import RetryPolicy
+
+    scenario = Scenario(ScenarioConfig(
+        preset="TEST", seed=seed,
+        topology=TopologyConfig(area_side=800.0, router_grid=2,
+                                user_count=6, seed=seed,
+                                access_range=600.0),
+        group_sizes=(("Company X", 8),),
+        beacon_interval=4.0,
+        loss_probability=0.15,
+        retry_policy=RetryPolicy(initial_timeout=2.0,
+                                 backoff_factor=2.0, max_timeout=8.0,
+                                 max_retries=4, jitter=0.1),
+        durable=True, sharded_revocation=True,
+        gossip_period=20.0, gossip_checkpoints=True,
+        telemetry_window=30.0, health=health))
+    for user in scenario.sim_users.values():
+        user.connect_timeout = 60.0
+    injector = None
+    if faults:
+        ids = sorted(scenario.sim_routers)
+        injector = FaultInjector(FaultPlan(
+            seed=seed,
+            router=(RouterFault("kill", at=40.0, router_id=ids[0]),
+                    RouterFault("restart", at=90.0, router_id=ids[0]),
+                    RouterFault("sever_channel", at=60.0,
+                                router_id=ids[-1]),
+                    RouterFault("restore_channel", at=150.0,
+                                router_id=ids[-1]))))
+        injector.arm_scenario(scenario)
+    scenario.run(240.0)
+    return scenario, injector
+
+
+class TestScenarioIntegration:
+    @pytest.fixture(scope="class")
+    def chaos(self):
+        return chaos_scenario(seed=101)
+
+    def test_fault_event_log_is_ground_truth(self, chaos):
+        _, injector = chaos
+        assert injector.events_snapshot() == [
+            {"kind": "kill", "target": "MR-0", "t": 1_000_040.0},
+            {"kind": "sever_channel", "target": "MR-3",
+             "t": 1_000_060.0},
+            {"kind": "restart", "target": "MR-0", "t": 1_000_090.0},
+            {"kind": "restore_channel", "target": "MR-3",
+             "t": 1_000_150.0}]
+
+    def test_kill_and_sever_detected_within_two_windows(self, chaos):
+        scenario, injector = chaos
+        incidents = scenario.incidents(injector)
+        assert {i["incident"] for i in incidents} == \
+            {"router-kill", "channel-sever"}
+        for incident in incidents:
+            assert incident["detected"], incident
+            assert incident["mttd_windows"] <= 2
+            assert incident["recovered"], incident
+
+    def test_alerts_fire_and_resolve(self, chaos):
+        scenario, _ = chaos
+        events = scenario.alert_events()
+        fired = {e["rule"] for e in events if e["event"] == "firing"}
+        assert "router-critical" in fired
+        resolved = {e["rule"] for e in events
+                    if e["event"] == "resolved"}
+        assert fired == resolved           # the mesh healed
+        assert scenario.alert_engine.firing() == []
+
+    def test_health_snapshot_shape(self, chaos):
+        scenario, _ = chaos
+        snapshot = scenario.health_snapshot()
+        assert snapshot["status"] in HEALTH_STATES
+        assert set(snapshot["routers"]) == set(scenario.sim_routers)
+        for entry in snapshot["routers"].values():
+            assert entry["state"] in HEALTH_STATES
+        assert scenario.health_eval_seconds > 0.0
+
+    def test_incident_timelines_replay_bit_identically(self, chaos):
+        scenario, injector = chaos
+        again, injector2 = chaos_scenario(seed=101)
+        assert scenario.incidents_jsonl(injector) == \
+            again.incidents_jsonl(injector2)
+
+    def test_fault_free_baseline_fires_zero_alerts(self):
+        scenario, _ = chaos_scenario(seed=101, faults=False)
+        assert scenario.alert_events() == []
+        assert scenario.health_monitor.transitions == []
+        assert scenario.health_snapshot()["status"] == "healthy"
+
+    def test_health_requires_telemetry_window(self):
+        with pytest.raises(SimulationError):
+            Scenario(ScenarioConfig(
+                seed=1,
+                topology=TopologyConfig(area_side=400.0,
+                                        router_grid=1, user_count=2,
+                                        seed=1),
+                health=True))
+
+    def test_incidents_require_health(self):
+        scenario = Scenario(ScenarioConfig(
+            seed=1,
+            topology=TopologyConfig(area_side=400.0, router_grid=1,
+                                    user_count=2, seed=1),
+            telemetry_window=10.0))
+        scenario.run(20.0)
+        with pytest.raises(SimulationError):
+            scenario.incidents(None)

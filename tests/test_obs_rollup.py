@@ -1,0 +1,101 @@
+"""Rollup contracts: quantile overflow, empty windows, retention,
+and bit-identical telemetry JSONL replay under the chaos seeds.
+
+``_quantile_from_buckets`` reports bucket-resolution estimates; the
+pinned behaviour (also documented in the function docstring) is that
+samples landing beyond the last finite bucket bound report *that last
+bound* -- never ``inf``, ``None``, or an index error -- even when the
+whole window landed in the overflow bucket.
+
+``Scenario.telemetry_jsonl()`` is a CI artifact: it must round-trip
+exactly through ``read_jsonl`` and replay bit-identically for a given
+chaos seed, or the chaos job's replay-identity verdict means nothing.
+"""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.rollup import (
+    TelemetryRollup,
+    _quantile_from_buckets,
+    read_jsonl,
+    to_jsonl,
+)
+
+CHAOS_SEEDS = (101, 202, 303)
+
+
+class TestQuantileOverflow:
+    BOUNDS = [0.001, 0.01, 0.1]
+
+    def test_all_samples_in_overflow_report_last_finite_bound(self):
+        # Every sample beyond the last bound: all quantiles pin to the
+        # last *finite* bound (0.1), not inf and not an index error.
+        counts = [0, 0, 0, 7]
+        for q in (0.5, 0.95, 0.99):
+            assert _quantile_from_buckets(self.BOUNDS, counts, q) == 0.1
+
+    def test_mixed_overflow_keeps_low_quantiles_exact(self):
+        counts = [6, 0, 0, 4]
+        assert _quantile_from_buckets(self.BOUNDS, counts, 0.5) == 0.001
+        assert _quantile_from_buckets(self.BOUNDS, counts, 0.99) == 0.1
+
+    def test_empty_counts_is_none(self):
+        assert _quantile_from_buckets(self.BOUNDS, [0, 0, 0, 0],
+                                      0.5) is None
+
+    def test_overflow_window_round_trips_as_finite_json(self):
+        reg = obs.MetricsRegistry(clock=lambda: 0.0)
+        rollup = TelemetryRollup(reg)
+        reg.observe("lat", 1e12)
+        window = rollup.roll(0.0)
+        for q in ("p50", "p95", "p99"):
+            value = window["histograms"]["lat"][q]
+            assert value is not None and math.isfinite(value)
+        assert read_jsonl(to_jsonl([window])) == [window]
+
+
+class TestWindowEdges:
+    def test_empty_window_stays_small_and_round_trips(self):
+        reg = obs.MetricsRegistry(clock=lambda: 0.0)
+        rollup = TelemetryRollup(reg)
+        window = rollup.roll(5.0)
+        assert window["counters"] == {}
+        assert window["histograms"] == {}
+        assert window["index"] == 0 and window["t"] == 5.0
+        assert read_jsonl(to_jsonl([window])) == [window]
+
+    def test_dropped_counts_evictions_beyond_retention(self):
+        reg = obs.MetricsRegistry(clock=lambda: 0.0)
+        rollup = TelemetryRollup(reg, max_windows=3)
+        for t in range(5):
+            reg.counter("c")
+            rollup.roll(float(t))
+        assert rollup.dropped == 2
+        assert [w["index"] for w in rollup.windows()] == [2, 3, 4]
+        # Retained windows still carry per-window deltas, not totals.
+        assert all(w["counters"] == {"c": 1} for w in rollup.windows())
+
+    def test_next_index_tracks_upcoming_roll(self):
+        reg = obs.MetricsRegistry(clock=lambda: 0.0)
+        rollup = TelemetryRollup(reg)
+        assert rollup.next_index == 0
+        rollup.roll(1.0)
+        assert rollup.next_index == 1
+
+
+class TestChaosTelemetryReplay:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_telemetry_jsonl_replays_bit_identically(self, seed):
+        from repro.obs.report import collect_incident_metrics
+
+        first, _ = collect_incident_metrics(seed=seed)
+        second, _ = collect_incident_metrics(seed=seed)
+        text = first.telemetry_jsonl()
+        assert text == second.telemetry_jsonl()
+        windows = read_jsonl(text)
+        assert to_jsonl(windows) == text
+        assert windows, "chaos scenario produced no telemetry windows"
+        assert [w["index"] for w in windows] == list(range(len(windows)))
